@@ -1,0 +1,132 @@
+// Command bulksim regenerates the tables and figures of "Bulk
+// Disambiguation of Speculative Threads in Multiprocessors" (ISCA 2006)
+// from the simulator in this repository.
+//
+// Usage:
+//
+//	bulksim -exp fig10          # one experiment
+//	bulksim -exp all            # everything, paper order
+//	bulksim -list               # list experiment ids
+//	bulksim -exp fig15 -quick   # scaled-down run
+//
+// Flags -seed, -tasks and -txns override workload generation; -noverify
+// skips the end-to-end correctness oracle (faster).
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"bulk/internal/experiments"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "all", "experiment id (see -list) or 'all'")
+		list     = flag.Bool("list", false, "list available experiments")
+		seed     = flag.Uint64("seed", 2006, "workload generation seed")
+		tasks    = flag.Int("tasks", 0, "override TLS tasks per application (0 = default)")
+		txns     = flag.Int("txns", 0, "override TM transactions per thread (0 = default)")
+		samples  = flag.Int("samples", 0, "override Figure 15 samples per configuration")
+		perms    = flag.Int("perms", 0, "override Figure 15 permutations per configuration")
+		quick    = flag.Bool("quick", false, "use the scaled-down test configuration")
+		noverify = flag.Bool("noverify", false, "skip end-to-end correctness verification")
+		parallel = flag.Bool("parallel", false, "run experiments concurrently (outputs stay ordered)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, r := range experiments.All() {
+			fmt.Printf("%-22s %s\n", r.ID, r.Description)
+		}
+		return
+	}
+
+	cfg := experiments.Default()
+	if *quick {
+		cfg = experiments.Quick()
+	}
+	cfg.Seed = *seed
+	if *tasks > 0 {
+		cfg.TLSTasks = *tasks
+	}
+	if *txns > 0 {
+		cfg.TMTxns = *txns
+	}
+	if *samples > 0 {
+		cfg.Fig15Samples = *samples
+	}
+	if *perms > 0 {
+		cfg.Fig15Perms = *perms
+	}
+	cfg.Verify = !*noverify
+
+	var runners []experiments.Runner
+	if *exp == "all" {
+		runners = experiments.All()
+	} else {
+		r, ok := experiments.ByID(*exp)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "bulksim: unknown experiment %q (try -list)\n", *exp)
+			os.Exit(2)
+		}
+		runners = []experiments.Runner{r}
+	}
+
+	if !*parallel {
+		for i, r := range runners {
+			if i > 0 {
+				fmt.Println()
+			}
+			start := time.Now()
+			p, err := r.Run(cfg)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "bulksim: %s: %v\n", r.ID, err)
+				os.Exit(1)
+			}
+			p.Print(os.Stdout)
+			fmt.Printf("[%s: %.1fs, verified=%v]\n", r.ID, time.Since(start).Seconds(), cfg.Verify)
+		}
+		return
+	}
+
+	// Parallel mode: every experiment is deterministic and independent
+	// (each builds its own workloads from the seed), so they can run
+	// concurrently; outputs are buffered and printed in registry order.
+	type outcome struct {
+		buf bytes.Buffer
+		err error
+	}
+	outs := make([]outcome, len(runners))
+	var wg sync.WaitGroup
+	for i, r := range runners {
+		wg.Add(1)
+		go func(i int, r experiments.Runner) {
+			defer wg.Done()
+			start := time.Now()
+			p, err := r.Run(cfg)
+			if err != nil {
+				outs[i].err = err
+				return
+			}
+			p.Print(&outs[i].buf)
+			fmt.Fprintf(&outs[i].buf, "[%s: %.1fs, verified=%v]\n",
+				r.ID, time.Since(start).Seconds(), cfg.Verify)
+		}(i, r)
+	}
+	wg.Wait()
+	for i, o := range outs {
+		if i > 0 {
+			fmt.Println()
+		}
+		if o.err != nil {
+			fmt.Fprintf(os.Stderr, "bulksim: %s: %v\n", runners[i].ID, o.err)
+			os.Exit(1)
+		}
+		os.Stdout.Write(o.buf.Bytes())
+	}
+}

@@ -1,0 +1,21 @@
+// Package bulk is a from-scratch Go reproduction of "Bulk Disambiguation
+// of Speculative Threads in Multiprocessors" (Luis Ceze, James Tuck, Călin
+// Caşcaval, Josep Torrellas — ISCA 2006).
+//
+// The implementation lives under internal/: address signatures and bulk
+// operations (internal/sig), the Bulk Disambiguation Module
+// (internal/bdm), cache/bus/memory substrates, TM and TLS runtimes with
+// Eager/Lazy/Bulk conflict schemes, synthetic workloads calibrated to the
+// paper's Tables 6 and 7, and an experiment harness (internal/experiments)
+// that regenerates every table and figure of the paper's evaluation.
+//
+// Entry points:
+//
+//	go run ./cmd/bulksim -exp all    # regenerate all tables and figures
+//	go run ./cmd/sigexplore          # signature design-space exploration
+//	go run ./examples/quickstart     # signatures and bulk ops in 60 lines
+//	go test -bench . -benchmem       # benchmark harness, one per exhibit
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-vs-measured comparison.
+package bulk

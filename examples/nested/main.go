@@ -1,0 +1,83 @@
+// nested: closed nested transactions with partial rollback (Section 6.2.1,
+// Figure 8). A transaction is divided into sections, each with its own
+// R/W signature pair; an incoming commit is disambiguated section by
+// section, and only the violated section and its successors re-execute.
+//
+// The example builds transactions whose early section reads stable private
+// data and whose late section reads a contended word, so conflicts hit the
+// inner section: with partial rollback only that section repeats; without
+// it the whole transaction does.
+//
+// Run with: go run ./examples/nested
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"bulk/internal/tm"
+	"bulk/internal/trace"
+	"bulk/internal/workload"
+)
+
+func buildNested(workers, txns int) *workload.TMWorkload {
+	w := &workload.TMWorkload{Name: "nested"}
+	hot := func(i int) uint64 { return workload.TMSharedObjectLine(i) * workload.WordsPerLine }
+	priv := func(t, i int) uint64 {
+		return workload.TMPrivateHeapLine(t, uint64(i)*2654435761) * workload.WordsPerLine
+	}
+	for t := 0; t < workers; t++ {
+		var segs []workload.TMSegment
+		for i := 0; i < txns; i++ {
+			var ops []trace.Op
+			// Outer section: a long stretch of private work.
+			for k := 0; k < 14; k++ {
+				kind := trace.Read
+				if k%3 == 0 {
+					kind = trace.WriteDep
+				}
+				ops = append(ops, trace.Op{Kind: kind, Addr: priv(t, i*64+k), Think: 4})
+			}
+			inner := len(ops)
+			// Inner section: touch two contended words.
+			ops = append(ops,
+				trace.Op{Kind: trace.Read, Addr: hot(i % 6), Think: 3},
+				trace.Op{Kind: trace.WriteDep, Addr: hot((i + 3) % 6), Think: 3},
+				trace.Op{Kind: trace.Read, Addr: priv(t, i*64+60), Think: 3},
+			)
+			segs = append(segs, workload.TMSegment{
+				Txn:      true,
+				Ops:      ops,
+				Sections: []int{0, inner},
+			})
+		}
+		w.Threads = append(w.Threads, workload.TMThread{Segments: segs})
+	}
+	return w
+}
+
+func main() {
+	w := buildNested(8, 25)
+	fmt.Println("nested transactions: outer private section + contended inner section")
+
+	run := func(label string, partial bool) {
+		o := tm.NewOptions(tm.Bulk)
+		o.PartialRollback = partial
+		r, err := tm.Run(w, o)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, label, err)
+			os.Exit(1)
+		}
+		if err := tm.Verify(w, r); err != nil {
+			fmt.Fprintln(os.Stderr, "VERIFY FAILED:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%-22s cycles=%7d squashes=%3d partialRollbacks=%3d  [serializable ✓]\n",
+			label, r.Stats.Cycles, r.Stats.Squashes, r.Stats.PartialRollbacks)
+	}
+	run("Bulk (flat)", false)
+	run("Bulk (partial)", true)
+
+	fmt.Println("\nWith partial rollback, a conflict on the inner section repeats only")
+	fmt.Println("that section; the outer section's signatures and buffered writes survive.")
+}

@@ -1,0 +1,77 @@
+// tmbank: a transactional-memory "bank" — concurrent transfer transactions
+// over shared account records — executed under all three conflict schemes.
+//
+// Eight workers each run transfer transactions that read and update a few
+// accounts from a shared table plus thread-private bookkeeping. The example
+// prints commits, squashes, false positives, bandwidth, and verifies that
+// every scheme's final memory equals a serial replay in commit order.
+//
+// Run with: go run ./examples/tmbank
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"bulk/internal/tm"
+	"bulk/internal/trace"
+	"bulk/internal/workload"
+)
+
+// buildBank constructs the workload by hand (not via the profile
+// generators) to show the public workload format: each transfer reads two
+// account lines, writes them back (flow-dependent values), and logs to a
+// private journal.
+func buildBank(workers, transfersPerWorker, accounts int) *workload.TMWorkload {
+	w := &workload.TMWorkload{Name: "bank"}
+	// Account records are heap objects scattered across the address space
+	// (a dense array of accounts would be a worst case for signature
+	// aliasing — all records would share their high address bits).
+	account := func(i int) uint64 { return 1<<10 + workload.Scatter(i, 1<<18) }
+	for t := 0; t < workers; t++ {
+		var segs []workload.TMSegment
+		journal := uint64(1<<27) + workload.Scatter(1000+t, 1<<20)*workload.WordsPerLine
+		for i := 0; i < transfersPerWorker; i++ {
+			// Deterministic pseudo-random account pair per (t, i).
+			from := account((t*131 + i*17) % accounts)
+			to := account((t*37 + i*101 + 1) % accounts)
+			if from == to {
+				to = account(((t*37+i*101+1)%accounts + 1) % accounts)
+			}
+			ops := []trace.Op{
+				{Kind: trace.Read, Addr: from * workload.WordsPerLine, Think: 4},
+				{Kind: trace.WriteDep, Addr: from * workload.WordsPerLine, Think: 2},
+				{Kind: trace.Read, Addr: to * workload.WordsPerLine, Think: 4},
+				{Kind: trace.WriteDep, Addr: to * workload.WordsPerLine, Think: 2},
+				// Private journal entry.
+				{Kind: trace.Write, Addr: journal + uint64(i)*workload.WordsPerLine, Think: 2},
+			}
+			segs = append(segs, workload.TMSegment{Txn: true, Ops: ops, Sections: []int{0}})
+		}
+		w.Threads = append(w.Threads, workload.TMThread{Segments: segs})
+	}
+	return w
+}
+
+func main() {
+	w := buildBank(8, 40, 64)
+	fmt.Printf("bank workload: %d workers x 40 transfers over 64 accounts\n\n", len(w.Threads))
+
+	for _, scheme := range []tm.Scheme{tm.Eager, tm.Lazy, tm.Bulk} {
+		r, err := tm.Run(w, tm.NewOptions(scheme))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "run:", err)
+			os.Exit(1)
+		}
+		if err := tm.Verify(w, r); err != nil {
+			fmt.Fprintln(os.Stderr, "VERIFY FAILED:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%-5v  commits=%3d squashes=%3d falseSquashes=%d stalls=%d cycles=%7d commitBytes=%6d  [serializable ✓]\n",
+			scheme, r.Stats.Commits, r.Stats.Squashes, r.Stats.FalseSquashes,
+			r.Stats.Stalls, r.Stats.Cycles, r.Stats.Bandwidth.CommitBytes())
+	}
+
+	fmt.Println("\nNote: Bulk detects the same true conflicts as exact Lazy, pays a few")
+	fmt.Println("aliasing squashes, and commits with a fraction of the commit bandwidth.")
+}

@@ -1,0 +1,3 @@
+module bulk
+
+go 1.22

@@ -1,0 +1,89 @@
+package bus
+
+import "testing"
+
+func TestRecordAndBreakdown(t *testing.T) {
+	var b Bandwidth
+	b.Record(Inv, 10)
+	b.Record(Fill, 64)
+	b.Record(Fill, 64)
+	if b.Bytes(Inv) != 10 || b.Bytes(Fill) != 128 || b.Bytes(WB) != 0 {
+		t.Fatalf("byte counts wrong: %+v", b.Breakdown())
+	}
+	if b.Messages(Fill) != 2 {
+		t.Fatalf("Messages(Fill)=%d, want 2", b.Messages(Fill))
+	}
+	if b.Total() != 138 {
+		t.Fatalf("Total=%d, want 138", b.Total())
+	}
+}
+
+func TestRecordCommit(t *testing.T) {
+	var b Bandwidth
+	b.RecordCommit(100)
+	b.Record(Inv, 12)
+	if b.CommitBytes() != 100 {
+		t.Fatalf("CommitBytes=%d, want 100", b.CommitBytes())
+	}
+	if b.Bytes(Inv) != 112 {
+		t.Fatalf("commit bytes must also count as Inv: %d", b.Bytes(Inv))
+	}
+}
+
+func TestCommitPacketSizes(t *testing.T) {
+	// A Lazy commit enumerating 22 line addresses (the average TM write
+	// set) is 22 per-address coherence transactions; a Bulk commit is one
+	// RLE-compressed signature of ~363 bits. The ratio is the ~80%
+	// commit-bandwidth reduction of Figure 14.
+	lazy := AddressListCommitBytes(22)
+	bulkPkt := SignatureCommitBytes(363)
+	if lazy != 22*(HeaderBytes+AddrBytes) {
+		t.Fatalf("lazy commit bytes = %d", lazy)
+	}
+	if bulkPkt != HeaderBytes+46 {
+		t.Fatalf("bulk commit bytes = %d", bulkPkt)
+	}
+	if float64(bulkPkt)/float64(lazy) > 0.3 {
+		t.Fatalf("bulk/lazy commit ratio %.2f too high", float64(bulkPkt)/float64(lazy))
+	}
+	if AddressListCommitBytes(0) != HeaderBytes {
+		t.Fatal("empty address list must cost just the header")
+	}
+}
+
+func TestAddAndReset(t *testing.T) {
+	var a, b Bandwidth
+	a.Record(WB, 72)
+	b.Record(WB, 28)
+	b.RecordCommit(50)
+	a.Add(&b)
+	if a.Bytes(WB) != 100 || a.CommitBytes() != 50 || a.Bytes(Inv) != 50 {
+		t.Fatalf("Add wrong: %+v", a.Breakdown())
+	}
+	a.Reset()
+	if a.Total() != 0 || a.CommitBytes() != 0 {
+		t.Fatal("Reset failed")
+	}
+}
+
+func TestMsgTypeStrings(t *testing.T) {
+	want := map[MsgType]string{Inv: "Inv", Coh: "Coh", UB: "UB", WB: "WB", Fill: "Fill"}
+	for ty, s := range want {
+		if ty.String() != s {
+			t.Errorf("%d.String()=%q, want %q", ty, ty.String(), s)
+		}
+	}
+	if len(MsgTypes) != 5 {
+		t.Fatalf("MsgTypes has %d entries, want 5", len(MsgTypes))
+	}
+}
+
+func TestNegativePanics(t *testing.T) {
+	var b Bandwidth
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative byte count must panic")
+		}
+	}()
+	b.Record(Inv, -1)
+}

@@ -1,0 +1,299 @@
+// Package cache models a set-associative, write-back L1 data cache.
+//
+// Deliberately, the cache has no notion of speculation: no Speculative bit
+// per line, no per-word access bits, no version IDs in the tags. That is the
+// central simplification the Bulk paper claims (Section 4.5: "we keep the
+// cache unmodified relative to a non-speculative system"); everything
+// speculative is tracked outside the cache, in the Bulk Disambiguation
+// Module's signatures and cache-set bitmask registers.
+package cache
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// LineAddr is a cache-line-granularity address.
+type LineAddr uint64
+
+// State is the coherence-visible state of a cache line.
+type State uint8
+
+const (
+	// Invalid: the way holds no line.
+	Invalid State = iota
+	// Clean: present, consistent with memory.
+	Clean
+	// Dirty: present, modified relative to memory. Whether a dirty line is
+	// speculative is not recorded here — the BDM knows via δ(W) bitmasks.
+	Dirty
+)
+
+func (s State) String() string {
+	switch s {
+	case Invalid:
+		return "Invalid"
+	case Clean:
+		return "Clean"
+	case Dirty:
+		return "Dirty"
+	default:
+		return fmt.Sprintf("State(%d)", uint8(s))
+	}
+}
+
+// Line is one cache way's content. Callers get pointers into the cache's
+// backing array and may read fields; state changes should go through the
+// cache methods so statistics stay consistent.
+type Line struct {
+	Addr  LineAddr
+	State State
+	// Data optionally carries the line's word values. The cache itself
+	// never interprets it; the simulator's functional layer uses it so
+	// that stale-line bugs in the protocols are observable as wrong
+	// values rather than silently hidden.
+	Data []uint64
+	lru  uint64
+}
+
+// Valid reports whether the line holds data.
+func (l *Line) Valid() bool { return l.State != Invalid }
+
+// Evicted describes a line displaced by an insertion.
+type Evicted struct {
+	Addr  LineAddr
+	State State
+	Data  []uint64
+}
+
+// Stats counts cache events. All counters are cumulative.
+type Stats struct {
+	Hits        uint64
+	Misses      uint64
+	Evictions   uint64
+	DirtyEvicts uint64
+	Invals      uint64
+}
+
+// Cache is a set-associative cache. Not safe for concurrent use; the
+// simulator serializes accesses.
+type Cache struct {
+	sets      int
+	ways      int
+	lineBytes int
+	indexBits int
+	lines     []Line // sets*ways, row-major by set
+	clock     uint64
+	stats     Stats
+}
+
+// New builds a cache of sizeBytes bytes, with the given associativity and
+// line size. sizeBytes/(ways*lineBytes) must be a power of two.
+func New(sizeBytes, ways, lineBytes int) (*Cache, error) {
+	if sizeBytes <= 0 || ways <= 0 || lineBytes <= 0 {
+		return nil, fmt.Errorf("cache: invalid geometry %d/%d/%d", sizeBytes, ways, lineBytes)
+	}
+	if sizeBytes%(ways*lineBytes) != 0 {
+		return nil, fmt.Errorf("cache: size %d not divisible by ways*lineBytes", sizeBytes)
+	}
+	sets := sizeBytes / (ways * lineBytes)
+	if sets&(sets-1) != 0 {
+		return nil, fmt.Errorf("cache: %d sets is not a power of two", sets)
+	}
+	return &Cache{
+		sets:      sets,
+		ways:      ways,
+		lineBytes: lineBytes,
+		indexBits: bits.TrailingZeros(uint(sets)),
+		lines:     make([]Line, sets*ways),
+	}, nil
+}
+
+// MustNew is New that panics on error; for static configuration tables.
+func MustNew(sizeBytes, ways, lineBytes int) *Cache {
+	c, err := New(sizeBytes, ways, lineBytes)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// NumSets returns the number of cache sets.
+func (c *Cache) NumSets() int { return c.sets }
+
+// Ways returns the associativity.
+func (c *Cache) Ways() int { return c.ways }
+
+// LineBytes returns the line size in bytes.
+func (c *Cache) LineBytes() int { return c.lineBytes }
+
+// IndexBits returns log2(NumSets): how many line-address bits form the set
+// index.
+func (c *Cache) IndexBits() int { return c.indexBits }
+
+// SetIndex returns the set an address maps to.
+func (c *Cache) SetIndex(a LineAddr) int { return int(a) & (c.sets - 1) }
+
+// Stats returns a copy of the event counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// set returns the ways of set i.
+func (c *Cache) set(i int) []Line { return c.lines[i*c.ways : (i+1)*c.ways] }
+
+// Lookup returns the line holding address a, or nil. It does not touch LRU
+// state or statistics; use Access for the full load/store path.
+func (c *Cache) Lookup(a LineAddr) *Line {
+	ws := c.set(c.SetIndex(a))
+	for i := range ws {
+		if ws[i].State != Invalid && ws[i].Addr == a {
+			return &ws[i]
+		}
+	}
+	return nil
+}
+
+// Contains reports whether address a is present (valid) in the cache.
+func (c *Cache) Contains(a LineAddr) bool { return c.Lookup(a) != nil }
+
+// Access performs the tag-match part of a load or store: on a hit it
+// refreshes LRU and returns the line; on a miss it returns nil. The caller
+// decides what to insert on a miss (fill state depends on the request type).
+func (c *Cache) Access(a LineAddr) *Line {
+	l := c.Lookup(a)
+	if l == nil {
+		c.stats.Misses++
+		return nil
+	}
+	c.stats.Hits++
+	c.clock++
+	l.lru = c.clock
+	return l
+}
+
+// Insert places address a in the cache in the given state, evicting the LRU
+// way if the set is full. The returned Evicted (nil if an invalid way was
+// used) tells the caller what was displaced — the caller owns writing back
+// dirty victims.
+func (c *Cache) Insert(a LineAddr, st State) (*Line, *Evicted) {
+	if st == Invalid {
+		panic("cache: cannot insert a line in Invalid state")
+	}
+	if l := c.Lookup(a); l != nil {
+		// Already present: just update state (an upgrade) and LRU.
+		if st == Dirty || l.State == Invalid {
+			l.State = st
+		}
+		c.clock++
+		l.lru = c.clock
+		return l, nil
+	}
+	ws := c.set(c.SetIndex(a))
+	victim := -1
+	for i := range ws {
+		if ws[i].State == Invalid {
+			victim = i
+			break
+		}
+	}
+	var ev *Evicted
+	if victim < 0 {
+		victim = 0
+		for i := 1; i < len(ws); i++ {
+			if ws[i].lru < ws[victim].lru {
+				victim = i
+			}
+		}
+		ev = &Evicted{Addr: ws[victim].Addr, State: ws[victim].State, Data: ws[victim].Data}
+		c.stats.Evictions++
+		if ws[victim].State == Dirty {
+			c.stats.DirtyEvicts++
+		}
+	}
+	c.clock++
+	ws[victim] = Line{Addr: a, State: st, lru: c.clock}
+	return &ws[victim], ev
+}
+
+// Invalidate removes address a from the cache if present. Returns the state
+// the line had (Invalid if it was not present).
+func (c *Cache) Invalidate(a LineAddr) State {
+	l := c.Lookup(a)
+	if l == nil {
+		return Invalid
+	}
+	st := l.State
+	l.State = Invalid
+	c.stats.Invals++
+	return st
+}
+
+// MarkClean downgrades a dirty line to clean (after a writeback). No-op if
+// the line is absent.
+func (c *Cache) MarkClean(a LineAddr) {
+	if l := c.Lookup(a); l != nil && l.State == Dirty {
+		l.State = Clean
+	}
+}
+
+// LinesInSet appends pointers to the valid lines of set i to dst. This is
+// the cache-side read of signature expansion (Figure 4): given a set index
+// from δ, read out all valid line addresses in the set.
+func (c *Cache) LinesInSet(i int, dst []*Line) []*Line {
+	ws := c.set(i)
+	for j := range ws {
+		if ws[j].State != Invalid {
+			dst = append(dst, &ws[j])
+		}
+	}
+	return dst
+}
+
+// DirtyInSet reports whether set i holds any dirty line.
+func (c *Cache) DirtyInSet(i int) bool {
+	ws := c.set(i)
+	for j := range ws {
+		if ws[j].State == Dirty {
+			return true
+		}
+	}
+	return false
+}
+
+// DirtyLinesInSet appends the dirty lines of set i to dst.
+func (c *Cache) DirtyLinesInSet(i int, dst []*Line) []*Line {
+	ws := c.set(i)
+	for j := range ws {
+		if ws[j].State == Dirty {
+			dst = append(dst, &ws[j])
+		}
+	}
+	return dst
+}
+
+// Walk calls fn for every valid line. fn must not insert or invalidate.
+func (c *Cache) Walk(fn func(*Line)) {
+	for i := range c.lines {
+		if c.lines[i].State != Invalid {
+			fn(&c.lines[i])
+		}
+	}
+}
+
+// CountState returns how many lines are in the given state.
+func (c *Cache) CountState(st State) int {
+	n := 0
+	for i := range c.lines {
+		if c.lines[i].State == st {
+			n++
+		}
+	}
+	return n
+}
+
+// Flush invalidates every line. Dirty contents are the caller's problem
+// (the simulator writes back through the functional layer).
+func (c *Cache) Flush() {
+	for i := range c.lines {
+		c.lines[i].State = Invalid
+	}
+}

@@ -1,0 +1,30 @@
+package ckpt_test
+
+import (
+	"fmt"
+
+	"bulk/internal/ckpt"
+)
+
+// Example compares stalling on long-latency loads against checkpointed
+// speculation with Bulk signatures.
+func Example() {
+	w := ckpt.GenerateWorkload(4, 10, 0.9, 1)
+
+	stall, err := ckpt.Run(w, ckpt.NewOptions(ckpt.Stall))
+	if err != nil {
+		panic(err)
+	}
+	bulk, err := ckpt.Run(w, ckpt.NewOptions(ckpt.Bulk))
+	if err != nil {
+		panic(err)
+	}
+	if err := ckpt.Verify(w, bulk); err != nil {
+		panic(err)
+	}
+	fmt.Println("episodes:", bulk.Stats.Episodes)
+	fmt.Println("speculation faster:", bulk.Stats.Cycles < stall.Stats.Cycles)
+	// Output:
+	// episodes: 40
+	// speculation faster: true
+}

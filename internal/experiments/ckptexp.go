@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"bulk/internal/ckpt"
+	"bulk/internal/sig"
+	"bulk/internal/stats"
+)
+
+// CheckpointRow is one signature configuration's row in the
+// checkpointed-multiprocessor extension experiment.
+type CheckpointRow struct {
+	Config         string
+	Bits           int
+	Speedup        float64 // over the stall baseline
+	Rollbacks      uint64
+	FalseRollbacks uint64
+}
+
+// CheckpointResult is the extension experiment for the third environment
+// the paper's introduction lists: checkpointed multiprocessors. Episodes
+// speculate past long-latency loads under value prediction; signatures
+// provide the disambiguation and rollback machinery. The experiment
+// reports speedup over a never-speculate baseline for exact disambiguation
+// and for Bulk signatures of several sizes.
+type CheckpointResult struct {
+	StallCycles int64
+	Exact       CheckpointRow
+	Rows        []CheckpointRow
+}
+
+// Checkpoint runs the checkpointed-multiprocessor comparison.
+func Checkpoint(c Config) (*CheckpointResult, error) {
+	episodes := 20
+	if c.TMTxns > 0 {
+		episodes = c.TMTxns * 2
+	}
+	w := ckpt.GenerateWorkload(8, episodes, 0.92, c.Seed)
+
+	stall, err := ckpt.Run(w, ckpt.NewOptions(ckpt.Stall))
+	if err != nil {
+		return nil, err
+	}
+	if c.Verify {
+		if err := ckpt.Verify(w, stall); err != nil {
+			return nil, err
+		}
+	}
+	res := &CheckpointResult{StallCycles: stall.Stats.Cycles}
+
+	exact, err := ckpt.Run(w, ckpt.NewOptions(ckpt.Exact))
+	if err != nil {
+		return nil, err
+	}
+	if c.Verify {
+		if err := ckpt.Verify(w, exact); err != nil {
+			return nil, err
+		}
+	}
+	res.Exact = CheckpointRow{
+		Config:    "Exact",
+		Speedup:   float64(stall.Stats.Cycles) / float64(exact.Stats.Cycles),
+		Rollbacks: exact.Stats.Rollbacks,
+	}
+
+	for _, name := range []string{"S1", "S4", "S14", "S19"} {
+		cfg, err := sig.StandardConfig(name, sig.TMPermutation, sig.TMAddrBits)
+		if err != nil {
+			return nil, err
+		}
+		o := ckpt.NewOptions(ckpt.Bulk)
+		o.SigConfig = cfg
+		r, err := ckpt.Run(w, o)
+		if err != nil {
+			return nil, err
+		}
+		if c.Verify {
+			if err := ckpt.Verify(w, r); err != nil {
+				return nil, fmt.Errorf("%s: %w", name, err)
+			}
+		}
+		res.Rows = append(res.Rows, CheckpointRow{
+			Config:         name,
+			Bits:           cfg.TotalBits(),
+			Speedup:        float64(stall.Stats.Cycles) / float64(r.Stats.Cycles),
+			Rollbacks:      r.Stats.Rollbacks,
+			FalseRollbacks: r.Stats.FalseRollbacks,
+		})
+	}
+	return res, nil
+}
+
+// Print renders the experiment.
+func (r *CheckpointResult) Print(w io.Writer) {
+	fmt.Fprintln(w, "Extension: checkpointed multiprocessor (speculation past long-latency loads)")
+	fmt.Fprintf(w, "stall baseline: %d cycles\n", r.StallCycles)
+	t := stats.NewTable("Disambiguation", "Bits", "Speedup vs stall", "Rollbacks", "False rollbacks")
+	t.Row(r.Exact.Config, "-", r.Exact.Speedup, r.Exact.Rollbacks, r.Exact.FalseRollbacks)
+	for _, row := range r.Rows {
+		t.Row(row.Config, row.Bits, row.Speedup, row.Rollbacks, row.FalseRollbacks)
+	}
+	t.Render(w)
+}

@@ -1,0 +1,147 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation (Section 7). Each experiment returns typed rows and can print
+// itself in the paper's format; cmd/bulksim exposes them on the command
+// line and bench_test.go regenerates them under `go test -bench`.
+//
+// The Scale knob shrinks the workloads for quick runs (unit tests, CI);
+// Full() uses the profile defaults, which are already calibrated to the
+// footprints the paper reports.
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"bulk/internal/tls"
+	"bulk/internal/tm"
+	"bulk/internal/workload"
+)
+
+// Config controls experiment size and reproducibility.
+type Config struct {
+	// Seed drives workload generation. Fixed default: 2006 (the paper's
+	// publication year), so printed numbers are reproducible.
+	Seed uint64
+	// TLSTasks overrides the per-app task count (0 = profile default).
+	TLSTasks int
+	// TMTxns overrides transactions per thread (0 = profile default).
+	TMTxns int
+	// Fig15Samples is the number of sampled independent disambiguations
+	// per signature configuration (0 = 2000).
+	Fig15Samples int
+	// Fig15Perms is the number of random permutations tried per
+	// configuration for the error bars (0 = 8).
+	Fig15Perms int
+	// Verify runs the end-to-end correctness oracle after every
+	// simulation (slower; on by default in tests).
+	Verify bool
+}
+
+// Default returns the full-size configuration used by cmd/bulksim.
+func Default() Config {
+	return Config{Seed: 2006, Verify: true}
+}
+
+// Quick returns a scaled-down configuration for tests.
+func Quick() Config {
+	return Config{Seed: 2006, TLSTasks: 30, TMTxns: 5, Fig15Samples: 300, Fig15Perms: 3, Verify: true}
+}
+
+func (c Config) fig15Samples() int {
+	if c.Fig15Samples <= 0 {
+		return 2000
+	}
+	return c.Fig15Samples
+}
+
+func (c Config) fig15Perms() int {
+	if c.Fig15Perms <= 0 {
+		return 8
+	}
+	return c.Fig15Perms
+}
+
+func (c Config) tlsWorkload(p workload.TLSProfile) *workload.TLSWorkload {
+	if c.TLSTasks > 0 {
+		p.Tasks = c.TLSTasks
+	}
+	return workload.GenerateTLS(p, c.Seed)
+}
+
+func (c Config) tmWorkload(p workload.TMProfile) *workload.TMWorkload {
+	if c.TMTxns > 0 {
+		p.TxnsPerThread = c.TMTxns
+	}
+	return workload.GenerateTM(p, c.Seed)
+}
+
+// runTLS executes and (optionally) verifies one TLS configuration.
+func (c Config) runTLS(w *workload.TLSWorkload, opts tls.Options) (*tls.Result, error) {
+	r, err := tls.Run(w, opts)
+	if err != nil {
+		return nil, fmt.Errorf("%s/%v: %w", w.Name, opts.Scheme, err)
+	}
+	if c.Verify {
+		if err := tls.Verify(w, r); err != nil {
+			return nil, fmt.Errorf("%s/%v: %w", w.Name, opts.Scheme, err)
+		}
+	}
+	return r, nil
+}
+
+// runTM executes and (optionally) verifies one TM configuration.
+func (c Config) runTM(w *workload.TMWorkload, opts tm.Options) (*tm.Result, error) {
+	r, err := tm.Run(w, opts)
+	if err != nil {
+		return nil, fmt.Errorf("%s/%v: %w", w.Name, opts.Scheme, err)
+	}
+	if c.Verify {
+		if err := tm.Verify(w, r); err != nil {
+			return nil, fmt.Errorf("%s/%v: %w", w.Name, opts.Scheme, err)
+		}
+	}
+	return r, nil
+}
+
+// Printer is implemented by every experiment result.
+type Printer interface {
+	Print(w io.Writer)
+}
+
+// Runner is a named experiment entry point.
+type Runner struct {
+	ID          string
+	Description string
+	Run         func(Config) (Printer, error)
+}
+
+// All lists every experiment in paper order.
+func All() []Runner {
+	return []Runner{
+		{"fig10", "TLS speedups over sequential (Eager/Lazy/Bulk/BulkNoOverlap)", func(c Config) (Printer, error) { return Figure10(c) }},
+		{"fig11", "TM speedups over Eager (Eager/Lazy/Bulk/Bulk-Partial)", func(c Config) (Printer, error) { return Figure11(c) }},
+		{"fig12", "Eager pathologies: livelock and early squash", func(c Config) (Printer, error) { return Figure12(c) }},
+		{"table6", "Bulk characterization in TLS", func(c Config) (Printer, error) { return Table6(c) }},
+		{"table7", "Bulk characterization in TM", func(c Config) (Printer, error) { return Table7(c) }},
+		{"fig13", "TM bandwidth breakdown normalized to Eager", func(c Config) (Printer, error) { return Figure13(c) }},
+		{"fig14", "Commit bandwidth of Bulk normalized to Lazy", func(c Config) (Printer, error) { return Figure14(c) }},
+		{"table8", "Signature configurations: sizes and RLE compression", func(c Config) (Printer, error) { return Table8(c) }},
+		{"fig15", "Signature false positives vs size and permutation", func(c Config) (Printer, error) { return Figure15(c) }},
+		{"ablation-granularity", "TLS word vs line signature granularity", func(c Config) (Printer, error) { return AblationGranularity(c) }},
+		{"ablation-rle", "Commit packet size with and without RLE", func(c Config) (Printer, error) { return AblationRLE(c) }},
+		{"ext-checkpoint", "Checkpointed multiprocessor: speculation past long loads", func(c Config) (Printer, error) { return Checkpoint(c) }},
+		{"ablation-hash", "Bit-selected vs hashed signature indexing", func(c Config) (Printer, error) { return AblationHash(c) }},
+		{"ext-scaling", "Processor-count scaling of Bulk in TLS and TM", func(c Config) (Printer, error) { return Scaling(c) }},
+		{"ext-wordtm", "Word-granularity TM on packed shared lines", func(c Config) (Printer, error) { return WordTM(c) }},
+	}
+}
+
+// ByID finds an experiment runner.
+func ByID(id string) (Runner, bool) {
+	for _, r := range All() {
+		if r.ID == id {
+			return r, true
+		}
+	}
+	return Runner{}, false
+}

@@ -1,0 +1,422 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// All experiment tests run with the Quick config: small workloads, full
+// verification. They check the *shapes* the paper reports, not absolute
+// numbers.
+
+func TestFigure10Shape(t *testing.T) {
+	r, err := Figure10(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 9 {
+		t.Fatalf("9 SPECint apps expected, got %d", len(r.Rows))
+	}
+	g := r.GeoMean
+	if g.Eager <= 1.0 {
+		t.Errorf("Eager TLS geomean speedup %.2f must beat sequential", g.Eager)
+	}
+	// Paper ordering: Eager >= Lazy >= Bulk > BulkNoOverlap, with small
+	// gaps between the first three and a large one to the last.
+	if g.Bulk > g.Eager*1.02 {
+		t.Errorf("Bulk (%.2f) should not beat Eager (%.2f) meaningfully", g.Bulk, g.Eager)
+	}
+	if g.BulkNoOverlap >= g.Bulk {
+		t.Errorf("BulkNoOverlap (%.2f) must trail Bulk (%.2f)", g.BulkNoOverlap, g.Bulk)
+	}
+	// The paper reports a ~17% gap; demand at least 5% even at small scale.
+	if g.BulkNoOverlap > 0.95*g.Bulk {
+		t.Errorf("BulkNoOverlap (%.2f) should trail Bulk (%.2f) by >=5%%", g.BulkNoOverlap, g.Bulk)
+	}
+	// Bulk within ~15% of Eager (paper: 5%).
+	if g.Bulk < 0.8*g.Eager {
+		t.Errorf("Bulk (%.2f) too far below Eager (%.2f)", g.Bulk, g.Eager)
+	}
+	var buf bytes.Buffer
+	r.Print(&buf)
+	if !strings.Contains(buf.String(), "Geo.Mean") {
+		t.Error("print must include the geomean row")
+	}
+}
+
+func TestFigure11Shape(t *testing.T) {
+	r, err := Figure11(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 7 {
+		t.Fatalf("7 TM apps expected, got %d", len(r.Rows))
+	}
+	g := r.GeoMean
+	// Paper: Lazy ≈ Bulk ≈ Eager overall; Bulk within ~15% of Lazy.
+	if g.Bulk < 0.85*g.Lazy || g.Bulk > 1.15*g.Lazy {
+		t.Errorf("Bulk (%.2f) should track Lazy (%.2f)", g.Bulk, g.Lazy)
+	}
+	// Bulk-Partial close to Bulk (the paper: minor impact).
+	if g.BulkPartial < 0.85*g.Bulk || g.BulkPartial > 1.2*g.Bulk {
+		t.Errorf("Bulk-Partial (%.2f) should be close to Bulk (%.2f)", g.BulkPartial, g.Bulk)
+	}
+	// sjbb2k: Lazy must beat Eager (Figure 12 pathologies).
+	for _, row := range r.Rows {
+		if row.App == "sjbb2k" && row.Lazy <= 1.0 {
+			t.Errorf("sjbb2k: Lazy (%.2f) must beat Eager", row.Lazy)
+		}
+	}
+}
+
+func TestFigure12Behaviour(t *testing.T) {
+	r, err := Figure12(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.EagerNoFixLivelocked {
+		t.Error("Eager without the fix must livelock on the Figure 12(a) pattern")
+	}
+	if r.EagerFixCommits != 2 {
+		t.Errorf("Eager with the fix must commit both transactions, got %d", r.EagerFixCommits)
+	}
+	if r.LazySquashesA > 2 {
+		t.Errorf("Lazy must make forward progress with few squashes, got %d", r.LazySquashesA)
+	}
+	if r.EagerSquashesB == 0 {
+		t.Error("Figure 12(b): Eager must squash")
+	}
+	if r.LazySquashesB != 0 {
+		t.Errorf("Figure 12(b): Lazy must not squash, got %d", r.LazySquashesB)
+	}
+	var buf bytes.Buffer
+	r.Print(&buf)
+	if !strings.Contains(buf.String(), "livelocked=true") {
+		t.Error("print must report the livelock")
+	}
+}
+
+func TestTable6Shape(t *testing.T) {
+	r, err := Table6(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 9 {
+		t.Fatalf("9 rows expected, got %d", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if row.RdSetWords <= row.WrSetWords {
+			t.Errorf("%s: read sets (%.1f) must exceed write sets (%.1f)",
+				row.App, row.RdSetWords, row.WrSetWords)
+		}
+	}
+	// crafty has the largest read set; mcf the smallest write set.
+	byApp := map[string]Table6Row{}
+	for _, row := range r.Rows {
+		byApp[row.App] = row
+	}
+	if byApp["crafty"].RdSetWords < byApp["mcf"].RdSetWords {
+		t.Error("crafty read sets must exceed mcf's (Table 6 ordering)")
+	}
+	if r.Avg.RdSetWords < 20 || r.Avg.RdSetWords > 60 {
+		t.Errorf("avg read set %.1f words implausible vs Table 6's 39.6", r.Avg.RdSetWords)
+	}
+}
+
+func TestTable7Shape(t *testing.T) {
+	r, err := Table7(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 7 {
+		t.Fatalf("7 rows expected, got %d", len(r.Rows))
+	}
+	if r.Avg.RdSetLines < 40 || r.Avg.RdSetLines > 100 {
+		t.Errorf("avg read set %.1f lines implausible vs Table 7's 67.5", r.Avg.RdSetLines)
+	}
+	if r.Avg.WrSetLines < 10 || r.Avg.WrSetLines > 40 {
+		t.Errorf("avg write set %.1f lines implausible vs Table 7's 22.3", r.Avg.WrSetLines)
+	}
+	// Bulk must access the overflow area far less than Lazy (paper: 3.6%).
+	if r.Avg.OverflowPct >= 50 {
+		t.Errorf("overflow ratio %.1f%% must be well below Lazy's", r.Avg.OverflowPct)
+	}
+}
+
+func TestFigure13Shape(t *testing.T) {
+	r, err := Figure13(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := func(v [5]float64) float64 { return v[0] + v[1] + v[2] + v[3] + v[4] }
+	// Eager rows are normalized to themselves: total = 100%.
+	for _, row := range r.Rows {
+		if e := sum(row.Eager); e < 99.9 || e > 100.1 {
+			t.Errorf("%s: Eager total %.1f%% must be 100%%", row.App, e)
+		}
+	}
+	// Paper: Bulk slightly above Lazy, below (or near) Eager on average.
+	lazyT := sum(r.Avg.Lazy)
+	bulkT := sum(r.Avg.Bulk)
+	if bulkT < lazyT*0.95 {
+		t.Errorf("Bulk total (%.1f%%) should not be below Lazy (%.1f%%)", bulkT, lazyT)
+	}
+	if bulkT > 140 {
+		t.Errorf("Bulk total (%.1f%%) too far above Eager", bulkT)
+	}
+}
+
+func TestFigure14Shape(t *testing.T) {
+	r, err := Figure14(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: average ~17% (83% reduction). Accept anything clearly <50%.
+	if r.Avg >= 50 {
+		t.Errorf("Bulk commit bandwidth %.1f%% of Lazy; expected a large reduction", r.Avg)
+	}
+	if r.Avg <= 0 {
+		t.Error("commit bandwidth ratio must be positive")
+	}
+	for _, row := range r.Rows {
+		if row.Pct <= 0 {
+			t.Errorf("%s: ratio must be positive", row.App)
+		}
+	}
+}
+
+func TestTable8Shape(t *testing.T) {
+	r, err := Table8(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 23 {
+		t.Fatalf("23 configurations expected, got %d", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if row.CompressedBits >= float64(row.FullBits) {
+			t.Errorf("%s: RLE must compress (%.0f >= %d)", row.ID, row.CompressedBits, row.FullBits)
+		}
+	}
+	// S14 is the paper's default: 2048 bits full, ~363 compressed.
+	for _, row := range r.Rows {
+		if row.ID == "S14" {
+			if row.FullBits != 2048 {
+				t.Errorf("S14 full size %d, want 2048", row.FullBits)
+			}
+			if row.CompressedBits < 150 || row.CompressedBits > 700 {
+				t.Errorf("S14 compressed %.0f bits, paper reports ~363", row.CompressedBits)
+			}
+		}
+	}
+}
+
+func TestFigure15Shape(t *testing.T) {
+	c := Quick()
+	r, err := Figure15(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 23 {
+		t.Fatalf("23 rows expected, got %d", len(r.Rows))
+	}
+	byID := map[string]Figure15Row{}
+	for _, row := range r.Rows {
+		byID[row.ID] = row
+		if row.BestPerm > row.WorstPerm {
+			t.Errorf("%s: best perm rate above worst", row.ID)
+		}
+	}
+	// Small signatures must have high false-positive rates; large ones low
+	// (the Figure 15 trend).
+	if byID["S1"].NoPerm <= byID["S23"].NoPerm {
+		t.Errorf("S1 (512b, %.1f%%) must exceed S23 (16448b, %.1f%%)",
+			byID["S1"].NoPerm, byID["S23"].NoPerm)
+	}
+	if byID["S23"].NoPerm > 10 {
+		t.Errorf("S23 false positives %.1f%% too high for a 16-Kbit signature", byID["S23"].NoPerm)
+	}
+}
+
+func TestAblationGranularity(t *testing.T) {
+	r, err := AblationGranularity(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Line granularity must cause at least as many squashes overall
+	// (false sharing) across the suite.
+	var word, line uint64
+	for _, row := range r.Rows {
+		word += row.WordSquash
+		line += row.LineSquash
+	}
+	if line < word {
+		t.Errorf("line granularity squashes (%d) should be >= word granularity (%d)", line, word)
+	}
+}
+
+func TestAblationRLE(t *testing.T) {
+	r, err := AblationRLE(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range r.Rows {
+		if row.CompressionX < 2 {
+			t.Errorf("%s: RLE compression %.1fx too weak", row.App, row.CompressionX)
+		}
+	}
+}
+
+func TestCheckpointExtension(t *testing.T) {
+	r, err := Checkpoint(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Exact.Speedup <= 1.0 {
+		t.Errorf("exact speculation must beat stalling, got %.2f", r.Exact.Speedup)
+	}
+	byCfg := map[string]CheckpointRow{}
+	for _, row := range r.Rows {
+		byCfg[row.Config] = row
+	}
+	// Larger signatures alias less; S19 must be at least as fast as S1
+	// and have no more false rollbacks.
+	if byCfg["S19"].FalseRollbacks > byCfg["S1"].FalseRollbacks {
+		t.Errorf("S19 false rollbacks (%d) above S1's (%d)",
+			byCfg["S19"].FalseRollbacks, byCfg["S1"].FalseRollbacks)
+	}
+	if byCfg["S14"].Speedup <= 1.0 {
+		t.Errorf("S14 speculation must beat stalling, got %.2f", byCfg["S14"].Speedup)
+	}
+	var buf bytes.Buffer
+	r.Print(&buf)
+	if !strings.Contains(buf.String(), "stall baseline") {
+		t.Error("print output wrong")
+	}
+}
+
+func TestAblationHash(t *testing.T) {
+	r, err := AblationHash(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 4 {
+		t.Fatalf("4 sizes expected, got %d", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if !row.BitSelDecodes {
+			t.Errorf("%s: bit-select must support δ decode", row.Size)
+		}
+		if row.HashedDecodes {
+			t.Errorf("%s: hashed must not support δ decode", row.Size)
+		}
+		// Bit selection is blind to the clustered regime's distinguishing
+		// bits; hashing is not.
+		if row.ClusterBitSel < 99 {
+			t.Errorf("%s: clustered bit-select FP %.1f%% should be ~100%%", row.Size, row.ClusterBitSel)
+		}
+		// Hashing is never worse there (at tiny sizes both saturate).
+		if row.ClusterHashed > row.ClusterBitSel {
+			t.Errorf("%s: hashing must not lose to bit-select on clustered addresses (%.1f vs %.1f)",
+				row.Size, row.ClusterHashed, row.ClusterBitSel)
+		}
+	}
+	// At the largest size the separation is decisive.
+	if r.Rows[len(r.Rows)-1].ClusterHashed >= 50 {
+		t.Errorf("4-Kbit hashed FP on clustered addresses should be low, got %.1f%%",
+			r.Rows[len(r.Rows)-1].ClusterHashed)
+	}
+	// On the structured heap layout, the tuned bit-select layout wins at
+	// the paper's default size.
+	last := r.Rows[len(r.Rows)-1]
+	if last.StructBitSel > 30 {
+		t.Errorf("4-Kbit bit-select on heap layout should be accurate, got %.1f%%", last.StructBitSel)
+	}
+	if last.StructBitSel >= last.StructHashed {
+		t.Errorf("tuned bit-select should beat hashing on the heap layout (%.1f vs %.1f)",
+			last.StructBitSel, last.StructHashed)
+	}
+}
+
+func TestScalingExtension(t *testing.T) {
+	r, err := Scaling(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 4 {
+		t.Fatalf("4 processor counts expected, got %d", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if row.TLSBulk <= 0 {
+			t.Errorf("procs=%d: bad TLS speedup %.2f", row.Procs, row.TLSBulk)
+		}
+		// Signature inexactness must not compound with machine size:
+		// Bulk stays within 25% of Lazy at every processor count.
+		if row.TMBulkOverLazy < 0.75 || row.TMBulkOverLazy > 1.25 {
+			t.Errorf("procs=%d: TM Bulk/Lazy %.2f outside [0.75,1.25]", row.Procs, row.TMBulkOverLazy)
+		}
+	}
+	// More processors must help TLS at least from 2 to 4.
+	if r.Rows[1].TLSBulk <= r.Rows[0].TLSBulk {
+		t.Errorf("4 procs (%.2f) should beat 2 procs (%.2f)", r.Rows[1].TLSBulk, r.Rows[0].TLSBulk)
+	}
+}
+
+func TestWordTMExtension(t *testing.T) {
+	r, err := WordTM(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 4 {
+		t.Fatalf("4 packing degrees expected, got %d", len(r.Rows))
+	}
+	// With 1 slot per line there is no false sharing: both granularities
+	// behave the same (no squashes beyond aliasing noise).
+	if r.Rows[0].LineSquashes > 4 {
+		t.Errorf("slots=1: line granularity squashed %d times without false sharing",
+			r.Rows[0].LineSquashes)
+	}
+	// At 8 slots per line, line granularity must squash heavily and word
+	// granularity must be far cheaper.
+	packed := r.Rows[len(r.Rows)-1]
+	if packed.LineSquashes == 0 {
+		t.Error("slots=8: line granularity must squash on false sharing")
+	}
+	if packed.WordSquashes*4 >= packed.LineSquashes {
+		t.Errorf("slots=8: word squashes (%d) should be far below line's (%d)",
+			packed.WordSquashes, packed.LineSquashes)
+	}
+	if packed.WordCycles >= packed.LineCycles {
+		t.Errorf("slots=8: word granularity (%d cycles) must beat line (%d)",
+			packed.WordCycles, packed.LineCycles)
+	}
+	if packed.WordMerges == 0 {
+		t.Error("slots=8: word granularity must perform merges")
+	}
+}
+
+func TestRunnerRegistry(t *testing.T) {
+	all := All()
+	if len(all) != 15 {
+		t.Fatalf("15 experiments expected, got %d", len(all))
+	}
+	if _, ok := ByID("fig10"); !ok {
+		t.Fatal("fig10 must resolve")
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Fatal("unknown id must not resolve")
+	}
+	// Every registered experiment must run and print under Quick config.
+	for _, runner := range all {
+		p, err := runner.Run(Quick())
+		if err != nil {
+			t.Fatalf("%s: %v", runner.ID, err)
+		}
+		var buf bytes.Buffer
+		p.Print(&buf)
+		if buf.Len() == 0 {
+			t.Fatalf("%s: empty output", runner.ID)
+		}
+	}
+}

@@ -1,0 +1,467 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"bulk/internal/bus"
+	"bulk/internal/stats"
+	"bulk/internal/tm"
+	"bulk/internal/trace"
+	"bulk/internal/workload"
+)
+
+// Figure11Row is one application's bar group in Figure 11: speedups over
+// the Eager scheme.
+type Figure11Row struct {
+	App         string
+	Eager       float64 // always 1.0
+	Lazy        float64
+	Bulk        float64
+	BulkPartial float64
+}
+
+// Figure11Result reproduces Figure 11.
+type Figure11Result struct {
+	Rows    []Figure11Row
+	GeoMean Figure11Row
+}
+
+// Figure11 runs the TM schemes on every Java-workload profile.
+func Figure11(c Config) (*Figure11Result, error) {
+	res := &Figure11Result{}
+	var l, b, bp []float64
+	for _, p := range workload.TMProfiles() {
+		w := c.tmWorkload(p)
+		eager, err := c.runTM(w, tm.NewOptions(tm.Eager))
+		if err != nil {
+			return nil, err
+		}
+		lazy, err := c.runTM(w, tm.NewOptions(tm.Lazy))
+		if err != nil {
+			return nil, err
+		}
+		bulk, err := c.runTM(w, tm.NewOptions(tm.Bulk))
+		if err != nil {
+			return nil, err
+		}
+		po := tm.NewOptions(tm.Bulk)
+		po.PartialRollback = true
+		partial, err := c.runTM(w, po)
+		if err != nil {
+			return nil, err
+		}
+		row := Figure11Row{
+			App:         p.Name,
+			Eager:       1.0,
+			Lazy:        float64(eager.Stats.Cycles) / float64(lazy.Stats.Cycles),
+			Bulk:        float64(eager.Stats.Cycles) / float64(bulk.Stats.Cycles),
+			BulkPartial: float64(eager.Stats.Cycles) / float64(partial.Stats.Cycles),
+		}
+		res.Rows = append(res.Rows, row)
+		l = append(l, row.Lazy)
+		b = append(b, row.Bulk)
+		bp = append(bp, row.BulkPartial)
+	}
+	res.GeoMean = Figure11Row{
+		App:         "Geo.Mean",
+		Eager:       1.0,
+		Lazy:        stats.GeoMean(l),
+		Bulk:        stats.GeoMean(b),
+		BulkPartial: stats.GeoMean(bp),
+	}
+	return res, nil
+}
+
+// Print renders Figure 11.
+func (r *Figure11Result) Print(w io.Writer) {
+	fmt.Fprintln(w, "Figure 11: TM speedup over Eager (8 processors)")
+	t := stats.NewTable("App", "Eager", "Lazy", "Bulk", "Bulk-Partial")
+	for _, row := range append(r.Rows, r.GeoMean) {
+		t.Row(row.App, row.Eager, row.Lazy, row.Bulk, row.BulkPartial)
+	}
+	t.Render(w)
+	fmt.Fprintln(w)
+	ch := stats.NewChart("Eager", "Lazy", "Bulk", "Bulk-Part")
+	for _, row := range append(r.Rows, r.GeoMean) {
+		ch.Row(row.App, row.Eager, row.Lazy, row.Bulk, row.BulkPartial)
+	}
+	ch.Render(w)
+}
+
+// Figure12Workloads builds the two micro-scenarios of Figure 12.
+//
+// (a) Two transactions read-modify-write the same word, with long tails,
+// so an Eager requester-wins policy squashes back and forth forever.
+//
+// (b) A short reader transaction and a long writer transaction: Eager
+// squashes the reader when the writer stores; Lazy does not, because the
+// reader commits before the writer.
+func Figure12Workloads() (a, b *workload.TMWorkload) {
+	const A = 0
+	mkA := func(tid int) []trace.Op {
+		ops := []trace.Op{{Kind: trace.Read, Addr: A, Think: 2}}
+		base := uint64(0x100000 * (tid + 1))
+		for i := 0; i < 10; i++ {
+			ops = append(ops, trace.Op{Kind: trace.Read, Addr: base + uint64(i)*16, Think: 5})
+		}
+		ops = append(ops, trace.Op{Kind: trace.WriteDep, Addr: A, Think: 2})
+		for i := 0; i < 40; i++ {
+			ops = append(ops, trace.Op{Kind: trace.Read, Addr: base + 0x1000 + uint64(i)*16, Think: 5})
+		}
+		return ops
+	}
+	a = &workload.TMWorkload{
+		Name: "fig12a",
+		Threads: []workload.TMThread{
+			{Segments: []workload.TMSegment{{Txn: true, Ops: mkA(0), Sections: []int{0}}}},
+			{Segments: []workload.TMSegment{{Txn: true, Ops: mkA(1), Sections: []int{0}}}},
+		},
+	}
+
+	t0 := []trace.Op{{Kind: trace.Read, Addr: A, Think: 2}}
+	for i := 0; i < 8; i++ {
+		t0 = append(t0, trace.Op{Kind: trace.Read, Addr: 0x200000 + uint64(i)*16, Think: 4})
+	}
+	t1 := []trace.Op{{Kind: trace.Write, Addr: A, Think: 2}}
+	for i := 0; i < 60; i++ {
+		t1 = append(t1, trace.Op{Kind: trace.Read, Addr: 0x300000 + uint64(i)*16, Think: 5})
+	}
+	b = &workload.TMWorkload{
+		Name: "fig12b",
+		Threads: []workload.TMThread{
+			{Segments: []workload.TMSegment{{Txn: true, Ops: t0, Sections: []int{0}}}},
+			{Segments: []workload.TMSegment{{Txn: true, Ops: t1, Sections: []int{0}}}},
+		},
+	}
+	return a, b
+}
+
+// Figure12Result reports the behaviour of the two scenarios.
+type Figure12Result struct {
+	// Scenario (a).
+	EagerNoFixLivelocked bool
+	EagerNoFixSquashes   uint64
+	EagerFixCommits      uint64
+	EagerFixStalls       uint64
+	LazySquashesA        uint64
+	// Scenario (b).
+	EagerSquashesB uint64
+	LazySquashesB  uint64
+}
+
+// Figure12 runs the pathological Eager scenarios.
+func Figure12(c Config) (*Figure12Result, error) {
+	wa, wb := Figure12Workloads()
+	res := &Figure12Result{}
+
+	noFix := tm.NewOptions(tm.Eager)
+	noFix.LivelockFix = false
+	noFix.Params.BackoffBase = 0
+	noFix.RestartLimit = 50
+	r, err := tm.Run(wa, noFix)
+	if err != nil {
+		return nil, err
+	}
+	res.EagerNoFixLivelocked = r.Stats.LivelockDetected
+	res.EagerNoFixSquashes = r.Stats.Squashes
+
+	fix := tm.NewOptions(tm.Eager)
+	fix.Params.BackoffBase = 0
+	rf, err := c.runTM(wa, fix)
+	if err != nil {
+		return nil, err
+	}
+	res.EagerFixCommits = rf.Stats.Commits
+	res.EagerFixStalls = rf.Stats.Stalls
+
+	rl, err := c.runTM(wa, tm.NewOptions(tm.Lazy))
+	if err != nil {
+		return nil, err
+	}
+	res.LazySquashesA = rl.Stats.Squashes
+
+	reb, err := c.runTM(wb, tm.NewOptions(tm.Eager))
+	if err != nil {
+		return nil, err
+	}
+	res.EagerSquashesB = reb.Stats.Squashes
+	rlb, err := c.runTM(wb, tm.NewOptions(tm.Lazy))
+	if err != nil {
+		return nil, err
+	}
+	res.LazySquashesB = rlb.Stats.Squashes
+	return res, nil
+}
+
+// Print renders the Figure 12 findings.
+func (r *Figure12Result) Print(w io.Writer) {
+	fmt.Fprintln(w, "Figure 12: Eager pathologies (SPECjbb2000-style patterns)")
+	fmt.Fprintf(w, "(a) mutual RMW: Eager w/o fix livelocked=%v (%d squashes before abort)\n",
+		r.EagerNoFixLivelocked, r.EagerNoFixSquashes)
+	fmt.Fprintf(w, "    Eager with footnote-2 fix: commits=%d stalls=%d\n",
+		r.EagerFixCommits, r.EagerFixStalls)
+	fmt.Fprintf(w, "    Lazy: squashes=%d (forward progress guaranteed)\n", r.LazySquashesA)
+	fmt.Fprintf(w, "(b) early write vs reader that commits first: Eager squashes=%d, Lazy squashes=%d\n",
+		r.EagerSquashesB, r.LazySquashesB)
+}
+
+// Table7Row is one application's row of Table 7.
+type Table7Row struct {
+	App         string
+	RdSetLines  float64
+	WrSetLines  float64
+	DepLines    float64
+	FalseSqPct  float64
+	FalseInv    float64
+	SafeWB      float64
+	OverflowPct float64 // Bulk overflow accesses as % of Lazy's
+}
+
+// Table7Result reproduces Table 7.
+type Table7Result struct {
+	Rows []Table7Row
+	Avg  Table7Row
+}
+
+// Table7 characterizes Bulk in TM. The overflow ratio column uses a small
+// (8KB) cache so the transactions' ~100-line footprints actually overflow,
+// as the paper's workloads did; the other columns use the Table 5 cache.
+func Table7(c Config) (*Table7Result, error) {
+	res := &Table7Result{}
+	for _, p := range workload.TMProfiles() {
+		w := c.tmWorkload(p)
+		r, err := c.runTM(w, tm.NewOptions(tm.Bulk))
+		if err != nil {
+			return nil, err
+		}
+		smallBulk := tm.NewOptions(tm.Bulk)
+		smallBulk.CacheBytes = 8 << 10
+		rb, err := c.runTM(w, smallBulk)
+		if err != nil {
+			return nil, err
+		}
+		smallLazy := tm.NewOptions(tm.Lazy)
+		smallLazy.CacheBytes = 8 << 10
+		rl, err := c.runTM(w, smallLazy)
+		if err != nil {
+			return nil, err
+		}
+		row := Table7Row{
+			App:        p.Name,
+			RdSetLines: r.AvgReadSetLines(),
+			WrSetLines: r.AvgWriteSetLines(),
+			DepLines:   r.AvgDepSetLines(),
+			FalseSqPct: r.FalseSquashPct(),
+			FalseInv:   r.FalseInvPerCommit(),
+			SafeWB:     r.SafeWBPerTxn(),
+			OverflowPct: stats.Ratio(
+				float64(rb.Stats.OverflowAccesses),
+				float64(rl.Stats.OverflowAccesses)),
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	n := float64(len(res.Rows))
+	res.Avg.App = "Avg"
+	for _, row := range res.Rows {
+		res.Avg.RdSetLines += row.RdSetLines / n
+		res.Avg.WrSetLines += row.WrSetLines / n
+		res.Avg.DepLines += row.DepLines / n
+		res.Avg.FalseSqPct += row.FalseSqPct / n
+		res.Avg.FalseInv += row.FalseInv / n
+		res.Avg.SafeWB += row.SafeWB / n
+		res.Avg.OverflowPct += row.OverflowPct / n
+	}
+	return res, nil
+}
+
+// Print renders Table 7.
+func (r *Table7Result) Print(w io.Writer) {
+	fmt.Fprintln(w, "Table 7: Characterization of Bulk in TM")
+	t := stats.NewTable("App", "RdSet(L)", "WrSet(L)", "DepSet(L)", "Sq(%)", "FalseInv/Com", "SafeWB/Tr", "Ovf Bulk/Lazy(%)")
+	for _, row := range append(r.Rows, r.Avg) {
+		t.Row(row.App, row.RdSetLines, row.WrSetLines, row.DepLines,
+			row.FalseSqPct, row.FalseInv, row.SafeWB, row.OverflowPct)
+	}
+	t.Render(w)
+}
+
+// Figure13Row is one application's bandwidth bars normalized to Eager.
+type Figure13Row struct {
+	App string
+	// Per scheme, the Inv/Coh/UB/WB/Fill percentages of Eager's total.
+	Eager, Lazy, Bulk [5]float64
+}
+
+// Figure13Result reproduces Figure 13.
+type Figure13Result struct {
+	Rows []Figure13Row
+	Avg  Figure13Row
+}
+
+// Figure13 measures the TM bandwidth breakdown by message type.
+func Figure13(c Config) (*Figure13Result, error) {
+	res := &Figure13Result{}
+	for _, p := range workload.TMProfiles() {
+		w := c.tmWorkload(p)
+		row := Figure13Row{App: p.Name}
+		var eagerTotal float64
+		for i, sc := range []tm.Scheme{tm.Eager, tm.Lazy, tm.Bulk} {
+			r, err := c.runTM(w, tm.NewOptions(sc))
+			if err != nil {
+				return nil, err
+			}
+			if sc == tm.Eager {
+				eagerTotal = float64(r.Stats.Bandwidth.Total())
+			}
+			var dst *[5]float64
+			switch i {
+			case 0:
+				dst = &row.Eager
+			case 1:
+				dst = &row.Lazy
+			default:
+				dst = &row.Bulk
+			}
+			for j, ty := range bus.MsgTypes {
+				dst[j] = stats.Ratio(float64(r.Stats.Bandwidth.Bytes(ty)), eagerTotal)
+			}
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	res.Avg.App = "Avg"
+	n := float64(len(res.Rows))
+	for _, row := range res.Rows {
+		for j := range row.Eager {
+			res.Avg.Eager[j] += row.Eager[j] / n
+			res.Avg.Lazy[j] += row.Lazy[j] / n
+			res.Avg.Bulk[j] += row.Bulk[j] / n
+		}
+	}
+	return res, nil
+}
+
+// Print renders Figure 13 as stacked percentages.
+func (r *Figure13Result) Print(w io.Writer) {
+	fmt.Fprintln(w, "Figure 13: TM bandwidth breakdown, % of Eager's total (Inv/Coh/UB/WB/Fill)")
+	t := stats.NewTable("App", "Scheme", "Inv", "Coh", "UB", "WB", "Fill", "Total")
+	for _, row := range append(r.Rows, r.Avg) {
+		for i, name := range []string{"Eager", "Lazy", "Bulk"} {
+			var v [5]float64
+			switch i {
+			case 0:
+				v = row.Eager
+			case 1:
+				v = row.Lazy
+			default:
+				v = row.Bulk
+			}
+			total := v[0] + v[1] + v[2] + v[3] + v[4]
+			t.Row(row.App, name, v[0], v[1], v[2], v[3], v[4], total)
+		}
+	}
+	t.Render(w)
+}
+
+// Figure14Result reproduces Figure 14: commit bandwidth of Bulk as a
+// percentage of Lazy's.
+type Figure14Result struct {
+	Rows []struct {
+		App string
+		Pct float64
+	}
+	Avg float64
+}
+
+// Figure14 measures commit-packet bytes under Lazy and Bulk.
+func Figure14(c Config) (*Figure14Result, error) {
+	res := &Figure14Result{}
+	var sum float64
+	for _, p := range workload.TMProfiles() {
+		w := c.tmWorkload(p)
+		lazy, err := c.runTM(w, tm.NewOptions(tm.Lazy))
+		if err != nil {
+			return nil, err
+		}
+		bulk, err := c.runTM(w, tm.NewOptions(tm.Bulk))
+		if err != nil {
+			return nil, err
+		}
+		pct := stats.Ratio(float64(bulk.Stats.Bandwidth.CommitBytes()),
+			float64(lazy.Stats.Bandwidth.CommitBytes()))
+		res.Rows = append(res.Rows, struct {
+			App string
+			Pct float64
+		}{p.Name, pct})
+		sum += pct
+	}
+	res.Avg = sum / float64(len(res.Rows))
+	return res, nil
+}
+
+// Print renders Figure 14.
+func (r *Figure14Result) Print(w io.Writer) {
+	fmt.Fprintln(w, "Figure 14: Commit bandwidth of Bulk normalized to Lazy (%)")
+	t := stats.NewTable("App", "Bulk/Lazy (%)")
+	ch := stats.NewChart("Bulk/Lazy%")
+	for _, row := range r.Rows {
+		t.Row(row.App, row.Pct)
+		ch.Row(row.App, row.Pct)
+	}
+	t.Row("Avg", r.Avg)
+	ch.Row("Avg", r.Avg)
+	t.Render(w)
+	fmt.Fprintln(w)
+	ch.Render(w)
+}
+
+// RLERow compares Bulk commit bytes with and without RLE compression.
+type RLERow struct {
+	App          string
+	WithRLE      uint64
+	WithoutRLE   uint64
+	CompressionX float64
+}
+
+// RLEResult is the RLE ablation (Section 6.1).
+type RLEResult struct {
+	Rows []RLERow
+}
+
+// AblationRLE measures how much run-length encoding shrinks commit packets.
+func AblationRLE(c Config) (*RLEResult, error) {
+	res := &RLEResult{}
+	for _, p := range workload.TMProfiles() {
+		w := c.tmWorkload(p)
+		with, err := c.runTM(w, tm.NewOptions(tm.Bulk))
+		if err != nil {
+			return nil, err
+		}
+		o := tm.NewOptions(tm.Bulk)
+		o.NoRLE = true
+		without, err := c.runTM(w, o)
+		if err != nil {
+			return nil, err
+		}
+		row := RLERow{
+			App:        p.Name,
+			WithRLE:    with.Stats.Bandwidth.CommitBytes(),
+			WithoutRLE: without.Stats.Bandwidth.CommitBytes(),
+		}
+		if row.WithRLE > 0 {
+			row.CompressionX = float64(row.WithoutRLE) / float64(row.WithRLE)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Print renders the RLE ablation.
+func (r *RLEResult) Print(w io.Writer) {
+	fmt.Fprintln(w, "Ablation: RLE compression of commit signatures")
+	t := stats.NewTable("App", "Commit bytes (RLE)", "Commit bytes (raw)", "Compression")
+	for _, row := range r.Rows {
+		t.Row(row.App, row.WithRLE, row.WithoutRLE, row.CompressionX)
+	}
+	t.Render(w)
+}

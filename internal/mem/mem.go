@@ -1,0 +1,181 @@
+// Package mem provides the committed-memory image and the per-thread
+// overflow areas of the simulated machine.
+//
+// Memory is word-addressed and sparse: the workloads touch scattered
+// regions of a large address space. It represents *committed* state only —
+// speculative values live in the runtimes' write buffers until commit, so
+// squashing a thread never has to undo anything here.
+//
+// The overflow area (Section 6.2.2 of the paper) is where dirty speculative
+// lines evicted from a thread's cache are parked. In conventional lazy
+// schemes the overflowed addresses must be consulted on every
+// disambiguation; in Bulk they are consulted only to deallocate after a
+// squash or to fetch data the thread itself evicted — the signatures remain
+// the sole record used for disambiguation. The access counters here feed
+// the "Overflow Accesses Bulk/Lazy (%)" column of Table 7.
+package mem
+
+// Word is a memory word value.
+type Word uint64
+
+// Memory is a sparse word-addressed committed memory image.
+type Memory struct {
+	words map[uint64]Word
+}
+
+// NewMemory returns an empty (all-zero) memory.
+func NewMemory() *Memory {
+	return &Memory{words: make(map[uint64]Word)}
+}
+
+// Read returns the committed value at word address a (zero if never written).
+func (m *Memory) Read(a uint64) Word { return m.words[a] }
+
+// Write stores a committed value at word address a.
+func (m *Memory) Write(a uint64, v Word) {
+	if v == 0 {
+		delete(m.words, a) // keep the image sparse; zero is the default
+		return
+	}
+	m.words[a] = v
+}
+
+// Len returns the number of non-zero words.
+func (m *Memory) Len() int { return len(m.words) }
+
+// Snapshot returns a copy of the non-zero words.
+func (m *Memory) Snapshot() map[uint64]Word {
+	s := make(map[uint64]Word, len(m.words))
+	for a, v := range m.words {
+		s[a] = v
+	}
+	return s
+}
+
+// Equal reports whether two memories hold identical contents.
+func (m *Memory) Equal(other *Memory) bool {
+	if len(m.words) != len(other.words) {
+		return false
+	}
+	for a, v := range m.words {
+		if other.words[a] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// Diff returns up to max word addresses at which the two memories differ,
+// for test failure messages.
+func (m *Memory) Diff(other *Memory, max int) []uint64 {
+	var out []uint64
+	for a, v := range m.words {
+		if other.words[a] != v {
+			out = append(out, a)
+			if len(out) >= max {
+				return out
+			}
+		}
+	}
+	for a, v := range other.words {
+		if m.words[a] != v && v != 0 {
+			out = append(out, a)
+			if len(out) >= max {
+				return out
+			}
+		}
+	}
+	return out
+}
+
+// OverflowStats counts overflow-area traffic.
+type OverflowStats struct {
+	// Spills: dirty speculative lines moved into the area on eviction.
+	Spills uint64
+	// Fetches: reads that had to be served from the area (the thread
+	// missed in its cache on an address it had itself overflowed).
+	Fetches uint64
+	// DisambiguationAccesses: accesses made to the area while
+	// disambiguating a remote commit or remote write. Bulk never does
+	// this; conventional Lazy does it whenever the area is non-empty.
+	DisambiguationAccesses uint64
+	// Deallocs: times the whole area was discarded (commit or squash).
+	Deallocs uint64
+}
+
+// OverflowArea holds the speculative dirty lines a thread evicted from its
+// cache: line addresses plus the per-word values at eviction time.
+type OverflowArea struct {
+	lines map[uint64]map[int]Word // line address -> word-in-line -> value
+	stats OverflowStats
+}
+
+// NewOverflowArea returns an empty overflow area.
+func NewOverflowArea() *OverflowArea {
+	return &OverflowArea{lines: make(map[uint64]map[int]Word)}
+}
+
+// Empty reports whether the area holds no lines.
+func (o *OverflowArea) Empty() bool { return len(o.lines) == 0 }
+
+// Len returns the number of overflowed lines.
+func (o *OverflowArea) Len() int { return len(o.lines) }
+
+// Stats returns a copy of the access counters.
+func (o *OverflowArea) Stats() OverflowStats { return o.stats }
+
+// Spill records the eviction of a dirty speculative line into the area.
+// words maps word-in-line offsets to the speculative values.
+func (o *OverflowArea) Spill(line uint64, words map[int]Word) {
+	o.stats.Spills++
+	dst := o.lines[line]
+	if dst == nil {
+		dst = make(map[int]Word, len(words))
+		o.lines[line] = dst
+	}
+	for w, v := range words {
+		dst[w] = v
+	}
+}
+
+// Fetch looks a line up on behalf of the owning thread (a cache miss whose
+// address passed the W-signature membership filter). Returns the stored
+// words and whether the line was present.
+func (o *OverflowArea) Fetch(line uint64) (map[int]Word, bool) {
+	o.stats.Fetches++
+	w, ok := o.lines[line]
+	return w, ok
+}
+
+// Contains reports presence without charging a Fetch (used by tests).
+func (o *OverflowArea) Contains(line uint64) bool {
+	_, ok := o.lines[line]
+	return ok
+}
+
+// DisambiguationScan models a conventional scheme walking the area to
+// disambiguate remote traffic. It charges one access and reports whether
+// the given line is present. Bulk never calls this.
+func (o *OverflowArea) DisambiguationScan(line uint64) bool {
+	o.stats.DisambiguationAccesses++
+	_, ok := o.lines[line]
+	return ok
+}
+
+// Lines returns the overflowed line addresses (unordered).
+func (o *OverflowArea) Lines() []uint64 {
+	out := make([]uint64, 0, len(o.lines))
+	for a := range o.lines {
+		out = append(out, a)
+	}
+	return out
+}
+
+// Dealloc discards the area contents (after the owning thread commits or is
+// squashed).
+func (o *OverflowArea) Dealloc() {
+	if len(o.lines) > 0 {
+		o.stats.Deallocs++
+	}
+	o.lines = make(map[uint64]map[int]Word)
+}

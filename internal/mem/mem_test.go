@@ -1,0 +1,119 @@
+package mem
+
+import "testing"
+
+func TestMemoryReadWrite(t *testing.T) {
+	m := NewMemory()
+	if m.Read(5) != 0 {
+		t.Fatal("unwritten word must read 0")
+	}
+	m.Write(5, 42)
+	if m.Read(5) != 42 {
+		t.Fatal("write/read mismatch")
+	}
+	m.Write(5, 0)
+	if m.Read(5) != 0 || m.Len() != 0 {
+		t.Fatal("writing zero must erase the entry (sparse invariant)")
+	}
+}
+
+func TestMemoryEqualAndDiff(t *testing.T) {
+	a := NewMemory()
+	b := NewMemory()
+	if !a.Equal(b) {
+		t.Fatal("two empty memories must be equal")
+	}
+	a.Write(1, 10)
+	a.Write(2, 20)
+	b.Write(1, 10)
+	if a.Equal(b) {
+		t.Fatal("differing memories must not be equal")
+	}
+	d := a.Diff(b, 10)
+	if len(d) != 1 || d[0] != 2 {
+		t.Fatalf("Diff=%v, want [2]", d)
+	}
+	b.Write(2, 20)
+	if !a.Equal(b) || len(a.Diff(b, 10)) != 0 {
+		t.Fatal("memories with same content must be equal")
+	}
+	// Diff must also catch words present only in other.
+	b.Write(3, 30)
+	if len(a.Diff(b, 10)) != 1 {
+		t.Fatal("Diff must see words present only on one side")
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	m := NewMemory()
+	m.Write(7, 70)
+	s := m.Snapshot()
+	m.Write(7, 71)
+	if s[7] != 70 {
+		t.Fatal("snapshot must be an independent copy")
+	}
+}
+
+func TestOverflowAreaSpillFetch(t *testing.T) {
+	o := NewOverflowArea()
+	if !o.Empty() {
+		t.Fatal("new area must be empty")
+	}
+	o.Spill(100, map[int]Word{0: 1, 3: 2})
+	o.Spill(100, map[int]Word{1: 9}) // merge into same line
+	if o.Len() != 1 {
+		t.Fatalf("Len=%d, want 1", o.Len())
+	}
+	words, ok := o.Fetch(100)
+	if !ok || words[0] != 1 || words[1] != 9 || words[3] != 2 {
+		t.Fatalf("Fetch returned %v, %v", words, ok)
+	}
+	if _, ok := o.Fetch(200); ok {
+		t.Fatal("absent line must not be found")
+	}
+	st := o.Stats()
+	if st.Spills != 2 || st.Fetches != 2 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestOverflowDisambiguationScan(t *testing.T) {
+	o := NewOverflowArea()
+	o.Spill(5, map[int]Word{0: 1})
+	if !o.DisambiguationScan(5) || o.DisambiguationScan(6) {
+		t.Fatal("scan presence wrong")
+	}
+	if o.Stats().DisambiguationAccesses != 2 {
+		t.Fatalf("scan accesses = %d, want 2", o.Stats().DisambiguationAccesses)
+	}
+}
+
+func TestOverflowDealloc(t *testing.T) {
+	o := NewOverflowArea()
+	o.Dealloc() // empty: no-op, no dealloc counted
+	if o.Stats().Deallocs != 0 {
+		t.Fatal("deallocating an empty area must not count")
+	}
+	o.Spill(1, map[int]Word{0: 5})
+	o.Dealloc()
+	if !o.Empty() || o.Stats().Deallocs != 1 {
+		t.Fatalf("Dealloc failed: empty=%v stats=%+v", o.Empty(), o.Stats())
+	}
+}
+
+func TestOverflowLinesAndContains(t *testing.T) {
+	o := NewOverflowArea()
+	o.Spill(10, nil)
+	o.Spill(20, nil)
+	if !o.Contains(10) || o.Contains(30) {
+		t.Fatal("Contains wrong")
+	}
+	lines := o.Lines()
+	if len(lines) != 2 {
+		t.Fatalf("Lines=%v", lines)
+	}
+	// Contains must not charge a Fetch.
+	if o.Stats().Fetches != 0 {
+		t.Fatal("Contains must be free of Fetch accounting")
+	}
+}

@@ -1,0 +1,134 @@
+package sig
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Algebraic laws of the signature operations, checked with testing/quick.
+// These are the properties Section 3.2's set semantics rest on.
+
+func algebraCfg() *Config { return MustConfig("alg", []int{7, 6}, nil, 20) }
+
+func buildSig(cfg *Config, raw []uint16) *Signature {
+	s := cfg.NewSignature()
+	for _, r := range raw {
+		s.Add(Addr(r) & ((1 << 20) - 1))
+	}
+	return s
+}
+
+func TestAlgebraUnionCommutative(t *testing.T) {
+	cfg := algebraCfg()
+	f := func(xs, ys []uint16) bool {
+		a, b := buildSig(cfg, xs), buildSig(cfg, ys)
+		return a.Union(b).Equal(b.Union(a))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAlgebraIntersectCommutative(t *testing.T) {
+	cfg := algebraCfg()
+	f := func(xs, ys []uint16) bool {
+		a, b := buildSig(cfg, xs), buildSig(cfg, ys)
+		return a.Intersect(b).Equal(b.Intersect(a))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAlgebraAssociativeAndIdempotent(t *testing.T) {
+	cfg := algebraCfg()
+	f := func(xs, ys, zs []uint16) bool {
+		a, b, c := buildSig(cfg, xs), buildSig(cfg, ys), buildSig(cfg, zs)
+		if !a.Union(b).Union(c).Equal(a.Union(b.Union(c))) {
+			return false
+		}
+		if !a.Intersect(b).Intersect(c).Equal(a.Intersect(b.Intersect(c))) {
+			return false
+		}
+		return a.Union(a).Equal(a) && a.Intersect(a).Equal(a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAlgebraUnionAbsorbsMembers(t *testing.T) {
+	// Everything contained in a or b is contained in a ∪ b; everything in
+	// a ∩ b is contained in both.
+	cfg := algebraCfg()
+	f := func(xs, ys []uint16, probe uint16) bool {
+		a, b := buildSig(cfg, xs), buildSig(cfg, ys)
+		p := Addr(probe) & ((1 << 20) - 1)
+		u := a.Union(b)
+		if (a.Contains(p) || b.Contains(p)) && !u.Contains(p) {
+			return false
+		}
+		i := a.Intersect(b)
+		if i.Contains(p) && !(a.Contains(p) && b.Contains(p)) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAlgebraIntersectsIffIntersectionNonEmpty(t *testing.T) {
+	cfg := algebraCfg()
+	f := func(xs, ys []uint16) bool {
+		a, b := buildSig(cfg, xs), buildSig(cfg, ys)
+		return a.Intersects(b) == !a.Intersect(b).Empty()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAlgebraMonotonicGrowth(t *testing.T) {
+	// Adding an address never removes bits: the signature is monotone in
+	// its input set (the superset-encoding property A1 ⊆ H⁻¹(H(A1))).
+	cfg := algebraCfg()
+	f := func(xs []uint16, extra uint16) bool {
+		a := buildSig(cfg, xs)
+		grown := a.Clone()
+		grown.Add(Addr(extra) & ((1 << 20) - 1))
+		// a ∩ grown == a  (a is a subset of grown)
+		return grown.Intersect(a).Equal(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAlgebraDecodeMonotone(t *testing.T) {
+	// δ of a union covers δ of each operand.
+	cfg := algebraCfg()
+	plan, err := NewDecodePlan(cfg, IndexSpec{LowBit: 0, Bits: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(xs, ys []uint16) bool {
+		a, b := buildSig(cfg, xs), buildSig(cfg, ys)
+		u := plan.Decode(a.Union(b))
+		for _, set := range plan.Decode(a).Sets(nil) {
+			if !u.Has(set) {
+				return false
+			}
+		}
+		for _, set := range plan.Decode(b).Sets(nil) {
+			if !u.Has(set) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

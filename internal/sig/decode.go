@@ -1,0 +1,265 @@
+package sig
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// IndexSpec identifies which original-address bits form a cache set index:
+// bits [LowBit, LowBit+Bits) of the address at signature granularity. For
+// example, with word-granularity signatures, 64-byte lines, 4-byte words and
+// 64 cache sets, the set index is word-address bits [4, 10).
+type IndexSpec struct {
+	LowBit int
+	Bits   int
+}
+
+// NumSets returns the number of cache sets the spec addresses.
+func (ix IndexSpec) NumSets() int { return 1 << ix.Bits }
+
+// SetMask is a bitmask over cache sets, the output of the δ decode
+// operation (Table 1) and the contents of the BDM's δ(W_run) and
+// OR(δ(W_pre)) registers (Figure 7).
+type SetMask []uint64
+
+// NewSetMask returns an all-zero mask covering numSets sets.
+func NewSetMask(numSets int) SetMask {
+	return make(SetMask, (numSets+63)/64)
+}
+
+// Set marks cache set i.
+func (m SetMask) Set(i int) { m[i>>6] |= 1 << uint(i&63) }
+
+// ClearSet unmarks cache set i.
+func (m SetMask) ClearSet(i int) { m[i>>6] &^= 1 << uint(i&63) }
+
+// Has reports whether cache set i is marked.
+func (m SetMask) Has(i int) bool { return m[i>>6]&(1<<uint(i&63)) != 0 }
+
+// Clear zeroes the mask.
+func (m SetMask) Clear() {
+	for i := range m {
+		m[i] = 0
+	}
+}
+
+// OrWith ORs other into m.
+func (m SetMask) OrWith(other SetMask) {
+	for i := range m {
+		m[i] |= other[i]
+	}
+}
+
+// CopyFrom overwrites m with other.
+func (m SetMask) CopyFrom(other SetMask) { copy(m, other) }
+
+// Count returns the number of marked sets.
+func (m SetMask) Count() int {
+	n := 0
+	for _, w := range m {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Sets appends the marked set indices to dst in ascending order. This is the
+// finite state machine of Figure 4 that feeds set indices to the cache
+// during signature expansion.
+func (m SetMask) Sets(dst []int) []int {
+	for wi, w := range m {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			dst = append(dst, wi*64+b)
+			w &= w - 1
+		}
+	}
+	return dst
+}
+
+// chunkOf returns, for a permuted bit position, the chunk index and the bit
+// offset within that chunk, or (-1, -1) if the position is not consumed by
+// any chunk.
+func (c *Config) chunkOf(pos int) (chunk, bitInChunk int) {
+	acc := 0
+	for i, ch := range c.chunks {
+		if pos < acc+ch {
+			return i, pos - acc
+		}
+		acc += ch
+	}
+	return -1, -1
+}
+
+// permutedPos returns the permuted position of original address bit src, or
+// -1 if the bit does not appear among the consumed positions.
+func (c *Config) permutedPos(src int) int {
+	for pos, s := range c.permPos {
+		if s == src {
+			return pos
+		}
+	}
+	return -1
+}
+
+// DecodePlan precomputes how to project a signature onto a cache-set index.
+// Building the plan is the hardware design step; executing it (Decode) is
+// the runtime δ operation.
+type DecodePlan struct {
+	cfg *Config
+	idx IndexSpec
+	// For each signature field that contributes index bits: which bits of
+	// the field value map to which bits of the set index.
+	fields []fieldProjection
+	exact  bool
+}
+
+type fieldProjection struct {
+	field int
+	// pairs of (bit position within chunk value, bit position within set index)
+	chunkBits []int
+	indexBits []int
+}
+
+// NewDecodePlan validates that every index bit is consumed by some chunk and
+// records the projection. Exact reports whether δ yields exactly the set
+// indices of the encoded addresses: true when all index bits land in a
+// single chunk (each added address contributes exactly one bit per field, so
+// the projection of one field is exact); when index bits are spread over
+// multiple chunks the decode is a cross-product over-approximation, which
+// the paper's Set Restriction correctness argument disallows — the BDM
+// refuses such configurations for bulk invalidation.
+func NewDecodePlan(cfg *Config, idx IndexSpec) (*DecodePlan, error) {
+	if idx.Bits <= 0 || idx.Bits > 30 {
+		return nil, fmt.Errorf("sig: index spec has invalid width %d", idx.Bits)
+	}
+	if cfg.hashed {
+		// A hashed field mixes every address bit into every index bit;
+		// the cache-set index cannot be recovered, so δ is impossible —
+		// the architectural reason Bulk selects bits instead of hashing.
+		return nil, fmt.Errorf("sig: hashed configuration %s cannot decode cache sets", cfg.Name())
+	}
+	p := &DecodePlan{cfg: cfg, idx: idx}
+	byField := map[int]*fieldProjection{}
+	order := []int{}
+	for b := 0; b < idx.Bits; b++ {
+		src := idx.LowBit + b
+		pos := cfg.permutedPos(src)
+		if pos < 0 {
+			return nil, fmt.Errorf("sig: index bit %d (address bit %d) is not encoded by %s",
+				b, src, cfg.Name())
+		}
+		chunk, bitInChunk := cfg.chunkOf(pos)
+		fp := byField[chunk]
+		if fp == nil {
+			fp = &fieldProjection{field: chunk}
+			byField[chunk] = fp
+			order = append(order, chunk)
+		}
+		fp.chunkBits = append(fp.chunkBits, bitInChunk)
+		fp.indexBits = append(fp.indexBits, b)
+	}
+	for _, f := range order {
+		p.fields = append(p.fields, *byField[f])
+	}
+	p.exact = len(p.fields) == 1
+	return p, nil
+}
+
+// Exact reports whether this plan's decode is exact (index bits within one
+// chunk) rather than a conservative cross-product.
+func (p *DecodePlan) Exact() bool { return p.exact }
+
+// Index returns the spec the plan was built for.
+func (p *DecodePlan) Index() IndexSpec { return p.idx }
+
+// SetIndexOf returns the cache set index of an address, per the spec.
+func (p *DecodePlan) SetIndexOf(a Addr) int {
+	return int(a>>uint(p.idx.LowBit)) & (p.idx.NumSets() - 1)
+}
+
+// Decode is the δ operation: it projects the signature onto the cache-set
+// index space and returns the resulting set bitmask. When Exact() is true
+// the mask contains exactly the set indices of the addresses that were
+// added (aliasing within a set does not matter: the set index bits of an
+// added address are preserved verbatim by the one-hot chunk encoding).
+func (p *DecodePlan) Decode(s *Signature) SetMask {
+	mask := NewSetMask(p.idx.NumSets())
+	p.DecodeInto(s, mask)
+	return mask
+}
+
+// DecodeInto is Decode writing into an existing mask (which is cleared).
+func (p *DecodePlan) DecodeInto(s *Signature, mask SetMask) {
+	if !s.cfg.Compatible(p.cfg) {
+		panic("sig: decode plan applied to signature with different configuration")
+	}
+	mask.Clear()
+	// Per contributing field, compute the set of partial index patterns
+	// present, then cross-combine.
+	var scratch []uint32
+	partials := make([][]uint32, len(p.fields))
+	for i, fp := range p.fields {
+		scratch = s.fieldOnes(fp.field, scratch[:0])
+		if len(scratch) == 0 {
+			return // field empty => signature empty => no sets
+		}
+		seen := map[uint32]bool{}
+		var pats []uint32
+		for _, v := range scratch {
+			var pat uint32
+			for j, cb := range fp.chunkBits {
+				pat |= ((v >> uint(cb)) & 1) << uint(fp.indexBits[j])
+			}
+			if !seen[pat] {
+				seen[pat] = true
+				pats = append(pats, pat)
+			}
+		}
+		partials[i] = pats
+	}
+	// Cross product of partial patterns (single field in the exact case).
+	var combine func(i int, acc uint32)
+	combine = func(i int, acc uint32) {
+		if i == len(partials) {
+			mask.Set(int(acc))
+			return
+		}
+		for _, pat := range partials[i] {
+			combine(i+1, acc|pat)
+		}
+	}
+	combine(0, 0)
+}
+
+// WordMaskPlan extracts the Updated Word Bitmask of Section 4.4: given a
+// word-granularity write signature and a line address, a conservative
+// bitmask of the words within the line that the signature may contain.
+type WordMaskPlan struct {
+	cfg          *Config
+	wordsPerLine int
+}
+
+// NewWordMaskPlan builds the Updated Word Bitmask functional unit for
+// signatures over word addresses where the low log2(wordsPerLine) bits of
+// the address select the word within a line. wordsPerLine must be a power
+// of two and at most 64.
+func NewWordMaskPlan(cfg *Config, wordsPerLine int) (*WordMaskPlan, error) {
+	if wordsPerLine <= 0 || wordsPerLine > 64 || wordsPerLine&(wordsPerLine-1) != 0 {
+		return nil, fmt.Errorf("sig: wordsPerLine %d must be a power of two in 1..64", wordsPerLine)
+	}
+	return &WordMaskPlan{cfg: cfg, wordsPerLine: wordsPerLine}, nil
+}
+
+// Mask returns the conservative per-word update bitmask for line (a line
+// address at line granularity): bit w is set iff word address
+// line*wordsPerLine + w may be in the signature.
+func (p *WordMaskPlan) Mask(s *Signature, line Addr) uint64 {
+	var m uint64
+	base := uint64(line) * uint64(p.wordsPerLine)
+	for w := 0; w < p.wordsPerLine; w++ {
+		if s.Contains(Addr(base + uint64(w))) {
+			m |= 1 << uint(w)
+		}
+	}
+	return m
+}

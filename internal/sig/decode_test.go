@@ -1,0 +1,210 @@
+package sig
+
+import (
+	"testing"
+
+	"bulk/internal/rng"
+)
+
+func TestDecodeExactSingleChunk(t *testing.T) {
+	// Word-granularity TLS-style layout: 4 offset bits (16 words/line),
+	// 6 index bits (64 sets) at address bits 4..9; chunk C1=10 covers both.
+	cfg := MustConfig("D", []int{10, 10}, nil, 30)
+	idx := IndexSpec{LowBit: 4, Bits: 6}
+	plan, err := NewDecodePlan(cfg, idx)
+	if err != nil {
+		t.Fatalf("NewDecodePlan: %v", err)
+	}
+	if !plan.Exact() {
+		t.Fatal("index bits within one chunk must give an exact decode")
+	}
+
+	r := rng.New(11)
+	s := cfg.NewSignature()
+	wantSets := map[int]bool{}
+	for i := 0; i < 200; i++ {
+		a := Addr(r.Intn(1 << 30))
+		s.Add(a)
+		wantSets[plan.SetIndexOf(a)] = true
+	}
+	mask := plan.Decode(s)
+	for set := 0; set < idx.NumSets(); set++ {
+		if mask.Has(set) != wantSets[set] {
+			t.Fatalf("set %d: mask=%v, want %v (decode must be exact)",
+				set, mask.Has(set), wantSets[set])
+		}
+	}
+}
+
+func TestDecodeExactWithPaperPermutations(t *testing.T) {
+	// The paper's production configurations must give exact decodes for
+	// their respective cache geometries (Set Restriction correctness
+	// depends on it).
+	cases := []struct {
+		name string
+		cfg  *Config
+		idx  IndexSpec
+	}{
+		// TM: 32KB/4-way/64B -> 128 sets; line-address bits 0..6.
+		{"TM", DefaultTM(), IndexSpec{LowBit: 0, Bits: 7}},
+		// TLS: 16KB/4-way/64B -> 64 sets; word-address bits 4..9.
+		{"TLS", DefaultTLS(), IndexSpec{LowBit: 4, Bits: 6}},
+	}
+	for _, tc := range cases {
+		plan, err := NewDecodePlan(tc.cfg, tc.idx)
+		if err != nil {
+			t.Fatalf("%s: NewDecodePlan: %v", tc.name, err)
+		}
+		if !plan.Exact() {
+			t.Errorf("%s: paper configuration must decode exactly", tc.name)
+		}
+		r := rng.New(5)
+		s := tc.cfg.NewSignature()
+		want := map[int]bool{}
+		for i := 0; i < 500; i++ {
+			a := Addr(r.Intn(1 << tc.cfg.AddrBits()))
+			s.Add(a)
+			want[plan.SetIndexOf(a)] = true
+		}
+		mask := plan.Decode(s)
+		for set := 0; set < tc.idx.NumSets(); set++ {
+			if mask.Has(set) != want[set] {
+				t.Fatalf("%s set %d: mask=%v, want %v", tc.name, set, mask.Has(set), want[set])
+			}
+		}
+	}
+}
+
+func TestDecodeMultiChunkConservative(t *testing.T) {
+	// Index bits spread over two chunks: decode must be a superset of the
+	// true set list and flagged as inexact.
+	cfg := MustConfig("M", []int{4, 4}, nil, 16)
+	idx := IndexSpec{LowBit: 2, Bits: 4} // bits 2,3 in chunk0; bits 4,5 in chunk1
+	plan, err := NewDecodePlan(cfg, idx)
+	if err != nil {
+		t.Fatalf("NewDecodePlan: %v", err)
+	}
+	if plan.Exact() {
+		t.Fatal("index bits across two chunks must be flagged inexact")
+	}
+	r := rng.New(3)
+	s := cfg.NewSignature()
+	want := map[int]bool{}
+	for i := 0; i < 30; i++ {
+		a := Addr(r.Intn(1 << 16))
+		s.Add(a)
+		want[plan.SetIndexOf(a)] = true
+	}
+	mask := plan.Decode(s)
+	for set := range want {
+		if !mask.Has(set) {
+			t.Fatalf("set %d of an added address missing from conservative decode", set)
+		}
+	}
+}
+
+func TestDecodeEmptySignature(t *testing.T) {
+	cfg := MustConfig("E", []int{8, 8}, nil, 20)
+	plan, err := NewDecodePlan(cfg, IndexSpec{LowBit: 0, Bits: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mask := plan.Decode(cfg.NewSignature())
+	if mask.Count() != 0 {
+		t.Fatal("decoding an empty signature must give an empty set mask")
+	}
+}
+
+func TestDecodeRejectsUnencodedIndexBits(t *testing.T) {
+	// Chunk consumes only 4 bits; asking for index bits 4..9 must fail.
+	cfg := MustConfig("R", []int{4}, nil, 20)
+	if _, err := NewDecodePlan(cfg, IndexSpec{LowBit: 4, Bits: 6}); err == nil {
+		t.Fatal("index bits outside the encoded range must be rejected")
+	}
+}
+
+func TestSetMaskOps(t *testing.T) {
+	m := NewSetMask(128)
+	m.Set(0)
+	m.Set(64)
+	m.Set(127)
+	if !m.Has(0) || !m.Has(64) || !m.Has(127) || m.Has(1) {
+		t.Fatal("Set/Has mismatch")
+	}
+	if m.Count() != 3 {
+		t.Fatalf("Count=%d, want 3", m.Count())
+	}
+	sets := m.Sets(nil)
+	if len(sets) != 3 || sets[0] != 0 || sets[1] != 64 || sets[2] != 127 {
+		t.Fatalf("Sets=%v", sets)
+	}
+	m.ClearSet(64)
+	if m.Has(64) {
+		t.Fatal("ClearSet failed")
+	}
+	other := NewSetMask(128)
+	other.Set(5)
+	m.OrWith(other)
+	if !m.Has(5) || !m.Has(0) {
+		t.Fatal("OrWith failed")
+	}
+	m.Clear()
+	if m.Count() != 0 {
+		t.Fatal("Clear failed")
+	}
+}
+
+func TestWordMaskConservative(t *testing.T) {
+	cfg := DefaultTLS()
+	plan, err := NewWordMaskPlan(cfg, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := cfg.NewSignature()
+	line := Addr(0x1234)
+	// Write words 1, 5, 9 of the line.
+	written := []uint64{1, 5, 9}
+	for _, w := range written {
+		s.Add(Addr(uint64(line)*16 + w))
+	}
+	mask := plan.Mask(s, line)
+	for _, w := range written {
+		if mask&(1<<w) == 0 {
+			t.Fatalf("word %d written but missing from update mask (false negative)", w)
+		}
+	}
+	// A different line far away: the mask may have aliased bits but with
+	// S14 over a sparse signature it is overwhelmingly likely to be zero.
+	empty := plan.Mask(s, Addr(0x2abcd))
+	_ = empty // value is allowed to be nonzero (aliasing); just must not panic
+}
+
+func TestWordMaskPlanValidation(t *testing.T) {
+	cfg := DefaultTLS()
+	for _, n := range []int{0, 3, 65, -1} {
+		if _, err := NewWordMaskPlan(cfg, n); err == nil {
+			t.Errorf("wordsPerLine=%d must be rejected", n)
+		}
+	}
+	if _, err := NewWordMaskPlan(cfg, 16); err != nil {
+		t.Errorf("wordsPerLine=16 must be accepted: %v", err)
+	}
+}
+
+func BenchmarkDecode(b *testing.B) {
+	cfg := DefaultTM()
+	plan, err := NewDecodePlan(cfg, IndexSpec{LowBit: 0, Bits: 7})
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := cfg.NewSignature()
+	r := rng.New(1)
+	for i := 0; i < 64; i++ {
+		s.Add(Addr(r.Intn(1 << 26)))
+	}
+	mask := NewSetMask(128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		plan.DecodeInto(s, mask)
+	}
+}

@@ -1,0 +1,135 @@
+package sig
+
+import (
+	"testing"
+
+	"bulk/internal/rng"
+)
+
+func TestHashedNoFalseNegatives(t *testing.T) {
+	cfg := MustHashedConfig("H", []int{10, 10}, TMAddrBits, 1)
+	r := rng.New(3)
+	s := cfg.NewSignature()
+	var addrs []Addr
+	for i := 0; i < 200; i++ {
+		a := Addr(r.Intn(1 << 26))
+		addrs = append(addrs, a)
+		s.Add(a)
+	}
+	for _, a := range addrs {
+		if !s.Contains(a) {
+			t.Fatalf("hashed signature lost %#x", a)
+		}
+	}
+}
+
+func TestHashedRejectsDecode(t *testing.T) {
+	cfg := MustHashedConfig("H", []int{10, 10}, TMAddrBits, 1)
+	if _, err := NewDecodePlan(cfg, IndexSpec{LowBit: 0, Bits: 7}); err == nil {
+		t.Fatal("hashed configurations must refuse δ decode")
+	}
+}
+
+func TestHashedCompatibility(t *testing.T) {
+	a := MustHashedConfig("A", []int{10, 10}, TMAddrBits, 1)
+	b := MustHashedConfig("B", []int{10, 10}, TMAddrBits, 1)
+	c := MustHashedConfig("C", []int{10, 10}, TMAddrBits, 2) // different seed
+	plain := MustConfig("P", []int{10, 10}, nil, TMAddrBits)
+	if !a.Compatible(b) {
+		t.Fatal("same-seed hashed configs must be compatible")
+	}
+	if a.Compatible(c) {
+		t.Fatal("different hash seeds must be incompatible")
+	}
+	if a.Compatible(plain) || plain.Compatible(a) {
+		t.Fatal("hashed and bit-select configs must be incompatible")
+	}
+	if !a.Hashed() || plain.Hashed() {
+		t.Fatal("Hashed() wrong")
+	}
+	s1 := a.NewSignature()
+	s2 := b.NewSignature()
+	s1.Add(42)
+	s2.Add(42)
+	if !s1.Equal(s2) {
+		t.Fatal("compatible hashed signatures must encode identically")
+	}
+}
+
+func TestHashedSpreadsClusteredAddresses(t *testing.T) {
+	// The whole point of hashing: a dense block of addresses (entropy
+	// only in the low bits) still spreads across all fields. Bit-select
+	// with no permutation leaves the high field degenerate.
+	bitSel := MustConfig("B", []int{10, 10}, nil, TMAddrBits)
+	hashed := MustHashedConfig("H", []int{10, 10}, TMAddrBits, 7)
+	sBit := bitSel.NewSignature()
+	sHash := hashed.NewSignature()
+	for a := Addr(0); a < 64; a++ { // dense block: bits 10+ constant
+		sBit.Add(a)
+		sHash.Add(a)
+	}
+	// Field 1 (bits 10..19) of the bit-select signature holds a single
+	// value; the hashed one holds many.
+	bitOnes := sBit.fieldOnes(1, nil)
+	hashOnes := sHash.fieldOnes(1, nil)
+	if len(bitOnes) != 1 {
+		t.Fatalf("bit-select high field should be degenerate, got %d values", len(bitOnes))
+	}
+	if len(hashOnes) < 32 {
+		t.Fatalf("hashed high field should spread, got %d values", len(hashOnes))
+	}
+}
+
+func TestHashedFalsePositiveRateOnDenseAddresses(t *testing.T) {
+	// Disjoint dense blocks: bit-select signatures (identity permutation)
+	// collide almost always (the high field is shared); hashed signatures
+	// distinguish them.
+	bitSel := MustConfig("B", []int{10, 10}, nil, TMAddrBits)
+	hashed := MustHashedConfig("H", []int{10, 10}, TMAddrBits, 7)
+	r := rng.New(11)
+	trials, bitFP, hashFP := 300, 0, 0
+	for i := 0; i < trials; i++ {
+		// Two disjoint regions whose addresses differ only in bits the
+		// 10,10 bit-select layout does not consume (bit 20 and up): the
+		// bit-select signatures are then *identical* and always collide;
+		// hashing mixes every bit and keeps them apart.
+		base := Addr(r.Intn(1 << 18))
+		b1, h1 := bitSel.NewSignature(), hashed.NewSignature()
+		b2, h2 := bitSel.NewSignature(), hashed.NewSignature()
+		for k := 0; k < 20; k++ {
+			a := base + Addr(k)*37
+			b1.Add(a)
+			h1.Add(a)
+			b2.Add(a + 1<<20)
+			h2.Add(a + 1<<20)
+		}
+		if b1.Intersects(b2) {
+			bitFP++
+		}
+		if h1.Intersects(h2) {
+			hashFP++
+		}
+	}
+	if bitFP < trials/2 {
+		t.Fatalf("bit-select on dense blocks should alias heavily, got %d/%d", bitFP, trials)
+	}
+	if hashFP >= bitFP/4 {
+		t.Fatalf("hashing should cut dense-block aliasing: hashed %d vs bit-select %d", hashFP, bitFP)
+	}
+}
+
+func TestHashedRLERoundTrip(t *testing.T) {
+	cfg := MustHashedConfig("H", []int{9, 9}, TMAddrBits, 5)
+	s := cfg.NewSignature()
+	r := rng.New(9)
+	for i := 0; i < 30; i++ {
+		s.Add(Addr(r.Intn(1 << 26)))
+	}
+	back, err := RLDecode(cfg, RLEncode(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(s) {
+		t.Fatal("hashed signature must RLE round-trip")
+	}
+}

@@ -1,0 +1,159 @@
+package sig
+
+import (
+	"errors"
+	"math/bits"
+)
+
+// Run-length encoding of signatures (Section 6.1): signatures broadcast at
+// commit are sparse — long runs of zeros punctuated by single ones — so the
+// paper compresses them with RLE before putting them on the interconnect,
+// and reports the average compressed size per configuration in Table 8.
+//
+// The scheme here encodes the lengths of the zero runs between consecutive
+// one bits using Elias-gamma codes: a run of z zeros followed by a one is
+// emitted as gamma(z+1). A final gamma code covers trailing zeros (the
+// decoder knows the total bit length, so no terminator is needed). This is
+// simple enough for hardware (a priority encoder plus a shifter) and
+// matches the paper's observation that signatures compress very well.
+
+// bitWriter accumulates a bit stream MSB-first within each byte.
+type bitWriter struct {
+	buf  []byte
+	nbit int
+}
+
+func (w *bitWriter) writeBit(b uint) {
+	if w.nbit%8 == 0 {
+		w.buf = append(w.buf, 0)
+	}
+	if b != 0 {
+		w.buf[len(w.buf)-1] |= 1 << uint(7-w.nbit%8)
+	}
+	w.nbit++
+}
+
+// writeGamma emits the Elias-gamma code of n (n >= 1):
+// floor(log2 n) zero bits, then the binary representation of n.
+func (w *bitWriter) writeGamma(n uint64) {
+	if n == 0 {
+		panic("sig: gamma code undefined for 0")
+	}
+	k := bits.Len64(n) - 1
+	for i := 0; i < k; i++ {
+		w.writeBit(0)
+	}
+	for i := k; i >= 0; i-- {
+		w.writeBit(uint(n>>uint(i)) & 1)
+	}
+}
+
+type bitReader struct {
+	buf  []byte
+	nbit int
+}
+
+func (r *bitReader) readBit() (uint, error) {
+	if r.nbit >= len(r.buf)*8 {
+		return 0, errors.New("sig: RLE stream truncated")
+	}
+	b := (r.buf[r.nbit/8] >> uint(7-r.nbit%8)) & 1
+	r.nbit++
+	return uint(b), nil
+}
+
+func (r *bitReader) readGamma() (uint64, error) {
+	k := 0
+	for {
+		b, err := r.readBit()
+		if err != nil {
+			return 0, err
+		}
+		if b == 1 {
+			break
+		}
+		k++
+		if k > 63 {
+			return 0, errors.New("sig: malformed gamma code")
+		}
+	}
+	n := uint64(1)
+	for i := 0; i < k; i++ {
+		b, err := r.readBit()
+		if err != nil {
+			return 0, err
+		}
+		n = n<<1 | uint64(b)
+	}
+	return n, nil
+}
+
+// gammaLen returns the bit length of the gamma code of n.
+func gammaLen(n uint64) int { return 2*(bits.Len64(n)-1) + 1 }
+
+// RLEncode compresses the signature's bit vector. The result, together with
+// the signature's configuration, suffices to reconstruct the signature.
+func RLEncode(s *Signature) []byte {
+	w := &bitWriter{}
+	zeros := uint64(0)
+	total := s.cfg.totalBits
+	for i := 0; i < total; i++ {
+		if s.bits[i>>6]&(1<<uint(i&63)) != 0 {
+			w.writeGamma(zeros + 1)
+			zeros = 0
+		} else {
+			zeros++
+		}
+	}
+	if zeros > 0 {
+		w.writeGamma(zeros + 1)
+	}
+	return w.buf
+}
+
+// RLEncodedBits returns the exact size in bits of RLEncode's output stream
+// (before byte padding). This is the number Table 8 reports as the average
+// compressed size, and the commit-packet payload size used by the bandwidth
+// model (Figures 13 and 14).
+func RLEncodedBits(s *Signature) int {
+	n := 0
+	zeros := uint64(0)
+	total := s.cfg.totalBits
+	for i := 0; i < total; i++ {
+		if s.bits[i>>6]&(1<<uint(i&63)) != 0 {
+			n += gammaLen(zeros + 1)
+			zeros = 0
+		} else {
+			zeros++
+		}
+	}
+	if zeros > 0 {
+		n += gammaLen(zeros + 1)
+	}
+	return n
+}
+
+// RLDecode reconstructs a signature from an RLEncode stream under cfg.
+func RLDecode(cfg *Config, data []byte) (*Signature, error) {
+	s := cfg.NewSignature()
+	r := &bitReader{buf: data}
+	pos := 0
+	total := cfg.totalBits
+	for pos < total {
+		g, err := r.readGamma()
+		if err != nil {
+			return nil, err
+		}
+		zeros := int(g - 1)
+		pos += zeros
+		if pos > total {
+			return nil, errors.New("sig: RLE run overflows signature")
+		}
+		if pos == total {
+			break // trailing-zero run
+		}
+		s.bits[pos>>6] |= 1 << uint(pos&63)
+		pos++
+	}
+	return s, nil
+}

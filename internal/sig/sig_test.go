@@ -1,0 +1,462 @@
+package sig
+
+import (
+	"testing"
+	"testing/quick"
+
+	"bulk/internal/rng"
+)
+
+func testConfig(t *testing.T) *Config {
+	t.Helper()
+	c, err := NewConfig("T", []int{6, 6}, nil, 20)
+	if err != nil {
+		t.Fatalf("NewConfig: %v", err)
+	}
+	return c
+}
+
+func TestNewConfigValidation(t *testing.T) {
+	cases := []struct {
+		name     string
+		chunks   []int
+		perm     []int
+		addrBits int
+		wantErr  bool
+	}{
+		{"ok", []int{8, 8}, nil, 26, false},
+		{"no chunks", nil, nil, 26, true},
+		{"zero chunk", []int{8, 0}, nil, 26, true},
+		{"huge chunk", []int{30}, nil, 32, true},
+		{"bad addr bits", []int{8}, nil, 0, true},
+		{"oversized addr bits", []int{8}, nil, 63, true},
+		{"chunks exceed addr (allowed)", []int{13, 13, 6}, nil, 26, false},
+		{"perm out of range", []int{8}, []int{26}, 26, true},
+		{"perm repeats", []int{8}, []int{0, 0}, 26, true},
+		{"perm collides with fixed", []int{8}, []int{5}, 26, true}, // bit 5 moved to pos 0, pos 5 also reads bit 5
+		{"perm valid swap", []int{8}, []int{5, 1, 2, 3, 4, 0}, 26, false},
+	}
+	for _, tc := range cases {
+		_, err := NewConfig(tc.name, tc.chunks, tc.perm, tc.addrBits)
+		if (err != nil) != tc.wantErr {
+			t.Errorf("%s: err=%v, wantErr=%v", tc.name, err, tc.wantErr)
+		}
+	}
+}
+
+func TestTotalBitsMatchesTable8(t *testing.T) {
+	// Full sizes from Table 8 of the paper.
+	want := map[string]int{
+		"S1": 512, "S2": 512, "S3": 512, "S4": 1024, "S5": 1024,
+		"S6": 800, "S7": 800, "S8": 800, "S9": 576, "S10": 1344,
+		"S11": 1824, "S12": 1600, "S13": 1664, "S14": 2048, "S15": 2048,
+		"S16": 2336, "S17": 3072, "S18": 4096, "S19": 4096, "S20": 4096,
+		"S21": 4112, "S22": 5120, "S23": 16448,
+	}
+	cfgs, err := StandardConfigs(nil, TMAddrBits)
+	if err != nil {
+		t.Fatalf("StandardConfigs: %v", err)
+	}
+	if len(cfgs) != 23 {
+		t.Fatalf("got %d standard configs, want 23", len(cfgs))
+	}
+	for _, c := range cfgs {
+		if got := c.TotalBits(); got != want[c.Name()] {
+			t.Errorf("%s: TotalBits=%d, want %d", c.Name(), got, want[c.Name()])
+		}
+	}
+}
+
+func TestAddContains(t *testing.T) {
+	c := testConfig(t)
+	s := c.NewSignature()
+	addrs := []Addr{0, 1, 63, 64, 0x3ffff, 0xfffff, 12345}
+	for _, a := range addrs {
+		if s.Contains(a) {
+			t.Errorf("empty signature claims to contain %#x", a)
+		}
+	}
+	for _, a := range addrs {
+		s.Add(a)
+	}
+	for _, a := range addrs {
+		if !s.Contains(a) {
+			t.Errorf("signature lost address %#x (no false negatives allowed)", a)
+		}
+	}
+}
+
+func TestEmptyAndZero(t *testing.T) {
+	c := testConfig(t)
+	s := c.NewSignature()
+	if !s.Empty() || !s.Zero() {
+		t.Fatal("fresh signature must be Empty and Zero")
+	}
+	s.Add(7)
+	if s.Empty() || s.Zero() {
+		t.Fatal("signature with one address must be neither Empty nor Zero")
+	}
+	s.Clear()
+	if !s.Empty() || !s.Zero() {
+		t.Fatal("cleared signature must be Empty and Zero")
+	}
+}
+
+func TestEmptyDetectsOneZeroField(t *testing.T) {
+	// Two signatures whose intersection shares a bit in field 1 but not in
+	// field 2 must have an Empty intersection: emptiness means *any* field
+	// is all-zero (Section 3.2).
+	c := testConfig(t) // chunks 6,6: field1 = addr bits 0..5, field2 = bits 6..11
+	a := c.NewSignature()
+	b := c.NewSignature()
+	a.Add(0x001) // field1 bit 1, field2 bit 0
+	b.Add(0x041) // field1 bit 1, field2 bit 1
+	inter := a.Intersect(b)
+	if inter.Zero() {
+		t.Fatal("intersection should share field1 bit 1")
+	}
+	if !inter.Empty() {
+		t.Fatal("intersection must be Empty: field2 has no common bit")
+	}
+	if a.Intersects(b) {
+		t.Fatal("Intersects must agree with Intersect+Empty")
+	}
+}
+
+func TestIntersectUnionSemantics(t *testing.T) {
+	c := testConfig(t)
+	a := c.NewSignature()
+	b := c.NewSignature()
+	a.Add(10)
+	a.Add(20)
+	b.Add(20)
+	b.Add(30)
+
+	inter := a.Intersect(b)
+	if !inter.Contains(20) {
+		t.Error("intersection must contain the common address 20")
+	}
+	uni := a.Union(b)
+	for _, x := range []Addr{10, 20, 30} {
+		if !uni.Contains(x) {
+			t.Errorf("union must contain %d", x)
+		}
+	}
+	if !a.Intersects(b) {
+		t.Error("a and b share address 20; Intersects must be true")
+	}
+}
+
+func TestIntersectsSymmetricAndConsistent(t *testing.T) {
+	c := MustConfig("P", []int{5, 5}, nil, 16)
+	r := rng.New(42)
+	for trial := 0; trial < 200; trial++ {
+		a := c.NewSignature()
+		b := c.NewSignature()
+		for i := 0; i < r.Intn(8); i++ {
+			a.Add(Addr(r.Intn(1 << 16)))
+		}
+		for i := 0; i < r.Intn(8); i++ {
+			b.Add(Addr(r.Intn(1 << 16)))
+		}
+		want := !a.Intersect(b).Empty()
+		if got := a.Intersects(b); got != want {
+			t.Fatalf("trial %d: Intersects=%v but Intersect+Empty=%v", trial, got, want)
+		}
+		if a.Intersects(b) != b.Intersects(a) {
+			t.Fatalf("trial %d: Intersects is not symmetric", trial)
+		}
+	}
+}
+
+func TestSupersetProperty(t *testing.T) {
+	// H(A1 ∩ A2) semantics: (A1 ∩ A2) ⊆ decode(H(A1) ∩ H(A2)).
+	// We verify the membership form: any address in both sets passes the
+	// membership test on the intersection signature.
+	cfg := MustConfig("Q", []int{6, 5}, nil, 18)
+	f := func(xs, ys []uint16, common []uint16) bool {
+		a := cfg.NewSignature()
+		b := cfg.NewSignature()
+		for _, x := range xs {
+			a.Add(Addr(x))
+		}
+		for _, y := range ys {
+			b.Add(Addr(y))
+		}
+		for _, cm := range common {
+			a.Add(Addr(cm))
+			b.Add(Addr(cm))
+		}
+		inter := a.Intersect(b)
+		for _, cm := range common {
+			if !inter.Contains(Addr(cm)) {
+				return false
+			}
+		}
+		// Union superset: everything in either set is in the union.
+		uni := a.Union(b)
+		for _, x := range xs {
+			if !uni.Contains(Addr(x)) {
+				return false
+			}
+		}
+		for _, y := range ys {
+			if !uni.Contains(Addr(y)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNoFalseNegativesProperty(t *testing.T) {
+	cfg := DefaultTM()
+	f := func(raw []uint32) bool {
+		s := cfg.NewSignature()
+		mask := Addr(1<<cfg.AddrBits()) - 1
+		addrs := make([]Addr, len(raw))
+		for i, r := range raw {
+			addrs[i] = Addr(r) & mask
+			s.Add(addrs[i])
+		}
+		for _, a := range addrs {
+			if !s.Contains(a) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPermutationChangesEncodingNotSemantics(t *testing.T) {
+	base := MustConfig("B", []int{8, 8}, nil, 20)
+	perm := []int{19, 18, 17, 16, 15, 14, 13, 12, 11, 10, 9, 8, 7, 6, 5, 4, 3, 2, 1, 0}
+	permuted := MustConfig("B", []int{8, 8}, perm, 20)
+
+	r := rng.New(7)
+	addrs := make([]Addr, 50)
+	for i := range addrs {
+		addrs[i] = Addr(r.Intn(1 << 20))
+	}
+	s1 := base.NewSignature()
+	s2 := permuted.NewSignature()
+	for _, a := range addrs {
+		s1.Add(a)
+		s2.Add(a)
+	}
+	for _, a := range addrs {
+		if !s1.Contains(a) || !s2.Contains(a) {
+			t.Fatalf("address %#x lost under some permutation", a)
+		}
+	}
+}
+
+func TestCloneAndCopyFrom(t *testing.T) {
+	c := testConfig(t)
+	s := c.NewSignature()
+	s.Add(99)
+	cl := s.Clone()
+	if !cl.Equal(s) {
+		t.Fatal("clone must equal original")
+	}
+	cl.Add(123)
+	if cl.Equal(s) {
+		t.Fatal("mutating clone must not affect original")
+	}
+	s2 := c.NewSignature()
+	s2.CopyFrom(cl)
+	if !s2.Equal(cl) {
+		t.Fatal("CopyFrom must produce equal signature")
+	}
+}
+
+func TestConfigCompatibility(t *testing.T) {
+	a := MustConfig("A", []int{6}, nil, 16)
+	b := MustConfig("B", []int{6}, nil, 16) // same layout, different name: compatible
+	if !a.Compatible(b) {
+		t.Fatal("identically laid out configs must be compatible")
+	}
+	s1 := a.NewSignature()
+	s2 := b.NewSignature()
+	s1.Add(3)
+	s2.Add(3)
+	if !s1.Equal(s2) {
+		t.Fatal("compatible configs must produce interoperable signatures")
+	}
+	if a.Compatible(MustConfig("C", []int{7}, nil, 16)) {
+		t.Fatal("different chunk layout must be incompatible")
+	}
+	if a.Compatible(MustConfig("D", []int{6}, []int{1, 0}, 16)) {
+		t.Fatal("different permutation must be incompatible")
+	}
+	if a.Compatible(nil) {
+		t.Fatal("nil config must be incompatible")
+	}
+}
+
+func TestMismatchedConfigPanics(t *testing.T) {
+	c1 := MustConfig("A", []int{6}, nil, 16)
+	c2 := MustConfig("B", []int{7}, nil, 16)
+	s1 := c1.NewSignature()
+	s2 := c2.NewSignature()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("intersecting signatures of different configs must panic")
+		}
+	}()
+	s1.Intersects(s2)
+}
+
+func TestPopCount(t *testing.T) {
+	c := testConfig(t)
+	s := c.NewSignature()
+	if s.PopCount() != 0 {
+		t.Fatal("empty signature has popcount 0")
+	}
+	s.Add(0)
+	if got := s.PopCount(); got != 2 {
+		t.Fatalf("one address sets one bit per field: got %d, want 2", got)
+	}
+	s.Add(0) // idempotent
+	if got := s.PopCount(); got != 2 {
+		t.Fatalf("re-adding same address must not grow signature: got %d", got)
+	}
+}
+
+func TestFieldOnes(t *testing.T) {
+	c := MustConfig("F", []int{6, 6}, nil, 20)
+	s := c.NewSignature()
+	s.Add(0x041) // field0 value 1, field1 value 1
+	s.Add(0x000) // field0 value 0, field1 value 0
+	got0 := s.fieldOnes(0, nil)
+	got1 := s.fieldOnes(1, nil)
+	if len(got0) != 2 || got0[0] != 0 || got0[1] != 1 {
+		t.Fatalf("field0 ones = %v, want [0 1]", got0)
+	}
+	if len(got1) != 2 || got1[0] != 0 || got1[1] != 1 {
+		t.Fatalf("field1 ones = %v, want [0 1]", got1)
+	}
+}
+
+func TestParsePermRanges(t *testing.T) {
+	p, err := ParsePermRanges("0-2, 5, 3-4")
+	if err != nil {
+		t.Fatalf("ParsePermRanges: %v", err)
+	}
+	want := []int{0, 1, 2, 5, 3, 4}
+	if len(p) != len(want) {
+		t.Fatalf("got %v, want %v", p, want)
+	}
+	for i := range want {
+		if p[i] != want[i] {
+			t.Fatalf("got %v, want %v", p, want)
+		}
+	}
+	if _, err := ParsePermRanges("3-1"); err == nil {
+		t.Fatal("inverted range must error")
+	}
+	if _, err := ParsePermRanges("x"); err == nil {
+		t.Fatal("garbage must error")
+	}
+}
+
+func TestPaperPermutationsValid(t *testing.T) {
+	if _, err := NewConfig("S14", []int{10, 10}, TMPermutation, TMAddrBits); err != nil {
+		t.Fatalf("TM permutation rejected: %v", err)
+	}
+	if _, err := NewConfig("S14", []int{10, 10}, TLSPermutation, TLSAddrBits); err != nil {
+		t.Fatalf("TLS permutation rejected: %v", err)
+	}
+	// Sanity: both cover each listed bit exactly once.
+	if len(TMPermutation) != 21 {
+		t.Errorf("TM permutation has %d entries, want 21", len(TMPermutation))
+	}
+	if len(TLSPermutation) != 23 {
+		t.Errorf("TLS permutation has %d entries, want 23", len(TLSPermutation))
+	}
+}
+
+func TestDefaultConfigs(t *testing.T) {
+	tm := DefaultTM()
+	if tm.TotalBits() != 2048 || tm.AddrBits() != 26 {
+		t.Errorf("DefaultTM: %v", tm)
+	}
+	tls := DefaultTLS()
+	if tls.TotalBits() != 2048 || tls.AddrBits() != 30 {
+		t.Errorf("DefaultTLS: %v", tls)
+	}
+}
+
+func TestStandardConfigLookup(t *testing.T) {
+	c, err := StandardConfig("S20", nil, 26)
+	if err != nil {
+		t.Fatalf("StandardConfig: %v", err)
+	}
+	if c.TotalBits() != 4096 {
+		t.Errorf("S20 size = %d, want 4096", c.TotalBits())
+	}
+	if _, err := StandardConfig("S99", nil, 26); err == nil {
+		t.Fatal("unknown config must error")
+	}
+}
+
+func TestAliasingExistsButIsConservative(t *testing.T) {
+	// With a tiny signature, distinct addresses must eventually alias
+	// (false positive on Contains) — that is the design: inexact but
+	// correct. Verify a false positive actually occurs and that it never
+	// turns into a false negative.
+	c := MustConfig("tiny", []int{3, 3}, nil, 16)
+	s := c.NewSignature()
+	for a := Addr(0); a < 8; a++ {
+		s.Add(a * 9) // scatter bits
+	}
+	falsePos := 0
+	for a := Addr(0); a < 1<<12; a++ {
+		if s.Contains(a) {
+			falsePos++
+		}
+	}
+	if falsePos <= 8 {
+		t.Fatalf("expected aliasing false positives beyond the 8 added addresses, got %d hits", falsePos)
+	}
+}
+
+func BenchmarkSignatureAdd(b *testing.B) {
+	c := DefaultTM()
+	s := c.NewSignature()
+	for i := 0; i < b.N; i++ {
+		s.Add(Addr(i) & ((1 << 26) - 1))
+	}
+}
+
+func BenchmarkSignatureContains(b *testing.B) {
+	c := DefaultTM()
+	s := c.NewSignature()
+	for i := 0; i < 100; i++ {
+		s.Add(Addr(i * 2654435761))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Contains(Addr(i) & ((1 << 26) - 1))
+	}
+}
+
+func BenchmarkSignatureIntersects(b *testing.B) {
+	c := DefaultTM()
+	s1 := c.NewSignature()
+	s2 := c.NewSignature()
+	for i := 0; i < 64; i++ {
+		s1.Add(Addr(i * 7919))
+		s2.Add(Addr(i*7919 + 3))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s1.Intersects(s2)
+	}
+}

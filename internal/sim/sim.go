@@ -1,0 +1,166 @@
+// Package sim holds the timing model shared by the TM and TLS runtimes:
+// the latency parameters of Table 5 plus the event-scheduling helper the
+// runtimes drive their processors with.
+//
+// The model is memory-level: each memory operation costs its trace think
+// time plus a cache-access latency (hit, neighbor fill, or memory fill);
+// commits serialize on the bus and cost arbitration plus packet transfer;
+// squashes cost a restart overhead plus the natural re-execution time.
+// There is no out-of-order pipeline — the paper's evaluation questions
+// (squash rates, invalidation accuracy, bandwidth) live in the memory
+// system, and relative scheme orderings survive this simplification.
+package sim
+
+// Params are the timing parameters. Cycles throughout.
+type Params struct {
+	// HitLatency is an L1 hit (Table 5: OC 1, RT 2 for TLS).
+	HitLatency int
+	// NeighborLatency is a fill served by another processor's L1
+	// (Table 5: round trip to neighbor's L1, min 8 cycles).
+	NeighborLatency int
+	// MemLatency is a fill served by memory.
+	MemLatency int
+	// CommitArbitration is the fixed cost of gaining commit permission.
+	CommitArbitration int
+	// BusBytesPerCycle converts packet bytes into bus occupancy cycles.
+	BusBytesPerCycle int
+	// SquashOverhead is the fixed cost of squashing and restarting a
+	// thread (draining, bulk invalidation, restart).
+	SquashOverhead int
+	// SpawnOverhead is the TLS task-spawn cost.
+	SpawnOverhead int
+	// BackoffBase is the contention back-off unit applied when a
+	// transaction restarts repeatedly (TM).
+	BackoffBase int
+}
+
+// DefaultTLS returns the TLS timing parameters (4-processor configuration
+// of Table 5).
+func DefaultTLS() Params {
+	return Params{
+		HitLatency:        2,
+		NeighborLatency:   8,
+		MemLatency:        40,
+		CommitArbitration: 12,
+		BusBytesPerCycle:  16,
+		SquashOverhead:    60,
+		SpawnOverhead:     12,
+		BackoffBase:       0,
+	}
+}
+
+// DefaultTM returns the TM timing parameters (8-processor configuration of
+// Table 5).
+func DefaultTM() Params {
+	return Params{
+		HitLatency:        2,
+		NeighborLatency:   10,
+		MemLatency:        50,
+		CommitArbitration: 16,
+		BusBytesPerCycle:  16,
+		SquashOverhead:    80,
+		SpawnOverhead:     0,
+		BackoffBase:       40,
+	}
+}
+
+// TransferCycles returns the bus occupancy of a packet of n bytes.
+func (p Params) TransferCycles(n int) int {
+	if p.BusBytesPerCycle <= 0 {
+		return 0
+	}
+	c := (n + p.BusBytesPerCycle - 1) / p.BusBytesPerCycle
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+// Engine schedules a fixed set of processors by ready time. Each processor
+// is either runnable at some cycle or parked (waiting on an event another
+// processor will trigger). The runtimes call Next to get the earliest
+// runnable processor, do one unit of work, and re-arm it.
+type Engine struct {
+	readyAt []int64
+	parked  []bool
+	now     int64
+	// BusFreeAt is when the shared bus next becomes free; commits and
+	// broadcasts serialize on it.
+	BusFreeAt int64
+}
+
+// NewEngine creates an engine for n processors, all runnable at cycle 0.
+func NewEngine(n int) *Engine {
+	return &Engine{
+		readyAt: make([]int64, n),
+		parked:  make([]bool, n),
+	}
+}
+
+// Now returns the current simulated cycle.
+func (e *Engine) Now() int64 { return e.now }
+
+// Next returns the earliest runnable processor and advances the clock to
+// its ready time. It returns -1 if every processor is parked (deadlock or
+// completion; the runtime distinguishes).
+func (e *Engine) Next() int {
+	best := -1
+	for i := range e.readyAt {
+		if e.parked[i] {
+			continue
+		}
+		if best < 0 || e.readyAt[i] < e.readyAt[best] {
+			best = i
+		}
+	}
+	if best < 0 {
+		return -1
+	}
+	if e.readyAt[best] > e.now {
+		e.now = e.readyAt[best]
+	}
+	return best
+}
+
+// Advance re-arms processor i to be runnable cost cycles from now.
+func (e *Engine) Advance(i int, cost int) {
+	if cost < 0 {
+		panic("sim: negative cost")
+	}
+	e.readyAt[i] = e.now + int64(cost)
+}
+
+// AdvanceTo re-arms processor i to be runnable at an absolute cycle.
+func (e *Engine) AdvanceTo(i int, at int64) {
+	if at < e.now {
+		at = e.now
+	}
+	e.readyAt[i] = at
+}
+
+// Park removes processor i from scheduling until Unpark.
+func (e *Engine) Park(i int) { e.parked[i] = true }
+
+// Unpark makes processor i runnable at cycle at (or now, if earlier).
+func (e *Engine) Unpark(i int, at int64) {
+	e.parked[i] = false
+	if at < e.now {
+		at = e.now
+	}
+	e.readyAt[i] = at
+}
+
+// Parked reports whether processor i is parked.
+func (e *Engine) Parked(i int) bool { return e.parked[i] }
+
+// AcquireBus reserves the bus for cycles starting no earlier than now;
+// returns the time the bus transaction completes. Used to serialize commit
+// broadcasts.
+func (e *Engine) AcquireBus(cycles int) int64 {
+	start := e.BusFreeAt
+	if start < e.now {
+		start = e.now
+	}
+	e.BusFreeAt = start + int64(cycles)
+	return e.BusFreeAt
+}

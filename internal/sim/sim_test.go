@@ -1,0 +1,111 @@
+package sim
+
+import "testing"
+
+func TestEngineOrdering(t *testing.T) {
+	e := NewEngine(3)
+	// All ready at 0; Next picks the lowest-index earliest.
+	p := e.Next()
+	if p != 0 || e.Now() != 0 {
+		t.Fatalf("first Next: p=%d now=%d", p, e.Now())
+	}
+	e.Advance(0, 10)
+	if p := e.Next(); p != 1 {
+		t.Fatalf("second Next: p=%d, want 1", p)
+	}
+	e.Advance(1, 5)
+	if p := e.Next(); p != 2 {
+		t.Fatalf("third Next: p=%d, want 2", p)
+	}
+	e.Advance(2, 20)
+	// Now ready times: p0@10, p1@5, p2@20.
+	if p := e.Next(); p != 1 || e.Now() != 5 {
+		t.Fatalf("p=%d now=%d, want p=1 now=5", p, e.Now())
+	}
+	e.Advance(1, 100)
+	if p := e.Next(); p != 0 || e.Now() != 10 {
+		t.Fatalf("p=%d now=%d, want p=0 now=10", p, e.Now())
+	}
+}
+
+func TestEngineParkUnpark(t *testing.T) {
+	e := NewEngine(2)
+	e.Park(0)
+	if !e.Parked(0) || e.Parked(1) {
+		t.Fatal("Parked state wrong")
+	}
+	if p := e.Next(); p != 1 {
+		t.Fatalf("parked processor selected: %d", p)
+	}
+	e.Park(1)
+	if p := e.Next(); p != -1 {
+		t.Fatal("all parked must yield -1")
+	}
+	e.Unpark(0, 50)
+	if p := e.Next(); p != 0 || e.Now() != 50 {
+		t.Fatalf("unpark: p=%d now=%d", p, e.Now())
+	}
+	// Unpark in the past clamps to now.
+	e.Park(0)
+	e.Unpark(0, 1)
+	if p := e.Next(); p != 0 || e.Now() != 50 {
+		t.Fatalf("past unpark must clamp: now=%d", e.Now())
+	}
+}
+
+func TestAcquireBusSerializes(t *testing.T) {
+	e := NewEngine(1)
+	done1 := e.AcquireBus(10)
+	done2 := e.AcquireBus(5)
+	if done1 != 10 || done2 != 15 {
+		t.Fatalf("bus times %d, %d; want 10, 15", done1, done2)
+	}
+	// After time advances past the bus free time, acquisition starts at now.
+	e.Advance(0, 100)
+	e.Next()
+	done3 := e.AcquireBus(3)
+	if done3 != 103 {
+		t.Fatalf("done3=%d, want 103", done3)
+	}
+}
+
+func TestAdvanceToAndNegativeCost(t *testing.T) {
+	e := NewEngine(1)
+	e.AdvanceTo(0, 42)
+	if p := e.Next(); p != 0 || e.Now() != 42 {
+		t.Fatalf("AdvanceTo failed: now=%d", e.Now())
+	}
+	e.AdvanceTo(0, 1) // in the past: clamp to now
+	if e.Next(); e.Now() != 42 {
+		t.Fatal("AdvanceTo in the past must clamp")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative cost must panic")
+		}
+	}()
+	e.Advance(0, -1)
+}
+
+func TestTransferCycles(t *testing.T) {
+	p := Params{BusBytesPerCycle: 16}
+	if p.TransferCycles(0) != 1 || p.TransferCycles(1) != 1 ||
+		p.TransferCycles(16) != 1 || p.TransferCycles(17) != 2 {
+		t.Fatal("TransferCycles wrong")
+	}
+	var zero Params
+	if zero.TransferCycles(100) != 0 {
+		t.Fatal("zero bus width must cost 0")
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	tls := DefaultTLS()
+	if tls.NeighborLatency != 8 {
+		t.Fatal("TLS neighbor latency must match Table 5 (8 cycles)")
+	}
+	tm := DefaultTM()
+	if tm.HitLatency <= 0 || tm.MemLatency <= tm.NeighborLatency {
+		t.Fatal("TM parameters implausible")
+	}
+}

@@ -1,0 +1,194 @@
+// Package stats provides the small numerics and rendering helpers the
+// experiment harness uses: geometric means, percentage formatting, and
+// fixed-width table output in the style of the paper's tables.
+package stats
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// GeoMean returns the geometric mean of xs. Non-positive entries are
+// rejected with NaN, since a zero speedup means a broken measurement.
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			return math.NaN()
+		}
+		sum += math.Log(x)
+	}
+	return math.Exp(sum / float64(len(xs)))
+}
+
+// Mean returns the arithmetic mean of xs (0 for empty).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Ratio returns 100*num/den, or 0 when den is 0.
+func Ratio(num, den float64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return 100 * num / den
+}
+
+// Table renders rows of columns with right-aligned numeric formatting, in
+// the spirit of the paper's tables.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(header ...string) *Table {
+	return &Table{header: header}
+}
+
+// Row appends a row; each cell is formatted with %v, floats with two
+// decimals.
+func (t *Table) Row(cells ...any) *Table {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		case float32:
+			row[i] = fmt.Sprintf("%.2f", v)
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.rows = append(t.rows, row)
+	return t
+}
+
+// Render writes the table to w.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) string {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if i == 0 {
+				parts[i] = fmt.Sprintf("%-*s", widths[i], c) // left-align label column
+			} else {
+				parts[i] = fmt.Sprintf("%*s", widths[i], c)
+			}
+		}
+		return strings.Join(parts, "  ")
+	}
+	fmt.Fprintln(w, line(t.header))
+	total := 0
+	for _, wd := range widths {
+		total += wd + 2
+	}
+	fmt.Fprintln(w, strings.Repeat("-", total-2))
+	for _, row := range t.rows {
+		fmt.Fprintln(w, line(row))
+	}
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	t.Render(&b)
+	return b.String()
+}
+
+// Chart renders grouped horizontal bars, the textual equivalent of the
+// paper's bar figures. Each row is one group (an application); each series
+// is one bar in the group (a scheme).
+type Chart struct {
+	series []string
+	rows   []chartRow
+	width  int
+}
+
+type chartRow struct {
+	label  string
+	values []float64
+}
+
+// NewChart creates a chart with the given series names.
+func NewChart(series ...string) *Chart {
+	return &Chart{series: series, width: 40}
+}
+
+// Row adds a group with one value per series.
+func (c *Chart) Row(label string, values ...float64) *Chart {
+	if len(values) != len(c.series) {
+		panic("stats: chart row arity mismatch")
+	}
+	c.rows = append(c.rows, chartRow{label: label, values: values})
+	return c
+}
+
+// Render writes the chart to w, scaling bars to the maximum value.
+func (c *Chart) Render(w io.Writer) {
+	maxV := 0.0
+	labelW := 0
+	seriesW := 0
+	for _, s := range c.series {
+		if len(s) > seriesW {
+			seriesW = len(s)
+		}
+	}
+	for _, r := range c.rows {
+		if len(r.label) > labelW {
+			labelW = len(r.label)
+		}
+		for _, v := range r.values {
+			if v > maxV {
+				maxV = v
+			}
+		}
+	}
+	if maxV <= 0 {
+		maxV = 1
+	}
+	for _, r := range c.rows {
+		for i, v := range r.values {
+			label := ""
+			if i == 0 {
+				label = r.label
+			}
+			n := int(v/maxV*float64(c.width) + 0.5)
+			if n < 0 {
+				n = 0
+			}
+			fmt.Fprintf(w, "%-*s  %-*s |%s%s| %.2f\n",
+				labelW, label, seriesW, c.series[i],
+				strings.Repeat("#", n), strings.Repeat(" ", c.width-n), v)
+		}
+	}
+}
+
+// String renders the chart to a string.
+func (c *Chart) String() string {
+	var b strings.Builder
+	c.Render(&b)
+	return b.String()
+}

@@ -1,0 +1,93 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestGeoMean(t *testing.T) {
+	if g := GeoMean([]float64{2, 8}); math.Abs(g-4) > 1e-9 {
+		t.Fatalf("GeoMean(2,8)=%v, want 4", g)
+	}
+	if g := GeoMean([]float64{3}); math.Abs(g-3) > 1e-9 {
+		t.Fatalf("GeoMean(3)=%v", g)
+	}
+	if !math.IsNaN(GeoMean(nil)) {
+		t.Fatal("empty GeoMean must be NaN")
+	}
+	if !math.IsNaN(GeoMean([]float64{1, 0})) {
+		t.Fatal("non-positive GeoMean must be NaN")
+	}
+}
+
+func TestMeanAndRatio(t *testing.T) {
+	if Mean([]float64{1, 2, 3}) != 2 {
+		t.Fatal("Mean wrong")
+	}
+	if Mean(nil) != 0 {
+		t.Fatal("empty Mean must be 0")
+	}
+	if Ratio(1, 4) != 25 {
+		t.Fatal("Ratio wrong")
+	}
+	if Ratio(1, 0) != 0 {
+		t.Fatal("Ratio by zero must be 0")
+	}
+}
+
+func TestChartRender(t *testing.T) {
+	c := NewChart("Eager", "Bulk")
+	c.Row("bzip2", 2.0, 1.0)
+	c.Row("mcf", 1.0, 0.5)
+	out := c.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("expected 4 bar lines, got %d:\n%s", len(lines), out)
+	}
+	// The maximum value fills the bar.
+	if !strings.Contains(lines[0], strings.Repeat("#", 40)) {
+		t.Errorf("max bar must be full width:\n%s", out)
+	}
+	// Half the max is half the bar.
+	if !strings.Contains(lines[1], strings.Repeat("#", 20)+strings.Repeat(" ", 20)) {
+		t.Errorf("half bar wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "bzip2") || !strings.Contains(out, "2.00") {
+		t.Errorf("labels/values missing:\n%s", out)
+	}
+}
+
+func TestChartArityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("arity mismatch must panic")
+		}
+	}()
+	NewChart("a", "b").Row("x", 1.0)
+}
+
+func TestChartAllZero(t *testing.T) {
+	c := NewChart("s")
+	c.Row("x", 0)
+	if !strings.Contains(c.String(), "0.00") {
+		t.Fatal("zero chart must render")
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("App", "Speedup", "Squash%")
+	tb.Row("bzip2", 1.3456, 10)
+	tb.Row("crafty", 1.2, "n/a")
+	out := tb.String()
+	if !strings.Contains(out, "bzip2") || !strings.Contains(out, "1.35") {
+		t.Fatalf("table output wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "n/a") {
+		t.Fatalf("string cells must render:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("expected header+rule+2 rows, got %d lines", len(lines))
+	}
+}

@@ -1,0 +1,39 @@
+package tls_test
+
+import (
+	"fmt"
+
+	"bulk/internal/tls"
+	"bulk/internal/trace"
+	"bulk/internal/workload"
+)
+
+// Example speculatively parallelizes three dependent tasks and verifies
+// that the result equals the sequential execution.
+func Example() {
+	// Task i writes word 100+i; task i+1 reads it (a chain of true
+	// dependences).
+	var tasks []workload.TLSTask
+	for i := 0; i < 3; i++ {
+		ops := []trace.Op{}
+		if i > 0 {
+			ops = append(ops, trace.Op{Kind: trace.Read, Addr: uint64(100 + i - 1), Think: 1})
+		}
+		ops = append(ops, trace.Op{Kind: trace.WriteDep, Addr: uint64(100 + i), Think: 1})
+		tasks = append(tasks, workload.TLSTask{Ops: ops, SpawnIndex: 0})
+	}
+	w := &workload.TLSWorkload{Name: "example", Tasks: tasks}
+
+	r, err := tls.Run(w, tls.NewOptions(tls.Bulk))
+	if err != nil {
+		panic(err)
+	}
+	if err := tls.Verify(w, r); err != nil {
+		panic(err)
+	}
+	fmt.Println("tasks committed:", r.Stats.Commits)
+	fmt.Println("sequential semantics: true")
+	// Output:
+	// tasks committed: 3
+	// sequential semantics: true
+}

@@ -1,0 +1,225 @@
+package tls
+
+import (
+	"bulk/internal/bus"
+	"bulk/internal/cache"
+	"bulk/internal/sig"
+	"bulk/internal/trace"
+)
+
+func (s *System) lineOf(word uint64) uint64 { return word / uint64(s.wordsPerLine) }
+
+// sigAddr maps a word address to the granularity the signatures encode.
+func (s *System) sigAddr(word uint64) sig.Addr {
+	if s.opts.LineGranularity {
+		return sig.Addr(s.lineOf(word))
+	}
+	return sig.Addr(word)
+}
+
+// executeOp runs one op of task t on processor p. Returns the access cost
+// and whether the op completed (false: the op squashed its own task via a
+// Set Restriction conflict and must not advance).
+func (s *System) executeOp(p *proc, t *task, op trace.Op) (int, bool) {
+	if op.Kind == trace.Read {
+		return s.taskRead(p, t, op), true
+	}
+	return s.taskWrite(p, t, op)
+}
+
+// readValue resolves the logical value a task observes: its own write
+// buffer, then the nearest less-speculative active task's buffer (the
+// eager cross-task forwarding TLS permits), then committed memory.
+func (s *System) readValue(t *task, word uint64) uint64 {
+	if v, ok := t.wbuf[word]; ok {
+		return v
+	}
+	for i := t.idx - 1; i >= 0; i-- {
+		pre := s.tasks[i]
+		if pre.state == tsCommitted {
+			break // everything older is committed state
+		}
+		if !pre.active() {
+			continue
+		}
+		if v, ok := pre.wbuf[word]; ok {
+			return v
+		}
+	}
+	return uint64(s.mem.Read(word))
+}
+
+func (s *System) taskRead(p *proc, t *task, op trace.Op) int {
+	line := s.lineOf(op.Addr)
+	cost := s.opts.Params.HitLatency
+	if _, own := t.wbuf[op.Addr]; !own {
+		if p.cache.Access(cache.LineAddr(line)) == nil {
+			cost = s.fill(p, t, line)
+		}
+	}
+	value := s.readValue(t, op.Addr)
+	t.readW[op.Addr] = true
+	t.readL[line] = true
+	if t.version != nil {
+		p.module.OnRead(t.version, s.sigAddr(op.Addr))
+	}
+	t.exec.SetLastRead(value)
+	return cost
+}
+
+func (s *System) taskWrite(p *proc, t *task, op trace.Op) (int, bool) {
+	line := s.lineOf(op.Addr)
+	cost := 0
+
+	// Eager: the write is propagated immediately; any more-speculative
+	// task that already read this word violated the dependence.
+	if s.opts.Scheme == Eager {
+		for j := t.idx + 1; j < len(s.tasks); j++ {
+			v := s.tasks[j]
+			if v.state == tsUnspawned {
+				break
+			}
+			if v.active() && v.readW[op.Addr] {
+				s.stats.DepSetWords++
+				s.squashFrom(j)
+				break
+			}
+		}
+		if !t.writeL[line] {
+			// First write to the line: broadcast the invalidation.
+			s.stats.Bandwidth.Record(bus.Inv, bus.InvalidationBytes)
+			cost += s.opts.Params.TransferCycles(bus.InvalidationBytes)
+			for _, q := range s.procs {
+				if q != p {
+					q.cache.Invalidate(cache.LineAddr(line))
+				}
+			}
+		}
+	}
+
+	// Bulk: Set Restriction check before the cache write.
+	if t.version != nil {
+		d := p.module.PrepareWrite(t.version, s.sigAddr(op.Addr))
+		if !d.OK {
+			// The set holds dirty lines of another speculative task on
+			// this processor. Squash the more speculative of the two
+			// (Section 4.5). The owner is an older task awaiting commit,
+			// so that is us.
+			s.stats.WrWrConflicts++
+			victim := t.idx
+			if d.ConflictOwner > t.idx {
+				victim = d.ConflictOwner
+			}
+			s.squashFrom(victim)
+			return 0, false
+		}
+		for _, wb := range d.SafeWritebacks {
+			// Non-speculative dirty data is already reflected in
+			// committed memory; the writeback is traffic only.
+			p.cache.MarkClean(wb.Addr)
+			s.stats.Bandwidth.Record(bus.WB, bus.WritebackBytes)
+			cost += s.opts.Params.TransferCycles(bus.WritebackBytes)
+		}
+	}
+
+	l := p.cache.Access(cache.LineAddr(line))
+	if l == nil {
+		cost += s.fill(p, t, line)
+		l = p.cache.Lookup(cache.LineAddr(line))
+	} else {
+		cost += s.opts.Params.HitLatency
+	}
+	l.State = cache.Dirty
+
+	var value uint64
+	if op.Kind == trace.WriteDep {
+		value = trace.DepValue(t.exec.LastRead(), op.Addr)
+	} else {
+		value = trace.Value(t.idx, t.opIdx, op.Addr)
+	}
+	t.wbuf[op.Addr] = value
+	t.writeW[op.Addr] = true
+	t.writeL[line] = true
+	if t.spawned {
+		t.postSpawnW[op.Addr] = true
+	}
+	l.Data[int(op.Addr)%s.wordsPerLine] = value
+	if t.version != nil {
+		p.module.CommitWrite(t.version, s.sigAddr(op.Addr))
+	}
+	return cost, true
+}
+
+// fill brings a line into p's cache on behalf of task t, choosing the
+// supplier: a less-speculative task's cache (forwarding), a neighbor with a
+// non-speculative copy, or memory. More-speculative owners never supply.
+func (s *System) fill(p *proc, t *task, line uint64) int {
+	par := s.opts.Params
+	latency := par.MemLatency
+
+	// Forwarding: does an active predecessor buffer words of this line?
+	base := line * uint64(s.wordsPerLine)
+forward:
+	for i := t.idx - 1; i >= 0; i-- {
+		pre := s.tasks[i]
+		if pre.state == tsCommitted {
+			break
+		}
+		if !pre.active() {
+			continue
+		}
+		for w := 0; w < s.wordsPerLine; w++ {
+			if _, ok := pre.wbuf[base+uint64(w)]; ok {
+				latency = par.NeighborLatency
+				break forward
+			}
+		}
+	}
+	if latency == par.MemLatency {
+		// A neighbor cache with a non-speculative copy can supply.
+		for _, q := range s.procs {
+			if q == p {
+				continue
+			}
+			l := q.cache.Lookup(cache.LineAddr(line))
+			if l == nil {
+				continue
+			}
+			if l.State == cache.Dirty {
+				if s.specDirtyOwner(q, line) != nil {
+					continue // speculative data of another task: nacked
+				}
+				q.cache.MarkClean(cache.LineAddr(line))
+				s.stats.Bandwidth.Record(bus.Coh, bus.UpgradeBytes)
+			}
+			latency = par.NeighborLatency
+			break
+		}
+	}
+	s.stats.Bandwidth.Record(bus.Fill, bus.FillBytes)
+	l, ev := p.cache.Insert(cache.LineAddr(line), cache.Clean)
+	if l.Data == nil {
+		l.Data = make([]uint64, s.wordsPerLine)
+	}
+	for w := 0; w < s.wordsPerLine; w++ {
+		l.Data[w] = s.readValue(t, base+uint64(w))
+	}
+	if ev != nil && ev.State == cache.Dirty {
+		// Speculative or not, the eviction is traffic; speculative values
+		// survive in the owning task's write buffer.
+		s.stats.Bandwidth.Record(bus.WB, bus.WritebackBytes)
+	}
+	return latency
+}
+
+// specDirtyOwner returns the active task on q whose write set covers the
+// line, or nil.
+func (s *System) specDirtyOwner(q *proc, line uint64) *task {
+	for _, ti := range q.tasks {
+		t := s.tasks[ti]
+		if t.active() && t.writeL[line] {
+			return t
+		}
+	}
+	return nil
+}

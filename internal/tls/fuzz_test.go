@@ -1,0 +1,133 @@
+package tls
+
+import (
+	"fmt"
+	"testing"
+
+	"bulk/internal/rng"
+	"bulk/internal/sig"
+	"bulk/internal/trace"
+	"bulk/internal/workload"
+)
+
+// randomTLSWorkload builds an unstructured random task sequence with
+// aggressive cross-task sharing: tasks read and write overlapping windows
+// of a small array, guaranteeing dense true dependences, WAW collisions,
+// and (under Bulk) heavy aliasing.
+func randomTLSWorkload(seed uint64) *workload.TLSWorkload {
+	r := rng.New(seed)
+	tasks := 3 + r.Intn(20)
+	w := &workload.TLSWorkload{Name: fmt.Sprintf("fuzz-%d", seed)}
+	for ti := 0; ti < tasks; ti++ {
+		tr := r.Fork()
+		n := 2 + tr.Intn(20)
+		var ops []trace.Op
+		for i := 0; i < n; i++ {
+			var addr uint64
+			switch tr.Intn(3) {
+			case 0: // hot overlapping window
+				addr = uint64(tr.Intn(64))
+			case 1: // rolling window shared with neighbors
+				addr = uint64(ti*8 + tr.Intn(32))
+			default:
+				addr = 1<<20 + uint64(tr.Intn(1<<16))
+			}
+			kind := trace.Read
+			switch {
+			case tr.Bool(0.2):
+				kind = trace.WriteDep
+			case tr.Bool(0.3):
+				kind = trace.Write
+			}
+			ops = append(ops, trace.Op{Kind: kind, Addr: addr, Think: uint16(tr.Intn(4))})
+		}
+		w.Tasks = append(w.Tasks, workload.TLSTask{
+			Ops:        ops,
+			SpawnIndex: tr.Intn(len(ops)),
+		})
+	}
+	return w
+}
+
+// TestFuzzAllSchemesSequential runs random task sequences under every
+// scheme and demands exact sequential semantics.
+func TestFuzzAllSchemesSequential(t *testing.T) {
+	for seed := uint64(1); seed <= 30; seed++ {
+		w := randomTLSWorkload(seed)
+		for _, sc := range []Scheme{Eager, Lazy, Bulk} {
+			opts := NewOptions(sc)
+			opts.RestartLimit = 10000
+			r, err := Run(w, opts)
+			if err != nil {
+				t.Fatalf("seed %d %v: %v", seed, sc, err)
+			}
+			if err := Verify(w, r); err != nil {
+				t.Fatalf("seed %d %v: %v", seed, sc, err)
+			}
+		}
+	}
+}
+
+// TestFuzzBulkVariants covers the Bulk configuration space: partial
+// overlap on/off, line granularity, single- and multi-version processors,
+// and a heavily aliasing signature.
+func TestFuzzBulkVariants(t *testing.T) {
+	tinyPerm := []int{4, 5, 6, 7, 8, 9, 0, 1, 2, 3}
+	tiny, err := sig.NewConfig("fuzz-tiny", []int{6, 3}, tinyPerm, sig.TLSAddrBits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	variants := []func(*Options){
+		func(o *Options) { o.PartialOverlap = false },
+		func(o *Options) { o.LineGranularity = true },
+		func(o *Options) { o.MaxVersions = 1 },
+		func(o *Options) { o.MaxVersions = 3 },
+		func(o *Options) { o.SigConfig = tiny },
+		func(o *Options) { o.Procs = 2 },
+		func(o *Options) { o.Procs = 8 },
+	}
+	for seed := uint64(50); seed <= 62; seed++ {
+		w := randomTLSWorkload(seed)
+		for vi, v := range variants {
+			opts := NewOptions(Bulk)
+			opts.RestartLimit = 10000
+			v(&opts)
+			r, err := Run(w, opts)
+			if err != nil {
+				t.Fatalf("seed %d variant %d: %v", seed, vi, err)
+			}
+			if err := Verify(w, r); err != nil {
+				t.Fatalf("seed %d variant %d: %v", seed, vi, err)
+			}
+		}
+	}
+}
+
+// TestFuzzWordMergePaths uses tasks that write adjacent words of shared
+// lines, exercising the Section 4.4 merge machinery continuously.
+func TestFuzzWordMergePaths(t *testing.T) {
+	for seed := uint64(200); seed <= 210; seed++ {
+		r := rng.New(seed)
+		tasks := 6 + r.Intn(8)
+		w := &workload.TLSWorkload{Name: "merge-fuzz"}
+		for ti := 0; ti < tasks; ti++ {
+			// Each task writes word (ti % 16) of lines 0..3 — always a
+			// different word of the same lines as its neighbors.
+			var ops []trace.Op
+			for line := uint64(0); line < 4; line++ {
+				ops = append(ops, trace.Op{
+					Kind: trace.Write, Addr: line*16 + uint64(ti%16), Think: uint16(r.Intn(3)),
+				})
+			}
+			ops = append(ops, trace.Op{Kind: trace.Read, Addr: 1 << 20, Think: 20})
+			w.Tasks = append(w.Tasks, workload.TLSTask{Ops: ops, SpawnIndex: 0})
+		}
+		r2, err := Run(w, NewOptions(Bulk))
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := Verify(w, r2); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}

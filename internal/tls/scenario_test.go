@@ -1,0 +1,148 @@
+package tls
+
+import (
+	"testing"
+
+	"bulk/internal/trace"
+	"bulk/internal/workload"
+)
+
+// Directed micro-scenarios for TLS paths.
+
+// TestIndependentTasksNeverSquash: fully disjoint tasks run squash-free
+// under every scheme and scale with processors.
+func TestIndependentTasksNeverSquash(t *testing.T) {
+	var tasks []workload.TLSTask
+	for i := 0; i < 20; i++ {
+		var ops []trace.Op
+		base := 1<<24 + workload.Scatter(i, 1<<20)
+		for k := 0; k < 12; k++ {
+			kind := trace.Read
+			if k%3 == 0 {
+				kind = trace.Write
+			}
+			ops = append(ops, trace.Op{Kind: kind, Addr: base + uint64(k), Think: 4})
+		}
+		tasks = append(tasks, workload.TLSTask{Ops: ops, SpawnIndex: 0})
+	}
+	w := &workload.TLSWorkload{Name: "independent", Tasks: tasks}
+	for _, sc := range []Scheme{Eager, Lazy, Bulk} {
+		r := runAndVerify(t, w, NewOptions(sc))
+		if r.Stats.Squashes != 0 {
+			t.Errorf("%v: independent tasks squashed %d times", sc, r.Stats.Squashes)
+		}
+	}
+}
+
+// TestEagerForwardingAvoidsSquash: a consumer that reads the producer's
+// value AFTER the producer wrote it is fine under Eager (forwarding), but
+// is conservatively squashed by lazy schemes at the producer's commit.
+func TestEagerForwardingAvoidsSquash(t *testing.T) {
+	// Task 0 writes X immediately (post-spawn), then runs a long tail.
+	// Task 1 waits (think time), then reads X — by then task 0 has
+	// written it, so the forwarded value is current and final.
+	const X = 0x900000
+	w := &workload.TLSWorkload{
+		Name: "forwarding",
+		Tasks: []workload.TLSTask{
+			{Ops: []trace.Op{
+				{Kind: trace.Read, Addr: 0x800000, Think: 1}, // spawn point
+				{Kind: trace.Write, Addr: X, Think: 1},
+				{Kind: trace.Read, Addr: 0x800010, Think: 200}, // long tail
+			}, SpawnIndex: 0},
+			{Ops: []trace.Op{
+				{Kind: trace.Read, Addr: 0x810000, Think: 120}, // wait out the write
+				{Kind: trace.Read, Addr: X, Think: 1},
+				{Kind: trace.WriteDep, Addr: 0x910000, Think: 1},
+			}, SpawnIndex: 0},
+		},
+	}
+	eager := runAndVerify(t, w, NewOptions(Eager))
+	if eager.Stats.Squashes != 0 {
+		t.Errorf("Eager: late read of forwarded data must not squash, got %d", eager.Stats.Squashes)
+	}
+	bulk := runAndVerify(t, w, NewOptions(Bulk))
+	if bulk.Stats.Squashes == 0 {
+		t.Error("Bulk: commit-time disambiguation must conservatively squash the consumer")
+	}
+}
+
+// TestCascadeGatesChildren: when a mid-pipeline task is squashed, its
+// descendants restart only after their parents re-spawn, and the final
+// memory is still sequential.
+func TestCascadeGatesChildren(t *testing.T) {
+	// Chain: every task reads its parent's pre-spawn output AND
+	// (sometimes) a late value, forcing squashes deep in the pipeline.
+	var tasks []workload.TLSTask
+	out := func(i int) uint64 { return 1<<24 + workload.Scatter(i, 1<<20) }
+	for i := 0; i < 12; i++ {
+		var ops []trace.Op
+		if i > 0 {
+			ops = append(ops, trace.Op{Kind: trace.Read, Addr: out(i - 1), Think: 1})
+		}
+		if i > 0 && i%2 == 0 {
+			ops = append(ops, trace.Op{Kind: trace.Read, Addr: out(i-1) + 9, Think: 1})
+		}
+		ops = append(ops, trace.Op{Kind: trace.WriteDep, Addr: out(i), Think: 2})
+		ops = append(ops, trace.Op{Kind: trace.Read, Addr: 0x100 + uint64(i), Think: 40})
+		ops = append(ops, trace.Op{Kind: trace.WriteDep, Addr: out(i) + 9, Think: 2})
+		spawn := 0
+		if i > 0 {
+			spawn = 1
+		}
+		tasks = append(tasks, workload.TLSTask{Ops: ops, SpawnIndex: spawn})
+	}
+	w := &workload.TLSWorkload{Name: "cascade", Tasks: tasks}
+	for _, sc := range []Scheme{Eager, Lazy, Bulk} {
+		r := runAndVerify(t, w, NewOptions(sc))
+		if sc != Eager && r.Stats.CascadeSquashes == 0 {
+			t.Errorf("%v: expected cascaded squashes in the dependence chain", sc)
+		}
+	}
+}
+
+// TestBulkCommitPacketIncludesShadow: with Partial Overlap active, the
+// commit broadcast carries both W and Wsh, so its packets are larger than
+// without overlap support.
+func TestBulkCommitPacketIncludesShadow(t *testing.T) {
+	p, _ := workload.TLSProfileByName("vortex")
+	p.Tasks = 30
+	p.LiveInProb = 1
+	w := workload.GenerateTLS(p, 64)
+	with := runAndVerify(t, w, NewOptions(Bulk))
+	o := NewOptions(Bulk)
+	o.PartialOverlap = false
+	without := runAndVerify(t, w, o)
+	withPer := float64(with.Stats.Bandwidth.CommitBytes()) / float64(with.Stats.Commits)
+	withoutPer := float64(without.Stats.Bandwidth.CommitBytes()) / float64(without.Stats.Commits)
+	if withPer <= withoutPer {
+		t.Errorf("Partial Overlap commits carry W+Wsh and must be larger per commit: %.0f vs %.0f bytes",
+			withPer, withoutPer)
+	}
+}
+
+// TestStallsWithoutRunAhead: with MaxVersions=1 and imbalanced tasks,
+// processors accumulate stall cycles waiting for the commit token.
+func TestStallsWithoutRunAhead(t *testing.T) {
+	var tasks []workload.TLSTask
+	for i := 0; i < 16; i++ {
+		think := uint16(2)
+		if i%4 == 0 {
+			think = 120 // every 4th task is long: the others wait on it
+		}
+		tasks = append(tasks, workload.TLSTask{
+			Ops: []trace.Op{
+				{Kind: trace.Write, Addr: 1<<24 + workload.Scatter(i, 1<<20), Think: think},
+				{Kind: trace.Read, Addr: 0x200 + uint64(i), Think: think},
+			},
+			SpawnIndex: 0,
+		})
+	}
+	w := &workload.TLSWorkload{Name: "imbalance", Tasks: tasks}
+	o := NewOptions(Bulk)
+	o.MaxVersions = 1
+	r := runAndVerify(t, w, o)
+	if r.Stats.StallCycles == 0 {
+		t.Error("imbalanced tasks with MaxVersions=1 must produce stall cycles")
+	}
+}

@@ -1,0 +1,381 @@
+package tls
+
+import (
+	"errors"
+	"fmt"
+
+	"bulk/internal/bdm"
+	"bulk/internal/cache"
+	"bulk/internal/mem"
+	"bulk/internal/sig"
+	"bulk/internal/sim"
+	"bulk/internal/trace"
+	"bulk/internal/workload"
+)
+
+// taskState is the lifecycle of a speculative task.
+type taskState int
+
+const (
+	// tsUnspawned: the parent has not reached its spawn point.
+	tsUnspawned taskState = iota
+	// tsSpawnable: spawned, waiting for a processor.
+	tsSpawnable
+	// tsReady: assigned to a processor, waiting to (re)start.
+	tsReady
+	// tsRunning: executing.
+	tsRunning
+	// tsFinished: execution complete, waiting for the commit token.
+	tsFinished
+	// tsCommitted: retired.
+	tsCommitted
+)
+
+type task struct {
+	idx      int
+	state    taskState
+	proc     int // -1 when unassigned
+	opIdx    int
+	attempts int
+	exec     trace.Executor
+
+	wbuf   map[uint64]uint64 // word -> speculative value
+	readW  map[uint64]bool   // exact read words
+	writeW map[uint64]bool   // exact write words
+	readL  map[uint64]bool   // exact read lines
+	writeL map[uint64]bool   // exact write lines
+	// postSpawnW is the exact post-spawn write-word set: Lazy's exact
+	// Partial Overlap equivalent.
+	postSpawnW map[uint64]bool
+	spawned    bool // crossed the spawn point this execution
+	// awaitSpawn gates a cascade-squashed task: its parent was also
+	// squashed and must re-cross its spawn point (re-producing the
+	// child's live-ins) before the child may restart. Without this gate a
+	// child could re-read pre-spawn data the parent has not regenerated
+	// yet and — correctly unprotected by Partial Overlap — commit stale
+	// values.
+	awaitSpawn bool
+
+	version   *bdm.Version // Bulk only; allocated at claim, freed at commit
+	restartAt int64
+}
+
+func (t *task) active() bool { return t.state == tsRunning || t.state == tsFinished }
+
+func (t *task) resetSpec() {
+	t.wbuf = map[uint64]uint64{}
+	t.readW = map[uint64]bool{}
+	t.writeW = map[uint64]bool{}
+	t.readL = map[uint64]bool{}
+	t.writeL = map[uint64]bool{}
+	t.postSpawnW = map[uint64]bool{}
+	t.spawned = false
+	t.opIdx = 0
+	t.exec.Reset()
+}
+
+type proc struct {
+	id       int
+	cache    *cache.Cache
+	module   *bdm.Module // Bulk only
+	tasks    []int       // assigned uncommitted task indices, ascending
+	parkedAt int64
+}
+
+// System is a TLS run in progress.
+type System struct {
+	opts   Options
+	w      *workload.TLSWorkload
+	mem    *mem.Memory
+	engine *sim.Engine
+	procs  []*proc
+	tasks  []*task
+	sigCfg *sig.Config
+
+	commitNext   int
+	stats        Stats
+	wordsPerLine int
+}
+
+// NewSystem prepares a TLS run.
+func NewSystem(w *workload.TLSWorkload, opts Options) (*System, error) {
+	if len(w.Tasks) == 0 {
+		return nil, errors.New("tls: empty workload")
+	}
+	if opts.Procs <= 0 {
+		opts.Procs = 4
+	}
+	if opts.Params == (sim.Params{}) {
+		opts.Params = sim.DefaultTLS()
+	}
+	if opts.CacheBytes == 0 {
+		opts.CacheBytes = 16 << 10
+	}
+	if opts.CacheWays == 0 {
+		opts.CacheWays = 4
+	}
+	if opts.LineBytes == 0 {
+		opts.LineBytes = 64
+	}
+	if opts.MaxVersions <= 0 {
+		opts.MaxVersions = 2
+	}
+	if opts.RestartLimit == 0 {
+		opts.RestartLimit = 1000
+	}
+	if opts.SigConfig == nil {
+		opts.SigConfig = sig.DefaultTLS()
+	}
+	s := &System{
+		opts:         opts,
+		w:            w,
+		mem:          mem.NewMemory(),
+		engine:       sim.NewEngine(opts.Procs),
+		sigCfg:       opts.SigConfig,
+		wordsPerLine: opts.LineBytes / 4,
+	}
+	for i := 0; i < opts.Procs; i++ {
+		c, err := cache.New(opts.CacheBytes, opts.CacheWays, opts.LineBytes)
+		if err != nil {
+			return nil, err
+		}
+		p := &proc{id: i, cache: c}
+		if opts.Scheme == Bulk {
+			cfg := bdm.Config{
+				Sig:         opts.SigConfig,
+				MaxVersions: opts.MaxVersions,
+			}
+			if opts.LineGranularity {
+				cfg.Index = sig.IndexSpec{LowBit: 0, Bits: c.IndexBits()}
+			} else {
+				wordBits := 0
+				for wl := s.wordsPerLine; wl > 1; wl >>= 1 {
+					wordBits++
+				}
+				cfg.Index = sig.IndexSpec{LowBit: wordBits, Bits: c.IndexBits()}
+				cfg.WordsPerLine = s.wordsPerLine
+			}
+			m, err := bdm.New(cfg, c)
+			if err != nil {
+				return nil, fmt.Errorf("tls: proc %d: %w", i, err)
+			}
+			p.module = m
+		}
+		s.procs = append(s.procs, p)
+	}
+	s.tasks = make([]*task, len(w.Tasks))
+	for i := range w.Tasks {
+		t := &task{idx: i, proc: -1, exec: trace.Executor{ThreadID: i}}
+		t.resetSpec()
+		s.tasks[i] = t
+	}
+	s.tasks[0].state = tsSpawnable
+	return s, nil
+}
+
+// Run executes the workload under the options and returns the result.
+func Run(w *workload.TLSWorkload, opts Options) (*Result, error) {
+	s, err := NewSystem(w, opts)
+	if err != nil {
+		return nil, err
+	}
+	return s.run()
+}
+
+func (s *System) run() (*Result, error) {
+	for s.commitNext < len(s.tasks) {
+		if s.stats.LivelockDetected {
+			break
+		}
+		p := s.engine.Next()
+		if p < 0 {
+			return nil, fmt.Errorf("tls: deadlock at commitNext=%d", s.commitNext)
+		}
+		s.step(s.procs[p])
+	}
+	s.stats.Cycles = s.engine.Now()
+	if s.opts.Scheme == Bulk {
+		for _, p := range s.procs {
+			s.stats.SafeWritebacks += p.module.Stats().SafeWritebacks
+		}
+	}
+	return &Result{Stats: s.stats, Memory: s.mem}, nil
+}
+
+// currentTask returns the oldest runnable task on p. blocked reports that
+// the oldest pending task is gated on its parent's re-spawn — the
+// processor must wait rather than run younger work out of order.
+func (p *proc) currentTask(s *System) (t *task, blocked bool) {
+	for _, ti := range p.tasks {
+		c := s.tasks[ti]
+		if c.state == tsRunning || c.state == tsReady {
+			if c.awaitSpawn {
+				return nil, true
+			}
+			return c, false
+		}
+	}
+	return nil, false
+}
+
+// liveVersions counts p's uncommitted assigned tasks.
+func (p *proc) liveVersions(s *System) int {
+	n := 0
+	for _, ti := range p.tasks {
+		if s.tasks[ti].state != tsCommitted {
+			n++
+		}
+	}
+	return n
+}
+
+// step advances processor p by one action.
+func (s *System) step(p *proc) {
+	t, blocked := p.currentTask(s)
+	if t == nil && !blocked {
+		t = s.claim(p)
+	}
+	if t == nil {
+		p.parkedAt = s.engine.Now()
+		s.engine.Park(p.id)
+		return
+	}
+	if t.state == tsReady {
+		if t.restartAt > s.engine.Now() {
+			s.engine.AdvanceTo(p.id, t.restartAt)
+			return
+		}
+		s.startTask(p, t)
+		s.engine.Advance(p.id, 1)
+		return
+	}
+	// Running: execute one op.
+	ops := s.w.Tasks[t.idx].Ops
+	if t.opIdx >= len(ops) {
+		s.finishTask(p, t)
+		return
+	}
+	op := ops[t.opIdx]
+	cost, ok := s.executeOp(p, t, op)
+	if !ok {
+		// The op squashed its own task (Set Restriction conflict); the
+		// task is back in tsReady and will restart.
+		return
+	}
+	t.opIdx++
+	// Spawn point crossed?
+	if t.opIdx-1 == s.w.Tasks[t.idx].SpawnIndex {
+		cost += s.spawn(p, t)
+	}
+	s.engine.Advance(p.id, int(op.Think)+cost)
+}
+
+// claim assigns the lowest spawnable task to p if a version slot is free.
+func (s *System) claim(p *proc) *task {
+	if p.liveVersions(s) >= s.opts.MaxVersions {
+		return nil
+	}
+	for i := s.commitNext; i < len(s.tasks); i++ {
+		t := s.tasks[i]
+		if t.state == tsSpawnable && t.proc < 0 && !t.awaitSpawn {
+			t.proc = p.id
+			t.state = tsReady
+			p.tasks = append(p.tasks, i)
+			if p.module != nil {
+				v, err := p.module.AllocVersion(i)
+				if err != nil {
+					// No slot: undo the claim.
+					t.proc = -1
+					t.state = tsSpawnable
+					p.tasks = p.tasks[:len(p.tasks)-1]
+					return nil
+				}
+				t.version = v
+			}
+			return t
+		}
+		if t.state == tsUnspawned {
+			break // later tasks cannot be spawnable yet
+		}
+	}
+	return nil
+}
+
+// startTask transitions a Ready task to Running and applies the Partial
+// Overlap spawn invalidation (Section 6.3): the child's cache drops clean
+// lines the parent has written, so live-in reads fetch the parent's
+// versions instead of stale memory copies.
+func (s *System) startTask(p *proc, t *task) {
+	t.state = tsRunning
+	if p.module != nil {
+		p.module.SetRunning(t.version)
+	}
+	if t.idx == 0 || t.attempts > 0 {
+		return
+	}
+	parent := s.tasks[t.idx-1]
+	if !parent.active() {
+		return
+	}
+	switch s.opts.Scheme {
+	case Bulk:
+		if s.opts.PartialOverlap && parent.version != nil {
+			p.module.SpawnInvalidate(parent.version.W)
+		}
+	case Lazy:
+		// Exact equivalent: drop clean copies of the parent's written
+		// lines.
+		for l := range parent.writeL {
+			if cl := p.cache.Lookup(cache.LineAddr(l)); cl != nil && cl.State == cache.Clean {
+				p.cache.Invalidate(cache.LineAddr(l))
+			}
+		}
+	}
+}
+
+// spawn marks the successor task spawnable and starts the shadow write
+// signature.
+func (s *System) spawn(p *proc, t *task) int {
+	t.spawned = true
+	if p.module != nil && s.opts.PartialOverlap {
+		p.module.StartShadow(t.version)
+	}
+	if t.idx+1 < len(s.tasks) {
+		child := s.tasks[t.idx+1]
+		if child.state == tsUnspawned {
+			child.state = tsSpawnable
+			s.unparkAll()
+		}
+		if child.awaitSpawn {
+			// The child was cascade-squashed; its live-ins have now been
+			// regenerated, so it may restart.
+			child.awaitSpawn = false
+			s.unparkAll()
+		}
+	}
+	return s.opts.Params.SpawnOverhead
+}
+
+// finishTask marks t finished and tries to advance the commit chain.
+func (s *System) finishTask(p *proc, t *task) {
+	t.state = tsFinished
+	if p.module != nil {
+		// The finished task's version stays in the BDM (preempted) while
+		// the processor may run another task.
+		p.module.SetRunning(nil)
+	}
+	s.tryCommitChain()
+	// The processor looks for more work next quantum.
+	s.engine.Advance(p.id, 1)
+}
+
+// unparkAll wakes every parked processor to re-evaluate scheduling.
+func (s *System) unparkAll() {
+	now := s.engine.Now()
+	for _, p := range s.procs {
+		if s.engine.Parked(p.id) {
+			s.stats.StallCycles += now - p.parkedAt
+			s.engine.Unpark(p.id, now)
+		}
+	}
+}

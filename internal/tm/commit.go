@@ -1,0 +1,328 @@
+package tm
+
+import (
+	"bulk/internal/bus"
+	"bulk/internal/cache"
+	"bulk/internal/mem"
+	"bulk/internal/sig"
+	"bulk/internal/workload"
+)
+
+// commit completes p's transaction: it arbitrates for the bus, broadcasts
+// (per scheme), applies the write buffer to committed memory, disambiguates
+// and invalidates at the receivers, and releases p's speculative state
+// (Figure 5's flowchart).
+func (s *System) commit(p *proc, seg *workload.TMSegment) {
+	par := s.opts.Params
+
+	writeLines := p.allWriteLines()
+	readLines := p.allReadLines()
+
+	// Commit packet per scheme.
+	var wc *sig.Signature
+	var packetBytes int
+	switch s.opts.Scheme {
+	case Eager:
+		// Ownership was acquired during execution; commit is a cheap
+		// coherence action.
+		packetBytes = bus.HeaderBytes
+		s.stats.Bandwidth.Record(bus.Coh, packetBytes)
+	case Lazy:
+		packetBytes = bus.AddressListCommitBytes(len(writeLines))
+		s.stats.Bandwidth.RecordCommit(packetBytes)
+	case Bulk:
+		// The broadcast signature is the union of the section write
+		// signatures (Section 6.2.1).
+		wc = s.sigCfg.NewSignature()
+		for _, sec := range p.sections {
+			wc.UnionWith(sec.version.W)
+		}
+		rleBits := wc.Config().TotalBits()
+		if !s.opts.NoRLE {
+			rleBits = sig.RLEncodedBits(wc)
+		}
+		packetBytes = bus.SignatureCommitBytes(rleBits)
+		s.stats.Bandwidth.RecordCommit(packetBytes)
+	}
+	busDone := s.engine.AcquireBus(par.CommitArbitration + par.TransferCycles(packetBytes))
+
+	// Apply the speculative values to committed memory, section order
+	// (outer first) so inner overwrites win, matching bufLookup.
+	for _, sec := range p.sections {
+		for a, v := range sec.wbuf {
+			s.mem.Write(a, mem.Word(v))
+		}
+	}
+	// Commit propagates the transaction's dirty data: the written lines
+	// are flushed to memory and downgrade to clean (TCC-style lazy
+	// commit; the same bytes would otherwise be written back at
+	// eviction). This keeps committed lines from lingering dirty and
+	// later being charged as Set Restriction safe writebacks.
+	for l := range writeLines {
+		if cl := p.cache.Lookup(cache.LineAddr(l)); cl != nil && cl.State == cache.Dirty {
+			p.cache.MarkClean(cache.LineAddr(l))
+			s.stats.Bandwidth.Record(bus.WB, bus.WritebackBytes)
+		}
+	}
+	s.log = append(s.log, CommitUnit{Thread: p.id, Segment: p.segIdx, OpLo: 0, OpHi: len(seg.Ops)})
+	s.stats.Commits++
+	s.stats.ReadSetLines += uint64(len(readLines))
+	s.stats.WriteSetLines += uint64(len(writeLines))
+
+	// Receivers: disambiguate, then invalidate stale copies.
+	for _, q := range s.procs {
+		if q == p {
+			continue
+		}
+		if q.inTxn {
+			if q.preempt != nil && len(q.preempt.spilled) > 0 {
+				// The receiver's signatures are spilled to memory
+				// (Section 6.2.2): disambiguate against the saved copies.
+				s.disambiguateSpilled(q, wc, writeLines)
+			} else {
+				s.disambiguateAtCommit(p, q, wc, writeLines)
+			}
+		}
+		s.invalidateCommitted(p, q, wc, writeLines)
+	}
+
+	// Release the committer's speculative state. Committed dirty lines
+	// stay in the cache as ordinary (non-speculative) dirty lines.
+	if p.module != nil {
+		for _, sec := range p.sections {
+			p.module.ClearVersion(sec.version)
+			p.module.FreeVersion(sec.version)
+		}
+	}
+	p.sections = nil
+	p.inTxn = false
+	p.attempts = 0
+	p.over.Dealloc()
+	s.releaseWaiters(p)
+	// The livelock-fix bookkeeping is per ping-pong episode: a commit by
+	// either party ends the episode, so the mutual-squash counters
+	// involving p reset. Without this, two transactions that once
+	// squashed each other would stall on every future conflict.
+	p.pairSquash = map[int]int{}
+	for _, q := range s.procs {
+		delete(q.pairSquash, p.id)
+	}
+
+	p.segIdx++
+	p.opIdx = 0
+	s.engine.AdvanceTo(p.id, busDone)
+}
+
+// disambiguateAtCommit applies the committer's write set/signature to a
+// receiver with an active transaction and squashes it on overlap.
+func (s *System) disambiguateAtCommit(p, q *proc, wc *sig.Signature, writeLines map[uint64]bool) {
+	// Exact overlap (ground truth): committer writes vs. receiver R∪W,
+	// in lines (the Table 7 dependence-set metric).
+	dep := uint64(0)
+	for l := range writeLines {
+		if q.inReadSet(l) || q.inWriteSet(l) {
+			dep++
+		}
+	}
+	// At word granularity the honest squash ground truth is word overlap:
+	// same-line-different-word contacts are not conflicts there.
+	real := dep
+	if s.opts.WordGranularity {
+		real = 0
+		for _, sec := range p.sections {
+			for w := range sec.wbuf {
+				if q.readWord(w) || q.wroteWord(w) {
+					real++
+				}
+			}
+		}
+	}
+
+	switch s.opts.Scheme {
+	case Eager:
+		// Conflicts were already resolved at access time.
+		return
+	case Lazy:
+		// Conventional lazy must also disambiguate against the
+		// receiver's overflowed addresses in memory.
+		if !q.over.Empty() {
+			for range writeLines {
+				q.over.DisambiguationScan(0)
+			}
+			s.stats.Bandwidth.Record(bus.UB, len(writeLines)*bus.AddrBytes+bus.HeaderBytes)
+		}
+		if dep > 0 {
+			s.squash(q, 0, dep)
+		}
+	case Bulk:
+		// Section-ordered bulk disambiguation (Figure 8): the first
+		// violating section and everything after it rolls back. A squash
+		// with no exact overlap at the signature's granularity is a false
+		// positive; the dependence-set stat stays line-based.
+		for si, sec := range q.sections {
+			if q.module.Disambiguate(sec.version, wc) {
+				if real == 0 {
+					s.squash(q, s.rollbackSection(q, si), 0)
+				} else {
+					s.squash(q, s.rollbackSection(q, si), dep)
+				}
+				return
+			}
+		}
+	}
+}
+
+// invalidateCommitted removes the receiver's stale copies of the
+// committer's written lines.
+func (s *System) invalidateCommitted(p, q *proc, wc *sig.Signature, writeLines map[uint64]bool) {
+	switch s.opts.Scheme {
+	case Eager:
+		// Copies were invalidated when ownership was acquired.
+	case Lazy:
+		for l := range writeLines {
+			q.cache.Invalidate(cache.LineAddr(l))
+		}
+	case Bulk:
+		if q.module == nil {
+			return
+		}
+		invalidated, merges := q.module.CommitInvalidate(wc)
+		for _, l := range invalidated {
+			if !writeLines[uint64(l)] {
+				s.stats.FalseInvalidations++
+			}
+		}
+		// Word-granularity mode: a dirty line both sides updated (in
+		// different words) merges — committed data overlaid with the
+		// local owner's buffered words (Section 4.4 / Figure 6).
+		for _, m := range merges {
+			s.mergeLine(q, uint64(m.Addr))
+		}
+	}
+}
+
+// mergeLine refreshes a locally-dirty, partially-remote-updated line: each
+// word takes the local transaction's buffered value if it wrote it, else
+// the just-committed memory value. The line stays dirty in q's cache.
+func (s *System) mergeLine(q *proc, line uint64) {
+	cl := q.cache.Lookup(cache.LineAddr(line))
+	if cl == nil {
+		return
+	}
+	s.stats.Merges++
+	s.stats.Bandwidth.Record(bus.Fill, bus.FillBytes) // committed line fetched
+	base := line * uint64(s.wordsPerLine)
+	for w := 0; w < s.wordsPerLine; w++ {
+		a := base + uint64(w)
+		if v, ok := q.bufLookup(a); ok {
+			cl.Data[w] = v
+		} else {
+			cl.Data[w] = uint64(s.mem.Read(a))
+		}
+	}
+}
+
+// squash aborts q's transaction back to section fromSection. dep is the
+// exact dependence overlap (0 means the squash was a signature false
+// positive).
+func (s *System) squash(q *proc, fromSection int, dep uint64) {
+	if !q.inTxn {
+		return
+	}
+	s.stats.Squashes++
+	if dep == 0 {
+		s.stats.FalseSquashes++
+	} else {
+		s.real++
+		s.stats.DepSetLines += dep
+	}
+
+	if fromSection > 0 {
+		s.partialRollback(q, fromSection)
+		return
+	}
+
+	// Full restart: discard every section.
+	if q.module != nil {
+		for _, sec := range q.sections {
+			if sec.version == nil {
+				continue // spilled while preempted; nothing in the BDM
+			}
+			q.module.SquashInvalidate(sec.version, false)
+			q.module.FreeVersion(sec.version)
+		}
+	} else {
+		for l := range q.allWriteLines() {
+			if cl := q.cache.Lookup(cache.LineAddr(l)); cl != nil && cl.State == cache.Dirty {
+				q.cache.Invalidate(cache.LineAddr(l))
+			}
+		}
+	}
+	q.exec.SetLastRead(q.sections[0].lastRead)
+	q.sections = nil
+	q.inTxn = false
+	q.opIdx = 0
+	q.preempt = nil
+	q.over.Dealloc()
+	q.attempts++
+	if q.attempts >= s.opts.RestartLimit {
+		s.stats.LivelockDetected = true
+	}
+
+	restartAt := s.engine.Now() + int64(s.opts.Params.SquashOverhead)
+	if s.opts.Scheme == Eager && s.opts.Params.BackoffBase > 0 {
+		restartAt += int64(q.attempts * s.opts.Params.BackoffBase)
+	}
+	s.wake(q, restartAt)
+	s.releaseWaiters(q)
+}
+
+// partialRollback discards sections fromSection.. and resumes execution at
+// the start of fromSection (Section 6.2.1's partial rollback).
+func (s *System) partialRollback(q *proc, fromSection int) {
+	s.stats.PartialRollbacks++
+	resume := q.sections[fromSection].startOp
+	reg := q.sections[fromSection].lastRead
+	for _, sec := range q.sections[fromSection:] {
+		if q.module != nil {
+			q.module.SquashInvalidate(sec.version, false)
+			q.module.FreeVersion(sec.version)
+		}
+	}
+	q.sections = q.sections[:fromSection]
+	q.exec.SetLastRead(reg)
+	q.opIdx = resume
+	// Reopen the violated section fresh.
+	s.pushSection(q, resume)
+	s.wake(q, s.engine.Now()+int64(s.opts.Params.SquashOverhead))
+}
+
+// wake reschedules q at the given time, unparking it if it was stalled.
+func (s *System) wake(q *proc, at int64) {
+	if q.stalledOn >= 0 {
+		// Remove q from the waiter list of the proc it stalled on.
+		t := s.procs[q.stalledOn]
+		for i, w := range t.waiters {
+			if w == q.id {
+				t.waiters = append(t.waiters[:i], t.waiters[i+1:]...)
+				break
+			}
+		}
+		q.stalledOn = -1
+	}
+	if s.engine.Parked(q.id) {
+		s.engine.Unpark(q.id, at)
+	} else {
+		s.engine.AdvanceTo(q.id, at)
+	}
+}
+
+// releaseWaiters unparks every processor stalled on p's transaction.
+func (s *System) releaseWaiters(p *proc) {
+	for _, w := range p.waiters {
+		q := s.procs[w]
+		q.stalledOn = -1
+		s.engine.Unpark(q.id, s.engine.Now())
+	}
+	p.waiters = p.waiters[:0]
+}

@@ -1,0 +1,43 @@
+package tm_test
+
+import (
+	"fmt"
+
+	"bulk/internal/tm"
+	"bulk/internal/trace"
+	"bulk/internal/workload"
+)
+
+// Example runs two conflicting transactions under the Bulk scheme and
+// verifies serializability.
+func Example() {
+	// Thread 0 and thread 1 both read-modify-write word 0.
+	mk := func() []workload.TMSegment {
+		return []workload.TMSegment{{
+			Txn: true,
+			Ops: []trace.Op{
+				{Kind: trace.Read, Addr: 0, Think: 2},
+				{Kind: trace.WriteDep, Addr: 0, Think: 2},
+			},
+			Sections: []int{0},
+		}}
+	}
+	w := &workload.TMWorkload{
+		Name: "example",
+		Threads: []workload.TMThread{
+			{Segments: mk()}, {Segments: mk()},
+		},
+	}
+	r, err := tm.Run(w, tm.NewOptions(tm.Bulk))
+	if err != nil {
+		panic(err)
+	}
+	if err := tm.Verify(w, r); err != nil {
+		panic(err)
+	}
+	fmt.Println("commits:", r.Stats.Commits)
+	fmt.Println("serializable: true")
+	// Output:
+	// commits: 2
+	// serializable: true
+}

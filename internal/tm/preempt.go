@@ -1,0 +1,231 @@
+package tm
+
+import (
+	"bulk/internal/bus"
+	"bulk/internal/cache"
+	"bulk/internal/mem"
+	"bulk/internal/sig"
+)
+
+// Context-switch support (Section 6.2.2, second half): a running
+// transaction can be preempted mid-flight. Its R and W signatures stay in
+// the BDM (or are spilled to memory when configured), its speculative
+// dirty lines stay in the cache guarded by OR(δ(W_pre)), and remote
+// commits keep disambiguating against it. While the thread is descheduled,
+// an unrelated interloper process runs on the processor, touching the
+// cache: it may evict speculative lines to the overflow area, and its
+// writes must respect the Set Restriction — a non-speculative write into a
+// set owned by the preempted version is forced to write through without
+// allocating, so the preempted thread's dirty lines survive.
+
+// preemptState tracks a paused transaction on a processor.
+type preemptState struct {
+	resumeAt int64
+	// spilled holds the signatures while they live "in memory"; nil when
+	// the BDM kept them. One entry per section.
+	spilled []*bdmSpill
+	// doomed is set when a remote commit conflicted with the spilled
+	// signatures; the transaction restarts at resume.
+	doomed bool
+}
+
+type bdmSpill struct {
+	sv  *spilledSig
+	sec *section
+}
+
+// spilledSig mirrors bdm.SpilledVersion without importing its identity;
+// the runtime disambiguates against these saved signatures directly, as
+// the paper describes for out-of-signature conditions.
+type spilledSig struct {
+	R, W *sig.Signature
+}
+
+// maybePreempt pauses p's transaction if the preemption policy triggers at
+// this op boundary. Returns whether a preemption started.
+func (s *System) maybePreempt(p *proc) bool {
+	o := s.opts
+	if o.PreemptEvery <= 0 || !p.inTxn || p.opIdx == 0 || p.opIdx%o.PreemptEvery != 0 {
+		return false
+	}
+	if p.opIdx == p.lastPreemptOp {
+		return false // this boundary already fired; execution resumes
+	}
+	p.lastPreemptOp = p.opIdx
+	pause := o.PreemptPause
+	if pause <= 0 {
+		pause = 500
+	}
+	ps := &preemptState{resumeAt: s.engine.Now() + int64(pause)}
+
+	if p.module != nil {
+		p.module.SetRunning(nil)
+		if o.SpillOnPreempt {
+			for _, sec := range p.sections {
+				sv := p.module.SpillVersion(sec.version)
+				ps.spilled = append(ps.spilled, &bdmSpill{
+					sv:  &spilledSig{R: sv.R, W: sv.W},
+					sec: sec,
+				})
+				sec.version = nil
+				// The version's dirty cache lines lose their BDM guard;
+				// the paper moves them to the overflow area.
+				s.spillDirtyLines(p, sec)
+			}
+		}
+	}
+	p.preempt = ps
+	s.runInterloper(p)
+	return true
+}
+
+// spillDirtyLines moves a section's dirty cached lines to the overflow
+// area (the cache no longer knows who owns them once the signatures left
+// the BDM).
+func (s *System) spillDirtyLines(p *proc, sec *section) {
+	for line := range sec.writeL {
+		cl := p.cache.Lookup(cache.LineAddr(line))
+		if cl == nil || cl.State != cache.Dirty {
+			continue
+		}
+		words := map[int]mem.Word{}
+		base := line * uint64(s.wordsPerLine)
+		for w := 0; w < s.wordsPerLine; w++ {
+			if v, ok := p.bufLookup(base + uint64(w)); ok {
+				words[w] = mem.Word(v)
+			}
+		}
+		p.over.Spill(line, words)
+		p.cache.Invalidate(cache.LineAddr(line))
+		s.stats.Bandwidth.Record(bus.UB, bus.WritebackBytes)
+	}
+}
+
+// runInterloper models the unrelated process that runs during the pause:
+// a burst of non-speculative accesses against p's cache. Its writes honor
+// the Set Restriction by writing through when a preempted speculative
+// version owns the target set.
+func (s *System) runInterloper(p *proc) {
+	const accesses = 24
+	// A deterministic private stream well away from the workloads.
+	base := uint64(1<<25) + uint64(p.id)<<12
+	for i := 0; i < accesses; i++ {
+		word := base + uint64((p.opIdx*31+i*7)%(1<<10))
+		line := s.lineOf(word)
+		set := p.cache.SetIndex(cache.LineAddr(line))
+		write := i%3 == 0
+		if write && p.module != nil && p.module.OwnsDirtySet(set) {
+			// Set Restriction: write through, no allocation. (The
+			// interloper's values are architecturally irrelevant to the
+			// verified workload — its stream is private — so only the
+			// traffic and the cache perturbation are modeled.)
+			s.stats.InterloperWriteThroughs++
+			s.stats.Bandwidth.Record(bus.WB, bus.WritebackBytes)
+			continue
+		}
+		l := p.cache.Lookup(cache.LineAddr(line))
+		if l == nil {
+			l = s.insertLine(p, line, cache.Clean)
+			s.stats.Bandwidth.Record(bus.Fill, bus.FillBytes)
+		}
+		if write {
+			l.State = cache.Dirty
+		}
+	}
+}
+
+// disambiguateSpilled checks an incoming commit against p's spilled
+// signatures (the in-memory disambiguation of Section 6.2.2). A hit dooms
+// the paused transaction.
+func (s *System) disambiguateSpilled(p *proc, wc *sig.Signature, writeLines map[uint64]bool) {
+	if p.preempt == nil || len(p.preempt.spilled) == 0 || p.preempt.doomed {
+		return
+	}
+	s.stats.Bandwidth.Record(bus.UB, bus.HeaderBytes+len(p.preempt.spilled)*bus.AddrBytes)
+	for _, sp := range p.preempt.spilled {
+		if wc.Intersects(sp.sv.R) || wc.Intersects(sp.sv.W) {
+			p.preempt.doomed = true
+			dep := uint64(0)
+			for l := range writeLines {
+				if sp.sec.readL[l] || sp.sec.writeL[l] {
+					dep++
+				}
+			}
+			s.stats.Squashes++
+			if dep == 0 {
+				s.stats.FalseSquashes++
+			} else {
+				s.real++
+				s.stats.DepSetLines += dep
+			}
+			return
+		}
+	}
+}
+
+// resumePreempted reinstates a paused transaction: reload the spilled
+// signatures into BDM slots (or restart outright if the transaction was
+// doomed while descheduled).
+func (s *System) resumePreempted(p *proc) {
+	ps := p.preempt
+	p.preempt = nil
+	if ps.doomed {
+		s.stats.DoomedOnResume++
+		s.restartDoomed(p)
+		return
+	}
+	if p.module != nil {
+		if len(ps.spilled) > 0 {
+			for _, sp := range ps.spilled {
+				v, err := p.module.AllocVersion(p.id*16 + len(p.sections))
+				if err != nil {
+					// No slot available on reload: restart the whole
+					// transaction (rare; MaxVersions covers the nests the
+					// workloads build).
+					s.restartDoomed(p)
+					return
+				}
+				v.R.CopyFrom(sp.sv.R)
+				v.W.CopyFrom(sp.sv.W)
+				sp.sec.version = v
+				// Rebuilding δ(W) requires re-adding the exact writes at
+				// the signature's granularity; the decode is exact so the
+				// mask matches.
+				if s.opts.WordGranularity {
+					for w := range sp.sec.wbuf {
+						p.module.CommitWrite(v, sig.Addr(w))
+					}
+				} else {
+					for l := range sp.sec.writeL {
+						p.module.CommitWrite(v, sig.Addr(l))
+					}
+				}
+			}
+		}
+		p.module.SetRunning(p.top().version)
+	}
+}
+
+// restartDoomed aborts a paused transaction that was invalidated while
+// descheduled: its buffered state is discarded and execution resumes at
+// the transaction's start.
+func (s *System) restartDoomed(p *proc) {
+	if p.module != nil {
+		for _, sec := range p.sections {
+			if sec.version != nil {
+				p.module.SquashInvalidate(sec.version, false)
+				p.module.FreeVersion(sec.version)
+			}
+		}
+	}
+	p.exec.SetLastRead(p.sections[0].lastRead)
+	p.sections = nil
+	p.inTxn = false
+	p.opIdx = 0
+	p.over.Dealloc()
+	p.attempts++
+	if p.attempts >= s.opts.RestartLimit {
+		s.stats.LivelockDetected = true
+	}
+	s.engine.Advance(p.id, s.opts.Params.SquashOverhead)
+}

@@ -1,0 +1,178 @@
+package tm
+
+import (
+	"testing"
+
+	"bulk/internal/trace"
+	"bulk/internal/workload"
+)
+
+// Directed micro-scenarios for paths the profile runs exercise only in
+// aggregate.
+
+// txnSeg builds a one-section transaction from ops.
+func txnSeg(ops ...trace.Op) workload.TMSegment {
+	return workload.TMSegment{Txn: true, Ops: ops, Sections: []int{0}}
+}
+
+// TestNonTxnWriteSquashesConflictingTransaction: an individual
+// invalidation from non-transactional code must squash a transaction that
+// read the line (the membership path of Section 4.2).
+func TestNonTxnWriteSquashesConflictingTransaction(t *testing.T) {
+	const A = 0
+	// Thread 0: a long transaction that reads A early.
+	t0 := []trace.Op{{Kind: trace.Read, Addr: A, Think: 2}}
+	for i := 0; i < 40; i++ {
+		t0 = append(t0, trace.Op{Kind: trace.Read, Addr: 0x400000 + uint64(i)*16, Think: 5})
+	}
+	// Thread 1: plain (non-transactional) code that writes A mid-way.
+	t1 := []trace.Op{
+		{Kind: trace.Read, Addr: 0x500000, Think: 30},
+		{Kind: trace.Write, Addr: A, Think: 2},
+	}
+	w := &workload.TMWorkload{
+		Name: "nontxn-inval",
+		Threads: []workload.TMThread{
+			{Segments: []workload.TMSegment{txnSeg(t0...)}},
+			{Segments: []workload.TMSegment{{Txn: false, Ops: t1}}},
+		},
+	}
+	for _, sc := range []Scheme{Eager, Lazy, Bulk} {
+		r, err := Run(w, NewOptions(sc))
+		if err != nil {
+			t.Fatalf("%v: %v", sc, err)
+		}
+		if err := Verify(w, r); err != nil {
+			t.Fatalf("%v: %v", sc, err)
+		}
+		if r.Stats.Squashes == 0 {
+			t.Errorf("%v: the non-transactional write must squash the reader", sc)
+		}
+	}
+}
+
+// TestReadOnlyTransactionsNeverSquash: disjoint read-only transactions
+// commit without any squash under every scheme.
+func TestReadOnlyTransactionsNeverSquash(t *testing.T) {
+	var threads []workload.TMThread
+	for tid := 0; tid < 4; tid++ {
+		var ops []trace.Op
+		for i := 0; i < 30; i++ {
+			ops = append(ops, trace.Op{
+				Kind:  trace.Read,
+				Addr:  workload.TMPrivateHeapLine(tid, uint64(i)*977) * workload.WordsPerLine,
+				Think: 3,
+			})
+		}
+		threads = append(threads, workload.TMThread{Segments: []workload.TMSegment{txnSeg(ops...)}})
+	}
+	w := &workload.TMWorkload{Name: "readonly", Threads: threads}
+	for _, sc := range []Scheme{Eager, Lazy, Bulk} {
+		r, err := Run(w, NewOptions(sc))
+		if err != nil {
+			t.Fatalf("%v: %v", sc, err)
+		}
+		if r.Stats.Squashes != 0 {
+			t.Errorf("%v: read-only disjoint transactions squashed %d times", sc, r.Stats.Squashes)
+		}
+		// Read-only commits broadcast (almost) nothing to invalidate.
+		if sc == Bulk && r.Stats.FalseInvalidations > 4 {
+			t.Errorf("Bulk: %d false invalidations from empty write sets", r.Stats.FalseInvalidations)
+		}
+	}
+}
+
+// TestCommitterAlwaysWinsInLazy: when two transactions conflict under
+// Lazy, the one that commits first always survives; the loser re-executes
+// and commits after. Total commits equal total transactions regardless.
+func TestCommitterAlwaysWinsInLazy(t *testing.T) {
+	const A = 0x1000
+	mk := func(tail int) workload.TMSegment {
+		ops := []trace.Op{
+			{Kind: trace.Read, Addr: A, Think: 1},
+			{Kind: trace.WriteDep, Addr: A, Think: 1},
+		}
+		for i := 0; i < tail; i++ {
+			ops = append(ops, trace.Op{Kind: trace.Read, Addr: 0x600000 + uint64(i)*16, Think: 4})
+		}
+		return txnSeg(ops...)
+	}
+	w := &workload.TMWorkload{
+		Name: "committer-wins",
+		Threads: []workload.TMThread{
+			{Segments: []workload.TMSegment{mk(5)}},  // short: commits first
+			{Segments: []workload.TMSegment{mk(50)}}, // long: squashed, retries
+		},
+	}
+	r, err := Run(w, NewOptions(Lazy))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(w, r); err != nil {
+		t.Fatal(err)
+	}
+	if r.Stats.Commits != 2 {
+		t.Fatalf("commits=%d, want 2", r.Stats.Commits)
+	}
+	if r.Stats.Squashes != 1 {
+		t.Fatalf("squashes=%d, want exactly 1 (the long transaction)", r.Stats.Squashes)
+	}
+}
+
+// TestOverflowFilterSavesLookups: Bulk's O-bit + membership filter must
+// consult the overflow area far less often than a conventional scheme
+// while the same lines overflow.
+func TestOverflowFilterSavesLookups(t *testing.T) {
+	p, _ := workload.TMProfileByName("lu")
+	p.TxnsPerThread = 3
+	p.Threads = 4
+	w := workload.GenerateTM(p, 4242)
+	mk := func(sc Scheme) Options {
+		o := NewOptions(sc)
+		o.CacheBytes = 4 << 10
+		return o
+	}
+	lazy, err := Run(w, mk(Lazy))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bulk, err := Run(w, mk(Bulk))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lazy.Stats.OverflowAccesses == 0 || bulk.Stats.OverflowAccesses == 0 {
+		t.Fatalf("both schemes must overflow with a 4KB cache (lazy=%d bulk=%d)",
+			lazy.Stats.OverflowAccesses, bulk.Stats.OverflowAccesses)
+	}
+	ratio := float64(bulk.Stats.OverflowAccesses) / float64(lazy.Stats.OverflowAccesses)
+	if ratio > 0.5 {
+		t.Errorf("Bulk overflow accesses should be well below Lazy's, ratio %.2f", ratio)
+	}
+}
+
+// TestWriteOnlyTransactionsCommit: transactions that only write (no reads)
+// exercise the W-only disambiguation and invalidation paths.
+func TestWriteOnlyTransactionsCommit(t *testing.T) {
+	var threads []workload.TMThread
+	for tid := 0; tid < 4; tid++ {
+		var ops []trace.Op
+		for i := 0; i < 10; i++ {
+			ops = append(ops, trace.Op{
+				Kind:  trace.Write,
+				Addr:  workload.TMPrivateHeapLine(tid, uint64(i)*31) * workload.WordsPerLine,
+				Think: 2,
+			})
+		}
+		threads = append(threads, workload.TMThread{Segments: []workload.TMSegment{txnSeg(ops...)}})
+	}
+	w := &workload.TMWorkload{Name: "writeonly", Threads: threads}
+	for _, sc := range []Scheme{Eager, Lazy, Bulk} {
+		r, err := Run(w, NewOptions(sc))
+		if err != nil {
+			t.Fatalf("%v: %v", sc, err)
+		}
+		if err := Verify(w, r); err != nil {
+			t.Fatalf("%v: %v", sc, err)
+		}
+	}
+}

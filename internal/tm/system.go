@@ -1,0 +1,398 @@
+package tm
+
+import (
+	"errors"
+	"fmt"
+
+	"bulk/internal/bdm"
+	"bulk/internal/cache"
+	"bulk/internal/mem"
+	"bulk/internal/sig"
+	"bulk/internal/sim"
+	"bulk/internal/trace"
+	"bulk/internal/workload"
+)
+
+// section is one closed-nesting section of the currently running
+// transaction: its own write-buffer layer, exact sets, and (Bulk) BDM
+// version, plus the executor checkpoint taken at its start (Figure 8).
+type section struct {
+	startOp  int
+	wbuf     map[uint64]uint64 // word addr -> speculative value
+	readL    map[uint64]bool   // exact line sets
+	writeL   map[uint64]bool
+	readW    map[uint64]bool // exact read words (word-granularity truth)
+	version  *bdm.Version    // Bulk only
+	lastRead uint64          // executor register at section start
+}
+
+// proc is one simulated processor and the thread pinned to it.
+type proc struct {
+	id     int
+	cache  *cache.Cache
+	module *bdm.Module // Bulk only
+	over   *mem.OverflowArea
+	exec   trace.Executor
+
+	segIdx int
+	opIdx  int
+	done   bool
+
+	inTxn    bool
+	txnStart int64
+	attempts int
+	sections []*section
+
+	// Context-switch state (nil when not preempted).
+	preempt       *preemptState
+	lastPreemptOp int
+
+	// Eager stall bookkeeping.
+	stalledOn int   // processor id we are waiting on, or -1
+	waiters   []int // processors stalled on our transaction
+	// pairSquash counts mutual squashes between this proc (as victim)
+	// and each aggressor, for the footnote-2 fix.
+	pairSquash map[int]int
+}
+
+// System is a TM run in progress.
+type System struct {
+	opts   Options
+	w      *workload.TMWorkload
+	mem    *mem.Memory
+	engine *sim.Engine
+	procs  []*proc
+	sigCfg *sig.Config
+
+	stats Stats
+	log   []CommitUnit
+	real  uint64 // real (non-false) squashes
+
+	wordsPerLine int
+}
+
+// NewSystem prepares a run of workload w under the given options.
+func NewSystem(w *workload.TMWorkload, opts Options) (*System, error) {
+	if len(w.Threads) == 0 {
+		return nil, errors.New("tm: empty workload")
+	}
+	if opts.Params == (sim.Params{}) {
+		opts.Params = sim.DefaultTM()
+	}
+	if opts.CacheBytes == 0 {
+		opts.CacheBytes = 32 << 10
+	}
+	if opts.CacheWays == 0 {
+		opts.CacheWays = 4
+	}
+	if opts.LineBytes == 0 {
+		opts.LineBytes = 64
+	}
+	if opts.RestartLimit == 0 {
+		opts.RestartLimit = 1000
+	}
+	if opts.SigConfig == nil && !opts.WordGranularity {
+		opts.SigConfig = sig.DefaultTM()
+	}
+	if opts.PartialRollback && opts.Scheme != Bulk {
+		return nil, errors.New("tm: partial rollback requires the Bulk scheme")
+	}
+	if opts.SpillOnPreempt && opts.Scheme != Bulk {
+		return nil, errors.New("tm: signature spilling requires the Bulk scheme")
+	}
+	if opts.WordGranularity && opts.Scheme != Bulk {
+		return nil, errors.New("tm: word granularity requires the Bulk scheme")
+	}
+	if opts.WordGranularity && opts.SigConfig == nil {
+		// Word addresses over the TM cache: the 128-set index lives in
+		// word-address bits 4..10, so the permutation brings those bits
+		// (plus some offset bits) into the first S14 chunk, keeping the δ
+		// decode exact.
+		perm := []int{4, 5, 6, 7, 8, 9, 10, 0, 1, 2, 3, 11, 12, 13, 14, 15, 16, 17, 18, 19}
+		opts.SigConfig = sig.MustConfig("S14w", []int{10, 10}, perm, 30)
+	}
+	s := &System{
+		opts:         opts,
+		w:            w,
+		mem:          mem.NewMemory(),
+		engine:       sim.NewEngine(len(w.Threads)),
+		wordsPerLine: opts.LineBytes / 4,
+	}
+	s.sigCfg = opts.SigConfig
+	for i := range w.Threads {
+		c, err := cache.New(opts.CacheBytes, opts.CacheWays, opts.LineBytes)
+		if err != nil {
+			return nil, err
+		}
+		p := &proc{
+			id:         i,
+			cache:      c,
+			over:       mem.NewOverflowArea(),
+			exec:       trace.Executor{ThreadID: i},
+			stalledOn:  -1,
+			pairSquash: map[int]int{},
+		}
+		if opts.Scheme == Bulk {
+			// One version per nesting depth; 4 slots covers the 2–3
+			// section nests the workloads generate.
+			cfg := bdm.Config{
+				Sig:         opts.SigConfig,
+				Index:       sig.IndexSpec{LowBit: 0, Bits: indexBits(c)},
+				MaxVersions: 4,
+			}
+			if opts.WordGranularity {
+				wordBits := 0
+				for wl := s.wordsPerLine; wl > 1; wl >>= 1 {
+					wordBits++
+				}
+				cfg.Index = sig.IndexSpec{LowBit: wordBits, Bits: indexBits(c)}
+				cfg.WordsPerLine = s.wordsPerLine
+			}
+			m, err := bdm.New(cfg, c)
+			if err != nil {
+				return nil, fmt.Errorf("tm: proc %d: %w", i, err)
+			}
+			p.module = m
+		}
+		s.procs = append(s.procs, p)
+	}
+	return s, nil
+}
+
+func indexBits(c *cache.Cache) int { return c.IndexBits() }
+
+// Run executes the workload to completion and returns the result.
+func Run(w *workload.TMWorkload, opts Options) (*Result, error) {
+	s, err := NewSystem(w, opts)
+	if err != nil {
+		return nil, err
+	}
+	return s.run()
+}
+
+func (s *System) run() (*Result, error) {
+	for {
+		if s.stats.LivelockDetected {
+			break
+		}
+		p := s.engine.Next()
+		if p < 0 {
+			// Everyone parked: done if all finished; otherwise deadlock.
+			alldone := true
+			for _, q := range s.procs {
+				if !q.done {
+					alldone = false
+				}
+			}
+			if alldone {
+				break
+			}
+			return nil, errors.New("tm: deadlock — all processors parked with work remaining")
+		}
+		if s.procs[p].done {
+			s.engine.Park(p)
+			continue
+		}
+		s.step(s.procs[p])
+	}
+	s.stats.Cycles = s.engine.Now()
+	s.collectModuleStats()
+	s.collectOverflowStats()
+	return &Result{Stats: s.stats, Memory: s.mem, Log: s.log, RealSquashes: s.real}, nil
+}
+
+func (s *System) collectModuleStats() {
+	for _, p := range s.procs {
+		if p.module != nil {
+			ms := p.module.Stats()
+			s.stats.SafeWritebacks += ms.SafeWritebacks
+			s.stats.SetConflicts += ms.SetConflicts
+		}
+	}
+}
+
+func (s *System) collectOverflowStats() {
+	for _, p := range s.procs {
+		os := p.over.Stats()
+		s.stats.OverflowAccesses += os.Spills + os.Fetches + os.DisambiguationAccesses + os.Deallocs
+	}
+}
+
+// step performs one scheduling quantum for p: begin a transaction, execute
+// one op, or commit.
+func (s *System) step(p *proc) {
+	segs := s.w.Threads[p.id].Segments
+	if p.segIdx >= len(segs) {
+		p.done = true
+		s.engine.Park(p.id)
+		return
+	}
+	seg := &segs[p.segIdx]
+
+	if seg.Txn && !p.inTxn {
+		s.beginTxn(p, seg)
+		// Beginning costs a cycle; the first op runs next quantum.
+		s.engine.Advance(p.id, 1)
+		return
+	}
+
+	if p.opIdx >= len(seg.Ops) {
+		if seg.Txn {
+			s.commit(p, seg)
+		} else {
+			p.segIdx++
+			p.opIdx = 0
+			s.engine.Advance(p.id, 1)
+		}
+		return
+	}
+
+	// Context switches: pause, wait out the pause, then resume.
+	if p.preempt != nil {
+		if s.engine.Now() < p.preempt.resumeAt {
+			s.engine.AdvanceTo(p.id, p.preempt.resumeAt)
+			return
+		}
+		s.resumePreempted(p)
+		s.engine.Advance(p.id, 1)
+		return
+	}
+	if seg.Txn && s.maybePreempt(p) {
+		s.stats.Preemptions++
+		s.engine.AdvanceTo(p.id, p.preempt.resumeAt)
+		return
+	}
+
+	op := seg.Ops[p.opIdx]
+	// Section advance: entering a new nested section checkpoints state.
+	if seg.Txn && s.opts.PartialRollback {
+		s.maybeEnterSection(p, seg)
+	}
+	cost, ok := s.executeOp(p, seg, op)
+	if !ok {
+		// The op could not complete (Eager stall); p is parked and will
+		// retry this op when unparked.
+		return
+	}
+	p.opIdx++
+	s.engine.Advance(p.id, int(op.Think)+cost)
+}
+
+// beginTxn starts the transaction at p's current segment. The executor's
+// dependence register is reset so a transaction's semantics depend only on
+// reads made inside it — this makes the serial replay of Verify exact.
+func (s *System) beginTxn(p *proc, seg *workload.TMSegment) {
+	p.inTxn = true
+	p.txnStart = s.engine.Now()
+	p.opIdx = 0
+	p.lastPreemptOp = -1
+	p.exec.Reset()
+	p.sections = p.sections[:0]
+	s.pushSection(p, 0)
+}
+
+// pushSection opens a nesting section starting at op index startOp.
+func (s *System) pushSection(p *proc, startOp int) {
+	sec := &section{
+		startOp:  startOp,
+		wbuf:     map[uint64]uint64{},
+		readL:    map[uint64]bool{},
+		writeL:   map[uint64]bool{},
+		readW:    map[uint64]bool{},
+		lastRead: p.exec.LastRead(),
+	}
+	if p.module != nil {
+		v, err := p.module.AllocVersion(p.id*16 + len(p.sections))
+		if err != nil {
+			// Out of version slots: flatten into the innermost section.
+			// (Only reachable with deep nesting; the workloads nest ≤3.)
+			sec.version = p.sections[len(p.sections)-1].version
+		} else {
+			sec.version = v
+			p.module.SetRunning(v)
+		}
+	}
+	p.sections = append(p.sections, sec)
+}
+
+// maybeEnterSection opens the next nested section when execution crosses
+// its boundary.
+func (s *System) maybeEnterSection(p *proc, seg *workload.TMSegment) {
+	next := len(p.sections)
+	if next < len(seg.Sections) && p.opIdx == seg.Sections[next] {
+		s.pushSection(p, p.opIdx)
+	}
+}
+
+// top returns the innermost open section.
+func (p *proc) top() *section { return p.sections[len(p.sections)-1] }
+
+// readLines / writeLines iterate exact sets across sections.
+func (p *proc) inReadSet(line uint64) bool {
+	for _, sec := range p.sections {
+		if sec.readL[line] {
+			return true
+		}
+	}
+	return false
+}
+
+func (p *proc) inWriteSet(line uint64) bool {
+	for _, sec := range p.sections {
+		if sec.writeL[line] {
+			return true
+		}
+	}
+	return false
+}
+
+// readWord/wroteWord are the word-granularity exact-set queries.
+func (p *proc) readWord(w uint64) bool {
+	for _, sec := range p.sections {
+		if sec.readW[w] {
+			return true
+		}
+	}
+	return false
+}
+
+func (p *proc) wroteWord(w uint64) bool {
+	for _, sec := range p.sections {
+		if _, ok := sec.wbuf[w]; ok {
+			return true
+		}
+	}
+	return false
+}
+
+// bufLookup searches the section write buffers innermost-first.
+func (p *proc) bufLookup(word uint64) (uint64, bool) {
+	for i := len(p.sections) - 1; i >= 0; i-- {
+		if v, ok := p.sections[i].wbuf[word]; ok {
+			return v, true
+		}
+	}
+	return 0, false
+}
+
+// allWriteLines collects the union of exact write lines.
+func (p *proc) allWriteLines() map[uint64]bool {
+	out := map[uint64]bool{}
+	for _, sec := range p.sections {
+		for l := range sec.writeL {
+			out[l] = true
+		}
+	}
+	return out
+}
+
+// allReadLines collects the union of exact read lines.
+func (p *proc) allReadLines() map[uint64]bool {
+	out := map[uint64]bool{}
+	for _, sec := range p.sections {
+		for l := range sec.readL {
+			out[l] = true
+		}
+	}
+	return out
+}

@@ -1,0 +1,299 @@
+package tm
+
+import (
+	"testing"
+
+	"bulk/internal/sig"
+	"bulk/internal/trace"
+	"bulk/internal/workload"
+)
+
+// sigForTest builds a deliberately tiny signature (136 bits) that still
+// decodes the 7 cache-index bits exactly (first chunk covers them), so the
+// BDM accepts it but aliasing is rampant.
+func sigForTest() (*sig.Config, error) {
+	return sig.NewConfig("tiny", []int{7, 3}, nil, sig.TMAddrBits)
+}
+
+// smallProfile returns a scaled-down TM profile for fast tests.
+func smallProfile(name string) workload.TMProfile {
+	p, ok := workload.TMProfileByName(name)
+	if !ok {
+		panic("unknown profile " + name)
+	}
+	p.TxnsPerThread = 6
+	p.Threads = 4
+	return p
+}
+
+func runAndVerify(t *testing.T, w *workload.TMWorkload, opts Options) *Result {
+	t.Helper()
+	r, err := Run(w, opts)
+	if err != nil {
+		t.Fatalf("Run(%v): %v", opts.Scheme, err)
+	}
+	if err := Verify(w, r); err != nil {
+		t.Fatalf("Verify(%v): %v", opts.Scheme, err)
+	}
+	return r
+}
+
+func TestAllSchemesSerializable(t *testing.T) {
+	for _, name := range []string{"cb", "sjbb2k", "mc"} {
+		w := workload.GenerateTM(smallProfile(name), 42)
+		for _, sc := range []Scheme{Eager, Lazy, Bulk} {
+			r := runAndVerify(t, w, NewOptions(sc))
+			if r.Stats.Commits != uint64(w.Transactions()) {
+				t.Errorf("%s/%v: commits=%d, want %d", name, sc, r.Stats.Commits, w.Transactions())
+			}
+			if r.Stats.Cycles <= 0 {
+				t.Errorf("%s/%v: no simulated time elapsed", name, sc)
+			}
+		}
+	}
+}
+
+func TestAllProfilesBulkSerializable(t *testing.T) {
+	for _, p := range workload.TMProfiles() {
+		sp := p
+		sp.TxnsPerThread = 4
+		w := workload.GenerateTM(sp, 7)
+		runAndVerify(t, w, NewOptions(Bulk))
+	}
+}
+
+func TestSchemesProduceIdenticalMemory(t *testing.T) {
+	// Different schemes may commit in different orders, but each must be
+	// serializable; additionally, with WriteDep values flowing through,
+	// all schemes replaying the same workload must match their own logs.
+	// (Cross-scheme memory equality is NOT required — commit order
+	// differs — so we only check each against its own serialization.)
+	w := workload.GenerateTM(smallProfile("jgrt"), 99)
+	for _, sc := range []Scheme{Eager, Lazy, Bulk} {
+		runAndVerify(t, w, NewOptions(sc))
+	}
+}
+
+func TestBulkPartialRollback(t *testing.T) {
+	p := smallProfile("lu")
+	p.NestProb = 1.0 // every transaction nests
+	w := workload.GenerateTM(p, 13)
+	opts := NewOptions(Bulk)
+	opts.PartialRollback = true
+	r := runAndVerify(t, w, opts)
+	if r.Stats.Commits != uint64(w.Transactions()) {
+		t.Fatalf("commits=%d, want %d", r.Stats.Commits, w.Transactions())
+	}
+	// Partial rollback requires Bulk.
+	bad := NewOptions(Lazy)
+	bad.PartialRollback = true
+	if _, err := Run(w, bad); err == nil {
+		t.Fatal("PartialRollback with Lazy must be rejected")
+	}
+}
+
+func TestStatsShape(t *testing.T) {
+	w := workload.GenerateTM(smallProfile("cb"), 5)
+	r := runAndVerify(t, w, NewOptions(Bulk))
+	if r.AvgReadSetLines() <= r.AvgWriteSetLines() {
+		t.Errorf("read sets (%.1f) must exceed write sets (%.1f)",
+			r.AvgReadSetLines(), r.AvgWriteSetLines())
+	}
+	if r.AvgReadSetLines() < 30 || r.AvgReadSetLines() > 120 {
+		t.Errorf("cb read set %.1f lines implausible vs Table 7's 73.6", r.AvgReadSetLines())
+	}
+	if r.Stats.Bandwidth.Total() == 0 {
+		t.Error("no bandwidth recorded")
+	}
+	if r.Stats.Bandwidth.CommitBytes() == 0 {
+		t.Error("no commit bandwidth recorded for Bulk")
+	}
+}
+
+func TestCommitBandwidthBulkBelowLazy(t *testing.T) {
+	w := workload.GenerateTM(smallProfile("cb"), 11)
+	lazy := runAndVerify(t, w, NewOptions(Lazy))
+	bulk := runAndVerify(t, w, NewOptions(Bulk))
+	lb := lazy.Stats.Bandwidth.CommitBytes()
+	bb := bulk.Stats.Bandwidth.CommitBytes()
+	if lb == 0 || bb == 0 {
+		t.Fatalf("commit bytes: lazy=%d bulk=%d", lb, bb)
+	}
+	// The paper reports ~83% reduction; demand at least 2x here.
+	if float64(bb) > 0.5*float64(lb) {
+		t.Errorf("Bulk commit bandwidth %d not well below Lazy %d", bb, lb)
+	}
+}
+
+func TestOverflowAccessesBulkBelowLazy(t *testing.T) {
+	// Force overflow with a tiny cache.
+	p := smallProfile("cb")
+	w := workload.GenerateTM(p, 3)
+	mk := func(sc Scheme) Options {
+		o := NewOptions(sc)
+		o.CacheBytes = 4 << 10 // 16 sets: footprints of ~100 lines overflow
+		return o
+	}
+	lazy := runAndVerify(t, w, mk(Lazy))
+	bulk := runAndVerify(t, w, mk(Bulk))
+	if lazy.Stats.OverflowAccesses == 0 {
+		t.Fatal("tiny cache must cause overflow traffic in Lazy")
+	}
+	if bulk.Stats.OverflowAccesses >= lazy.Stats.OverflowAccesses {
+		t.Errorf("Bulk overflow accesses (%d) must be below Lazy (%d)",
+			bulk.Stats.OverflowAccesses, lazy.Stats.OverflowAccesses)
+	}
+}
+
+// fig12aWorkload builds the mutual-squash pattern of Figure 12(a): two
+// transactions that both read then write the same location, with enough
+// work after the write that neither reaches commit before the other's
+// access conflicts.
+func fig12aWorkload() *workload.TMWorkload {
+	const A = 0 // contended word
+	mkOps := func(tid int) []trace.Op {
+		ops := []trace.Op{{Kind: trace.Read, Addr: A, Think: 2}}
+		// Private filler before the write.
+		base := uint64(0x100000 * (tid + 1))
+		for i := 0; i < 10; i++ {
+			ops = append(ops, trace.Op{Kind: trace.Read, Addr: base + uint64(i)*16, Think: 5})
+		}
+		ops = append(ops, trace.Op{Kind: trace.WriteDep, Addr: A, Think: 2})
+		// Long tail so the other thread's restart lands before commit.
+		for i := 0; i < 40; i++ {
+			ops = append(ops, trace.Op{Kind: trace.Read, Addr: base + 0x1000 + uint64(i)*16, Think: 5})
+		}
+		return ops
+	}
+	return &workload.TMWorkload{
+		Name: "fig12a",
+		Threads: []workload.TMThread{
+			{Segments: []workload.TMSegment{{Txn: true, Ops: mkOps(0), Sections: []int{0}}}},
+			{Segments: []workload.TMSegment{{Txn: true, Ops: mkOps(1), Sections: []int{0}}}},
+		},
+	}
+}
+
+func TestFigure12aEagerLivelock(t *testing.T) {
+	w := fig12aWorkload()
+
+	// Eager without the footnote-2 fix and without backoff: no forward
+	// progress.
+	opts := NewOptions(Eager)
+	opts.LivelockFix = false
+	opts.Params.BackoffBase = 0
+	opts.RestartLimit = 50
+	r, err := Run(w, opts)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !r.Stats.LivelockDetected {
+		t.Fatalf("expected livelock without the fix; commits=%d squashes=%d",
+			r.Stats.Commits, r.Stats.Squashes)
+	}
+
+	// With the fix: completes.
+	fixed := NewOptions(Eager)
+	fixed.Params.BackoffBase = 0
+	rf := runAndVerify(t, w, fixed)
+	if rf.Stats.Commits != 2 {
+		t.Fatalf("with fix: commits=%d, want 2", rf.Stats.Commits)
+	}
+	if rf.Stats.Stalls == 0 {
+		t.Error("the fix should have stalled one thread at least once")
+	}
+
+	// Lazy: completes with at most one squash of the losing thread.
+	rl := runAndVerify(t, w, NewOptions(Lazy))
+	if rl.Stats.Commits != 2 {
+		t.Fatalf("lazy: commits=%d, want 2", rl.Stats.Commits)
+	}
+	if rl.Stats.Squashes > 2 {
+		t.Errorf("lazy: %d squashes for the Figure 12(a) pattern, expected <= 2", rl.Stats.Squashes)
+	}
+}
+
+// fig12bWorkload: thread 0 reads A in a short transaction; thread 1 writes
+// A early in a long transaction that commits after thread 0's.
+func fig12bWorkload() *workload.TMWorkload {
+	const A = 0
+	t0 := []trace.Op{{Kind: trace.Read, Addr: A, Think: 2}}
+	base := uint64(0x200000)
+	for i := 0; i < 8; i++ {
+		t0 = append(t0, trace.Op{Kind: trace.Read, Addr: base + uint64(i)*16, Think: 4})
+	}
+	var t1 []trace.Op
+	t1 = append(t1, trace.Op{Kind: trace.Write, Addr: A, Think: 2})
+	for i := 0; i < 60; i++ {
+		t1 = append(t1, trace.Op{Kind: trace.Read, Addr: 0x300000 + uint64(i)*16, Think: 5})
+	}
+	return &workload.TMWorkload{
+		Name: "fig12b",
+		Threads: []workload.TMThread{
+			{Segments: []workload.TMSegment{{Txn: true, Ops: t0, Sections: []int{0}}}},
+			{Segments: []workload.TMSegment{{Txn: true, Ops: t1, Sections: []int{0}}}},
+		},
+	}
+}
+
+func TestFigure12bEagerSquashesLazyDoesNot(t *testing.T) {
+	w := fig12bWorkload()
+	re := runAndVerify(t, w, NewOptions(Eager))
+	if re.Stats.Squashes == 0 {
+		t.Error("Eager must squash the reader when the writer stores A")
+	}
+	rl := runAndVerify(t, w, NewOptions(Lazy))
+	if rl.Stats.Squashes != 0 {
+		t.Errorf("Lazy must not squash (reader commits first), got %d squashes", rl.Stats.Squashes)
+	}
+	rb := runAndVerify(t, w, NewOptions(Bulk))
+	if rb.Stats.Squashes != 0 {
+		t.Errorf("Bulk must not squash here (no aliasing expected), got %d", rb.Stats.Squashes)
+	}
+}
+
+func TestBulkFalsePositivesWithTinySignature(t *testing.T) {
+	// A deliberately tiny signature must produce false squashes, and the
+	// run must still be correct — inexact but correct.
+	w := workload.GenerateTM(smallProfile("cb"), 17)
+	opts := NewOptions(Bulk)
+	cfg, err := sigForTest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.SigConfig = cfg
+	r := runAndVerify(t, w, opts)
+	if r.Stats.FalseSquashes == 0 {
+		t.Error("tiny signature should cause false-positive squashes")
+	}
+	if r.Stats.FalseInvalidations == 0 {
+		t.Error("tiny signature should cause aliased invalidations")
+	}
+}
+
+func TestNoRLEAblation(t *testing.T) {
+	w := workload.GenerateTM(smallProfile("mc"), 23)
+	with := runAndVerify(t, w, NewOptions(Bulk))
+	o := NewOptions(Bulk)
+	o.NoRLE = true
+	without := runAndVerify(t, w, o)
+	if without.Stats.Bandwidth.CommitBytes() <= with.Stats.Bandwidth.CommitBytes() {
+		t.Errorf("disabling RLE must raise commit bytes: with=%d without=%d",
+			with.Stats.Bandwidth.CommitBytes(), without.Stats.Bandwidth.CommitBytes())
+	}
+}
+
+func TestEmptyWorkloadRejected(t *testing.T) {
+	if _, err := Run(&workload.TMWorkload{}, NewOptions(Bulk)); err == nil {
+		t.Fatal("empty workload must be rejected")
+	}
+}
+
+func TestSchemeStrings(t *testing.T) {
+	if Eager.String() != "Eager" || Lazy.String() != "Lazy" || Bulk.String() != "Bulk" {
+		t.Fatal("scheme strings wrong")
+	}
+	if Scheme(9).String() != "Scheme(?)" {
+		t.Fatal("unknown scheme string wrong")
+	}
+}

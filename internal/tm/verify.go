@@ -1,0 +1,87 @@
+package tm
+
+import (
+	"fmt"
+
+	"bulk/internal/mem"
+	"bulk/internal/trace"
+	"bulk/internal/workload"
+)
+
+// Verify checks a run's end-to-end correctness: the committed units,
+// replayed serially in the logged commit order, must produce exactly the
+// final memory the concurrent run produced. This is the conflict-
+// serializability guarantee every scheme (including inexact Bulk) must
+// provide — "inexact but correct".
+//
+// It also checks coverage: every transaction commits exactly once and every
+// non-transactional write appears exactly once.
+func Verify(w *workload.TMWorkload, r *Result) error {
+	if r.Stats.LivelockDetected {
+		return fmt.Errorf("tm: run aborted by livelock; nothing to verify")
+	}
+	ref := mem.NewMemory()
+	execs := make([]*trace.Executor, len(w.Threads))
+	for i := range execs {
+		execs[i] = &trace.Executor{ThreadID: i}
+	}
+	seenTxn := map[[2]int]int{}
+	seenOp := map[[3]int]int{}
+
+	for _, u := range r.Log {
+		if u.Thread < 0 || u.Thread >= len(w.Threads) {
+			return fmt.Errorf("tm: log unit has bad thread %d", u.Thread)
+		}
+		segs := w.Threads[u.Thread].Segments
+		if u.Segment < 0 || u.Segment >= len(segs) {
+			return fmt.Errorf("tm: log unit has bad segment %d", u.Segment)
+		}
+		seg := segs[u.Segment]
+		e := execs[u.Thread]
+		if seg.Txn {
+			if u.OpLo != 0 || u.OpHi != len(seg.Ops) {
+				return fmt.Errorf("tm: transactional unit %v does not span its segment", u)
+			}
+			seenTxn[[2]int{u.Thread, u.Segment}]++
+			e.Reset() // matches beginTxn
+		} else {
+			if u.OpHi != u.OpLo+1 {
+				return fmt.Errorf("tm: non-transactional unit %v must be a single op", u)
+			}
+			seenOp[[3]int{u.Thread, u.Segment, u.OpLo}]++
+		}
+		for i := u.OpLo; i < u.OpHi; i++ {
+			e.Step(i, seg.Ops[i],
+				func(a uint64) uint64 { return uint64(ref.Read(a)) },
+				func(a, v uint64) { ref.Write(a, mem.Word(v)) })
+		}
+	}
+
+	// Coverage.
+	for ti, th := range w.Threads {
+		for si, seg := range th.Segments {
+			if seg.Txn {
+				if n := seenTxn[[2]int{ti, si}]; n != 1 {
+					return fmt.Errorf("tm: transaction thread=%d seg=%d committed %d times, want 1", ti, si, n)
+				}
+				continue
+			}
+			for oi, op := range seg.Ops {
+				if op.Kind == trace.Read {
+					continue
+				}
+				if n := seenOp[[3]int{ti, si, oi}]; n != 1 {
+					return fmt.Errorf("tm: non-txn write thread=%d seg=%d op=%d logged %d times, want 1", ti, si, oi, n)
+				}
+			}
+		}
+	}
+
+	if !ref.Equal(r.Memory) {
+		diffs := ref.Diff(r.Memory, 5)
+		return fmt.Errorf("tm: final memory differs from serial replay at words %v "+
+			"(run=%d words, replay=%d words) — serializability violated",
+			diffs, r.Memory.Len(), ref.Len())
+	}
+	return nil
+}

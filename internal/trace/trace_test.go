@@ -1,0 +1,91 @@
+package trace
+
+import "testing"
+
+func TestValueDeterministicNonZero(t *testing.T) {
+	v1 := Value(1, 2, 3)
+	v2 := Value(1, 2, 3)
+	if v1 != v2 {
+		t.Fatal("Value must be deterministic")
+	}
+	if v1 == 0 {
+		t.Fatal("Value must be non-zero")
+	}
+	if Value(1, 2, 3) == Value(2, 2, 3) || Value(1, 2, 3) == Value(1, 3, 3) {
+		t.Fatal("Value must distinguish thread and op index")
+	}
+}
+
+func TestDepValuePropagatesReads(t *testing.T) {
+	if DepValue(1, 10) == DepValue(2, 10) {
+		t.Fatal("DepValue must depend on the read value")
+	}
+	if DepValue(5, 10) != DepValue(5, 10) {
+		t.Fatal("DepValue must be deterministic")
+	}
+	if DepValue(0, 0) == 0 {
+		t.Fatal("DepValue must be non-zero")
+	}
+}
+
+func TestExecutorSemantics(t *testing.T) {
+	memory := map[uint64]uint64{100: 7}
+	load := func(a uint64) uint64 { return memory[a] }
+	store := func(a, v uint64) { memory[a] = v }
+
+	e := &Executor{ThreadID: 3}
+	e.Step(0, Op{Kind: Read, Addr: 100}, load, store)
+	if e.LastRead() != 7 {
+		t.Fatalf("LastRead=%d, want 7", e.LastRead())
+	}
+	e.Step(1, Op{Kind: WriteDep, Addr: 200}, load, store)
+	if memory[200] != DepValue(7, 200) {
+		t.Fatal("WriteDep must store DepValue(lastRead, addr)")
+	}
+	e.Step(2, Op{Kind: Write, Addr: 300}, load, store)
+	if memory[300] != Value(3, 2, 300) {
+		t.Fatal("Write must store Value(thread, index, addr)")
+	}
+	e.Reset()
+	if e.LastRead() != 0 {
+		t.Fatal("Reset must clear the dependence register")
+	}
+	e.SetLastRead(42)
+	if e.LastRead() != 42 {
+		t.Fatal("SetLastRead failed")
+	}
+}
+
+func TestExecutorUnknownOpPanics(t *testing.T) {
+	e := &Executor{}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown op kind must panic")
+		}
+	}()
+	e.Step(0, Op{Kind: OpKind(99)}, nil, nil)
+}
+
+func TestFootprintOf(t *testing.T) {
+	ops := []Op{
+		{Kind: Read, Addr: 0},
+		{Kind: Read, Addr: 0},  // duplicate word
+		{Kind: Read, Addr: 15}, // same line as 0 (16 words/line)
+		{Kind: Read, Addr: 16}, // next line
+		{Kind: Write, Addr: 32},
+		{Kind: WriteDep, Addr: 33}, // same line as 32
+	}
+	fp := FootprintOf(ops, 16)
+	if fp.ReadWords != 3 || fp.ReadLines != 2 {
+		t.Fatalf("read footprint wrong: %+v", fp)
+	}
+	if fp.WriteWords != 2 || fp.WriteLines != 1 {
+		t.Fatalf("write footprint wrong: %+v", fp)
+	}
+}
+
+func TestOpKindStrings(t *testing.T) {
+	if Read.String() != "Read" || Write.String() != "Write" || WriteDep.String() != "WriteDep" {
+		t.Fatal("OpKind strings wrong")
+	}
+}

@@ -1,0 +1,148 @@
+package workload
+
+import (
+	"testing"
+
+	"bulk/internal/trace"
+)
+
+// Layout invariants the signature analysis (DESIGN.md) depends on.
+
+func TestScatterDeterministicAndBounded(t *testing.T) {
+	for i := 0; i < 1000; i++ {
+		a := Scatter(i, 1<<19)
+		b := Scatter(i, 1<<19)
+		if a != b {
+			t.Fatalf("Scatter(%d) not deterministic", i)
+		}
+		if a >= 1<<19 {
+			t.Fatalf("Scatter(%d)=%d out of range", i, a)
+		}
+	}
+	// Distinct indices rarely collide (birthday-consistent for 1000 of
+	// 2^19 — expect ~1; tolerate a few).
+	seen := map[uint64]int{}
+	coll := 0
+	for i := 0; i < 1000; i++ {
+		v := Scatter(i, 1<<19)
+		if seen[v] > 0 {
+			coll++
+		}
+		seen[v]++
+	}
+	if coll > 5 {
+		t.Fatalf("Scatter collides too much: %d/1000", coll)
+	}
+}
+
+func TestTMPrivateHeapLineLayout(t *testing.T) {
+	for tid := 0; tid < 8; tid++ {
+		for e := uint64(0); e < 2000; e += 7 {
+			l := TMPrivateHeapLine(tid, e)
+			if l>>20&1 != 1 {
+				t.Fatalf("private line %#x missing bit-20 marker", l)
+			}
+			if l>>9&1 != 1 {
+				t.Fatalf("private line %#x missing bit-9 marker", l)
+			}
+			if got := int(l >> 17 & 7); got != tid {
+				t.Fatalf("private line %#x carries tid %d, want %d", l, got, tid)
+			}
+			if l >= 1<<26 {
+				t.Fatalf("private line %#x exceeds the 26-bit line space", l)
+			}
+		}
+	}
+	// Distinct entropy values give distinct lines (bijective packing).
+	seen := map[uint64]bool{}
+	for e := uint64(0); e < 1<<12; e++ {
+		l := TMPrivateHeapLine(3, e)
+		if seen[l] {
+			t.Fatalf("entropy packing not injective at %d", e)
+		}
+		seen[l] = true
+	}
+}
+
+func TestTMSharedObjectLineLayout(t *testing.T) {
+	for i := 0; i < 2000; i++ {
+		l := TMSharedObjectLine(i)
+		if l>>20&1 != 0 {
+			t.Fatalf("shared line %#x has the bit-20 private marker", l)
+		}
+		if l>>9&1 != 0 {
+			t.Fatalf("shared line %#x has the bit-9 private marker", l)
+		}
+		if l >= 1<<26 {
+			t.Fatalf("shared line %#x exceeds the 26-bit line space", l)
+		}
+	}
+}
+
+func TestPrivateHeapsDisjointAcrossThreads(t *testing.T) {
+	seen := map[uint64]int{}
+	for tid := 0; tid < 8; tid++ {
+		for e := uint64(0); e < 512; e++ {
+			l := TMPrivateHeapLine(tid, e*1237)
+			if prev, ok := seen[l]; ok && prev != tid {
+				t.Fatalf("line %#x shared between threads %d and %d", l, prev, tid)
+			}
+			seen[l] = tid
+		}
+	}
+}
+
+func TestTLSTaskAddressesFitWordSpace(t *testing.T) {
+	for _, p := range TLSProfiles() {
+		sp := p
+		sp.Tasks = 30
+		w := GenerateTLS(sp, 3)
+		for _, task := range w.Tasks {
+			for _, op := range task.Ops {
+				if op.Addr >= 1<<30 {
+					t.Fatalf("%s: word address %#x exceeds the 30-bit space", p.Name, op.Addr)
+				}
+			}
+		}
+	}
+}
+
+func TestTMAddressesFitLineSpace(t *testing.T) {
+	for _, p := range TMProfiles() {
+		sp := p
+		sp.TxnsPerThread = 3
+		w := GenerateTM(sp, 3)
+		for _, th := range w.Threads {
+			for _, seg := range th.Segments {
+				for _, op := range seg.Ops {
+					if LineOf(op.Addr) >= 1<<26 {
+						t.Fatalf("%s: line address %#x exceeds the 26-bit space",
+							p.Name, LineOf(op.Addr))
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestNonTxnSegmentsHaveNoDepWrites(t *testing.T) {
+	// The serializability oracle relies on non-transactional code being
+	// free of flow-dependent writes.
+	for _, p := range TMProfiles() {
+		sp := p
+		sp.TxnsPerThread = 3
+		w := GenerateTM(sp, 9)
+		for _, th := range w.Threads {
+			for _, seg := range th.Segments {
+				if seg.Txn {
+					continue
+				}
+				for _, op := range seg.Ops {
+					if op.Kind == trace.WriteDep {
+						t.Fatalf("%s: WriteDep in non-transactional segment", p.Name)
+					}
+				}
+			}
+		}
+	}
+}

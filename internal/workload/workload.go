@@ -1,0 +1,88 @@
+// Package workload generates the synthetic memory traces that stand in for
+// the paper's applications.
+//
+// The paper evaluates TLS on SPECint2000 binaries compiled by the POSH TLS
+// compiler and run on the SESC simulator, and TM on Java workloads
+// (SPECjbb2000 and Java Grande) traced with Jikes RVM under Simics. Neither
+// toolchain is available here, but Bulk's behaviour depends only on the
+// *address streams* the threads issue: footprint sizes, read/write mix,
+// cross-thread overlap structure, and (for TLS) the placement of writes
+// relative to child spawns. The paper itself publishes those statistics per
+// application (Tables 6 and 7), so each application is modelled as a
+// profile whose generator reproduces them. Generation is deterministic
+// (seeded, forked streams) so every scheme replays identical logical work.
+package workload
+
+import "bulk/internal/trace"
+
+// WordsPerLine is the number of 4-byte words in the 64-byte cache lines of
+// Table 5. All workloads use this geometry.
+const WordsPerLine = 16
+
+// TMSegment is a unit of work on a TM thread: either one transaction or a
+// stretch of non-transactional code.
+type TMSegment struct {
+	// Txn marks the segment as a transaction.
+	Txn bool
+	// Ops is the memory-operation stream (word addresses).
+	Ops []trace.Op
+	// Sections lists the op indices at which the nested-transaction
+	// sections of Figure 8 begin; Sections[0] is always 0. A flat
+	// transaction has Sections == []int{0}. Empty for non-txn segments.
+	Sections []int
+}
+
+// TMThread is one TM worker's program: segments executed in order.
+type TMThread struct {
+	Segments []TMSegment
+}
+
+// TMWorkload is a complete TM run input.
+type TMWorkload struct {
+	Name    string
+	Threads []TMThread
+}
+
+// Transactions counts the transactional segments across all threads.
+func (w *TMWorkload) Transactions() int {
+	n := 0
+	for _, t := range w.Threads {
+		for _, s := range t.Segments {
+			if s.Txn {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// TLSTask is one speculative task of a sequentialized program. SpawnIndex
+// is the op index after which the task spawns its successor (the paper's
+// fine-grain parent/child structure: the parent produces the child's
+// live-ins before the spawn point).
+type TLSTask struct {
+	Ops        []trace.Op
+	SpawnIndex int
+}
+
+// TLSWorkload is a complete TLS run input: the tasks in sequential program
+// order.
+type TLSWorkload struct {
+	Name  string
+	Tasks []TLSTask
+}
+
+// LineOf maps a word address to its line address.
+func LineOf(wordAddr uint64) uint64 { return wordAddr / WordsPerLine }
+
+// Scatter maps a dense index to a pseudo-random position in [0, space),
+// deterministically. Shared structures in real programs are heap objects
+// scattered across the address space, not a dense block; signatures rely
+// on that entropy reaching their high chunks. space must be a power of two.
+func Scatter(i int, space uint64) uint64 {
+	x := uint64(i)*0x9e3779b97f4a7c15 + 0x632be59bd9b4e019
+	x ^= x >> 29
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 32
+	return x & (space - 1)
+}

@@ -1,0 +1,239 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"bulk/internal/trace"
+)
+
+func TestGenerateTMDeterministic(t *testing.T) {
+	p, ok := TMProfileByName("cb")
+	if !ok {
+		t.Fatal("cb profile missing")
+	}
+	a := GenerateTM(p, 1)
+	b := GenerateTM(p, 1)
+	if len(a.Threads) != len(b.Threads) {
+		t.Fatal("thread counts differ")
+	}
+	for ti := range a.Threads {
+		sa, sb := a.Threads[ti].Segments, b.Threads[ti].Segments
+		if len(sa) != len(sb) {
+			t.Fatalf("thread %d: segment counts differ", ti)
+		}
+		for si := range sa {
+			if len(sa[si].Ops) != len(sb[si].Ops) {
+				t.Fatalf("thread %d seg %d: op counts differ", ti, si)
+			}
+			for oi := range sa[si].Ops {
+				if sa[si].Ops[oi] != sb[si].Ops[oi] {
+					t.Fatalf("thread %d seg %d op %d differs", ti, si, oi)
+				}
+			}
+		}
+	}
+	c := GenerateTM(p, 2)
+	if len(c.Threads[0].Segments[1].Ops) == len(a.Threads[0].Segments[1].Ops) &&
+		c.Threads[0].Segments[1].Ops[0] == a.Threads[0].Segments[1].Ops[0] {
+		// Not a hard guarantee, but wildly unlikely for differing seeds.
+		t.Log("warning: different seeds produced an identical first op")
+	}
+}
+
+func TestTMFootprintsMatchTable7(t *testing.T) {
+	// Table 7 read/write set targets in lines, within a ±20% band (the
+	// generator is stochastic and aims at the mean).
+	targets := map[string][2]float64{
+		"cb": {73.6, 26.9}, "jgrt": {67.1, 22.1}, "lu": {81.7, 27.3},
+		"mc": {51.6, 17.6}, "moldyn": {70.2, 25.1}, "series": {86.9, 25.9},
+		"sjbb2k": {41.6, 11.2},
+	}
+	for _, p := range TMProfiles() {
+		w := GenerateTM(p, 7)
+		var rd, wr float64
+		n := 0
+		for _, th := range w.Threads {
+			for _, seg := range th.Segments {
+				if !seg.Txn {
+					continue
+				}
+				fp := trace.FootprintOf(seg.Ops, WordsPerLine)
+				rd += float64(fp.ReadLines)
+				wr += float64(fp.WriteLines)
+				n++
+			}
+		}
+		rd /= float64(n)
+		wr /= float64(n)
+		want := targets[p.Name]
+		if math.Abs(rd-want[0])/want[0] > 0.2 {
+			t.Errorf("%s: mean read set %.1f lines, want ≈%.1f", p.Name, rd, want[0])
+		}
+		if math.Abs(wr-want[1])/want[1] > 0.2 {
+			t.Errorf("%s: mean write set %.1f lines, want ≈%.1f", p.Name, wr, want[1])
+		}
+		// Read sets must exceed write sets, as the paper observes.
+		if rd <= wr {
+			t.Errorf("%s: read set %.1f not larger than write set %.1f", p.Name, rd, wr)
+		}
+	}
+}
+
+func TestTLSFootprintsMatchTable6(t *testing.T) {
+	targets := map[string][2]float64{
+		"bzip2": {30.2, 4.9}, "crafty": {109.0, 23.2}, "gap": {42.4, 13.4},
+		"gzip": {14.3, 4.8}, "mcf": {12.3, 0.7}, "parser": {29.6, 7.1},
+		"twolf": {41.1, 6.4}, "vortex": {34.7, 23.5}, "vpr": {43.1, 8.7},
+	}
+	for _, p := range TLSProfiles() {
+		w := GenerateTLS(p, 7)
+		var rd, wr float64
+		for _, task := range w.Tasks {
+			fp := trace.FootprintOf(task.Ops, WordsPerLine)
+			rd += float64(fp.ReadWords)
+			wr += float64(fp.WriteWords)
+		}
+		rd /= float64(len(w.Tasks))
+		wr /= float64(len(w.Tasks))
+		want := targets[p.Name]
+		// Word footprints have a wider band: tiny write sets (mcf: 0.7
+		// words) cannot be matched closer than the nearest integer.
+		if math.Abs(rd-want[0]) > want[0]*0.25+1 {
+			t.Errorf("%s: mean read set %.1f words, want ≈%.1f", p.Name, rd, want[0])
+		}
+		if math.Abs(wr-want[1]) > want[1]*0.25+1 {
+			t.Errorf("%s: mean write set %.1f words, want ≈%.1f", p.Name, wr, want[1])
+		}
+	}
+}
+
+func TestTLSSpawnStructure(t *testing.T) {
+	p, _ := TLSProfileByName("crafty")
+	w := GenerateTLS(p, 3)
+	if len(w.Tasks) != p.Tasks {
+		t.Fatalf("got %d tasks, want %d", len(w.Tasks), p.Tasks)
+	}
+	for i, task := range w.Tasks {
+		if len(task.Ops) == 0 {
+			t.Fatalf("task %d is empty", i)
+		}
+		if task.SpawnIndex < 0 || task.SpawnIndex >= len(task.Ops) {
+			t.Fatalf("task %d spawn index %d out of range [0,%d)", i, task.SpawnIndex, len(task.Ops))
+		}
+	}
+}
+
+func TestTLSLiveInsComeFromParentPreSpawnWrites(t *testing.T) {
+	p, _ := TLSProfileByName("crafty")
+	p.TrueDepProb = 0 // isolate live-ins
+	p.LiveInProb = 1  // every task consumes them
+	w := GenerateTLS(p, 11)
+	for i := 1; i < len(w.Tasks); i++ {
+		parent := w.Tasks[i-1]
+		child := w.Tasks[i]
+		preWrites := map[uint64]bool{}
+		for j, op := range parent.Ops {
+			if op.Kind != trace.Read && j <= parent.SpawnIndex {
+				preWrites[op.Addr] = true
+			}
+		}
+		// The first min(LiveIns, |preWrites|) reads of the child must be
+		// parent pre-spawn writes.
+		want := p.LiveIns
+		if len(preWrites) < want {
+			want = len(preWrites)
+		}
+		checked := 0
+		for _, op := range child.Ops {
+			if op.Kind != trace.Read || checked >= want {
+				break
+			}
+			if !preWrites[op.Addr] {
+				t.Fatalf("task %d live-in read %#x is not a parent pre-spawn write", i, op.Addr)
+			}
+			checked++
+		}
+	}
+}
+
+func TestTMSegmentStructure(t *testing.T) {
+	for _, p := range TMProfiles() {
+		w := GenerateTM(p, 5)
+		if len(w.Threads) != p.Threads {
+			t.Fatalf("%s: %d threads, want %d", p.Name, len(w.Threads), p.Threads)
+		}
+		txns := 0
+		for _, th := range w.Threads {
+			for _, seg := range th.Segments {
+				if seg.Txn {
+					txns++
+					if len(seg.Sections) < 1 || seg.Sections[0] != 0 {
+						t.Fatalf("%s: transaction sections must start at 0: %v", p.Name, seg.Sections)
+					}
+					for i := 1; i < len(seg.Sections); i++ {
+						if seg.Sections[i] <= seg.Sections[i-1] || seg.Sections[i] >= len(seg.Ops) {
+							t.Fatalf("%s: bad section boundaries %v (len %d)", p.Name, seg.Sections, len(seg.Ops))
+						}
+					}
+					if len(seg.Ops) == 0 {
+						t.Fatalf("%s: empty transaction", p.Name)
+					}
+				}
+			}
+		}
+		if txns != p.Threads*p.TxnsPerThread {
+			t.Fatalf("%s: %d transactions, want %d", p.Name, txns, p.Threads*p.TxnsPerThread)
+		}
+		if got := w.Transactions(); got != txns {
+			t.Fatalf("Transactions()=%d, want %d", got, txns)
+		}
+	}
+}
+
+func TestHotRegionDisjointFromShared(t *testing.T) {
+	// sjbb2k's RMW hot lines must not collide with the shared region
+	// (lines [tmHotBase, tmHotBase+SharedLines)).
+	p, _ := TMProfileByName("sjbb2k")
+	if p.HotLines >= tmHotBase {
+		t.Fatalf("hot region (%d lines) overlaps shared region base %d", p.HotLines, tmHotBase)
+	}
+	w := GenerateTM(p, 1)
+	sawHot := false
+	for _, th := range w.Threads {
+		for _, seg := range th.Segments {
+			if !seg.Txn {
+				continue
+			}
+			for _, op := range seg.Ops {
+				if LineOf(op.Addr) < uint64(p.HotLines) {
+					sawHot = true
+				}
+			}
+		}
+	}
+	if !sawHot {
+		t.Fatal("sjbb2k must actually touch the hot RMW region")
+	}
+}
+
+func TestProfileLookups(t *testing.T) {
+	if _, ok := TMProfileByName("nope"); ok {
+		t.Fatal("unknown TM profile must not resolve")
+	}
+	if _, ok := TLSProfileByName("nope"); ok {
+		t.Fatal("unknown TLS profile must not resolve")
+	}
+	if len(TMProfiles()) != 7 {
+		t.Fatalf("want 7 TM profiles, got %d", len(TMProfiles()))
+	}
+	if len(TLSProfiles()) != 9 {
+		t.Fatalf("want 9 TLS profiles, got %d", len(TLSProfiles()))
+	}
+}
+
+func TestLineOf(t *testing.T) {
+	if LineOf(0) != 0 || LineOf(15) != 0 || LineOf(16) != 1 || LineOf(33) != 2 {
+		t.Fatal("LineOf wrong")
+	}
+}
