@@ -21,6 +21,7 @@ import (
 	"sync"
 	"time"
 
+	"bulk/internal/bus"
 	"bulk/internal/experiments"
 )
 
@@ -64,6 +65,11 @@ func main() {
 		cfg.Fig15Perms = *perms
 	}
 	cfg.Verify = !*noverify
+	// One meter shared by every simulation this invocation runs — in
+	// parallel mode it is fed from many goroutines; the totals are
+	// order-independent sums, so the summary line stays deterministic.
+	meter := &bus.Meter{}
+	cfg.Meter = meter
 
 	var runners []experiments.Runner
 	if *exp == "all" {
@@ -91,6 +97,7 @@ func main() {
 			p.Print(os.Stdout)
 			fmt.Printf("[%s: %.1fs, verified=%v]\n", r.ID, time.Since(start).Seconds(), cfg.Verify)
 		}
+		printMeter(meter)
 		return
 	}
 
@@ -127,6 +134,21 @@ func main() {
 			fmt.Fprintf(os.Stderr, "bulksim: %s: %v\n", runners[i].ID, o.err)
 			os.Exit(1)
 		}
-		os.Stdout.Write(o.buf.Bytes())
+		if _, err := os.Stdout.Write(o.buf.Bytes()); err != nil {
+			fmt.Fprintf(os.Stderr, "bulksim: %v\n", err)
+			os.Exit(1)
+		}
 	}
+	printMeter(meter)
+}
+
+// printMeter summarizes the bus traffic of every simulation this
+// invocation ran (sums are independent of run interleaving).
+func printMeter(m *bus.Meter) {
+	total, runs := m.Snapshot()
+	if runs == 0 {
+		return
+	}
+	fmt.Printf("\n[bus traffic across %d simulations: %.1f MB total, %.1f MB in commit packets]\n",
+		runs, float64(total.Total())/(1<<20), float64(total.CommitBytes())/(1<<20))
 }

@@ -10,6 +10,7 @@ package main
 
 import (
 	"fmt"
+	"os"
 
 	"bulk/internal/sig"
 )
@@ -48,7 +49,8 @@ func main() {
 	// δ decode: exactly which cache sets (128-set L1) hold W_B's lines.
 	plan, err := sig.NewDecodePlan(cfg, sig.IndexSpec{LowBit: 0, Bits: 7})
 	if err != nil {
-		panic(err)
+		fmt.Fprintln(os.Stderr, "quickstart:", err)
+		os.Exit(1)
 	}
 	mask := plan.Decode(wB)
 	fmt.Printf("δ(W_B) selects cache sets %v (exact: %v)\n\n", mask.Sets(nil), plan.Exact())

@@ -199,7 +199,7 @@ func (m *Module) Running() *Version { return m.run }
 // at every context switch.
 func (m *Module) SetRunning(v *Version) {
 	if v != nil && v.freed {
-		panic("bdm: running a freed version")
+		panic("bdm: running a freed version") //bulklint:invariant the OS never reschedules a version after commit/squash freed it
 	}
 	if m.run != nil {
 		m.run.running = false

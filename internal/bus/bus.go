@@ -100,7 +100,7 @@ type Bandwidth struct {
 // Record charges n bytes of traffic of the given type.
 func (b *Bandwidth) Record(t MsgType, n int) {
 	if n < 0 {
-		panic("bus: negative byte count")
+		panic("bus: negative byte count") //bulklint:invariant message sizes are computed, never user input
 	}
 	b.bytes[t] += uint64(n)
 	b.messages[t]++

@@ -1,0 +1,38 @@
+package bus
+
+import "sync"
+
+// Meter aggregates Bandwidth totals across concurrently executing runs.
+//
+// Each simulated system is single-threaded and accounts its own traffic in
+// a private Bandwidth; when callers run several systems on goroutines (the
+// experiments scaling sweep, bulksim -parallel), each run merges its final
+// Bandwidth into a shared Meter. The guarded fields carry bulklint
+// `guardedby` annotations, so touching them outside a method that takes mu
+// is a lint error.
+type Meter struct {
+	mu sync.Mutex
+	//bulklint:guardedby mu
+	total Bandwidth
+	//bulklint:guardedby mu
+	runs int
+}
+
+// Merge accumulates one finished run's bandwidth into the meter.
+func (m *Meter) Merge(b *Bandwidth) {
+	if m == nil || b == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.total.Add(b)
+	m.runs++
+}
+
+// Snapshot returns a copy of the accumulated bandwidth and how many runs
+// were merged into it.
+func (m *Meter) Snapshot() (Bandwidth, int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.total, m.runs
+}

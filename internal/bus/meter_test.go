@@ -1,0 +1,51 @@
+package bus
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestMeterConcurrentMerge(t *testing.T) {
+	const goroutines = 8
+	const merges = 50
+
+	m := &Meter{}
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < merges; i++ {
+				var b Bandwidth
+				b.Record(Inv, 10)
+				b.RecordCommit(5)
+				b.Record(Fill, FillBytes)
+				m.Merge(&b)
+			}
+		}()
+	}
+	wg.Wait()
+
+	total, runs := m.Snapshot()
+	if runs != goroutines*merges {
+		t.Errorf("runs = %d, want %d", runs, goroutines*merges)
+	}
+	wantInv := uint64(goroutines * merges * 15) // 10 direct + 5 commit
+	if total.Bytes(Inv) != wantInv {
+		t.Errorf("Inv bytes = %d, want %d", total.Bytes(Inv), wantInv)
+	}
+	if total.CommitBytes() != uint64(goroutines*merges*5) {
+		t.Errorf("commit bytes = %d, want %d", total.CommitBytes(), goroutines*merges*5)
+	}
+	if total.Messages(Fill) != uint64(goroutines*merges) {
+		t.Errorf("Fill messages = %d, want %d", total.Messages(Fill), goroutines*merges)
+	}
+}
+
+func TestMeterNilSafe(t *testing.T) {
+	var m *Meter
+	var b Bandwidth
+	b.Record(WB, 1)
+	m.Merge(&b) // must not panic: unmetered runs pass a nil Meter
+	(&Meter{}).Merge(nil)
+}

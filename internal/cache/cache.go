@@ -176,7 +176,7 @@ func (c *Cache) Access(a LineAddr) *Line {
 // dirty victims.
 func (c *Cache) Insert(a LineAddr, st State) (*Line, *Evicted) {
 	if st == Invalid {
-		panic("cache: cannot insert a line in Invalid state")
+		panic("cache: cannot insert a line in Invalid state") //bulklint:invariant callers insert only Clean or Dirty lines
 	}
 	if l := c.Lookup(a); l != nil {
 		// Already present: just update state (an upgrade) and LRU.

@@ -5,6 +5,7 @@ import (
 
 	"bulk/internal/bus"
 	"bulk/internal/cache"
+	"bulk/internal/det"
 	"bulk/internal/mem"
 	"bulk/internal/sig"
 	"bulk/internal/trace"
@@ -259,7 +260,7 @@ func (s *System) commitEpisode(p *proc, e *Episode) {
 		packet = bus.SignatureCommitBytes(sig.RLEncodedBits(wc))
 	} else {
 		lines := map[uint64]bool{}
-		for wAddr := range p.writeW {
+		for wAddr := range p.writeW { //bulklint:ordered building a map; only its size is used
 			lines[s.lineOf(wAddr)] = true
 		}
 		packet = bus.AddressListCommitBytes(len(lines))
@@ -267,8 +268,8 @@ func (s *System) commitEpisode(p *proc, e *Episode) {
 	s.stats.Bandwidth.RecordCommit(packet)
 	busDone := s.engine.AcquireBus(par.CommitArbitration + par.TransferCycles(packet))
 
-	for a, v := range p.wbuf {
-		s.mem.Write(a, mem.Word(v))
+	for _, a := range det.SortedKeys(p.wbuf) {
+		s.mem.Write(a, mem.Word(p.wbuf[a]))
 	}
 	s.log = append(s.log, CommitUnit{Proc: p.id, Unit: p.unit, Op: -1})
 	s.stats.Episodes++
@@ -276,7 +277,7 @@ func (s *System) commitEpisode(p *proc, e *Episode) {
 	// Receivers: disambiguate running episodes and invalidate stale
 	// copies of the committed lines.
 	writeLines := map[uint64]bool{}
-	for wAddr := range p.writeW {
+	for wAddr := range p.writeW { //bulklint:ordered building a map; iterated in sorted order below
 		writeLines[s.lineOf(wAddr)] = true
 	}
 	for _, q := range s.procs {
@@ -289,7 +290,7 @@ func (s *System) commitEpisode(p *proc, e *Episode) {
 			if q.module != nil && wc != nil {
 				hit = q.module.Disambiguate(q.version, wc)
 			} else {
-				for wAddr := range p.writeW {
+				for wAddr := range p.writeW { //bulklint:ordered order-independent boolean reduction
 					if q.readW[wAddr] || q.writeW[wAddr] {
 						hit = true
 						break
@@ -298,7 +299,7 @@ func (s *System) commitEpisode(p *proc, e *Episode) {
 			}
 			if hit {
 				exact := false
-				for wAddr := range p.writeW {
+				for wAddr := range p.writeW { //bulklint:ordered order-independent boolean reduction
 					if q.readW[wAddr] || q.writeW[wAddr] {
 						exact = true
 						break
@@ -307,7 +308,7 @@ func (s *System) commitEpisode(p *proc, e *Episode) {
 				s.rollback(q, exact)
 			}
 		case q.stalled && q.readW != nil:
-			for wAddr := range p.writeW {
+			for wAddr := range p.writeW { //bulklint:ordered restart fires at most once, on any hit
 				if q.readW[wAddr] {
 					s.restartStalled(q)
 					break
@@ -317,7 +318,7 @@ func (s *System) commitEpisode(p *proc, e *Episode) {
 		if q.module != nil && wc != nil {
 			q.module.CommitInvalidate(wc)
 		} else {
-			for l := range writeLines {
+			for _, l := range det.SortedKeys(writeLines) {
 				q.cache.Invalidate(cache.LineAddr(l))
 			}
 		}
@@ -362,7 +363,7 @@ func (s *System) rollbackInternal(q *proc) {
 		q.module.FreeVersion(q.version)
 		q.version = nil
 	} else {
-		for wAddr := range q.writeW {
+		for _, wAddr := range det.SortedKeys(q.writeW) {
 			l := s.lineOf(wAddr)
 			if cl := q.cache.Lookup(cache.LineAddr(l)); cl != nil && cl.State == cache.Dirty {
 				q.cache.Invalidate(cache.LineAddr(l))
@@ -437,11 +438,11 @@ func (s *System) runEpisodeStalled(p *proc, e *Episode) error {
 	}
 	// Apply atomically, invalidate, and log one unit.
 	lines := map[uint64]bool{}
-	for a, v := range p.wbuf {
-		s.mem.Write(a, mem.Word(v))
+	for _, a := range det.SortedKeys(p.wbuf) {
+		s.mem.Write(a, mem.Word(p.wbuf[a]))
 		lines[s.lineOf(a)] = true
 	}
-	for l := range lines {
+	for _, l := range det.SortedKeys(lines) {
 		s.invalidateRemote(p, l)
 	}
 	s.log = append(s.log, CommitUnit{Proc: p.id, Unit: p.unit, Op: -1})

@@ -2,7 +2,12 @@ package experiments
 
 import (
 	"bytes"
+	"fmt"
 	"testing"
+
+	"bulk/internal/tls"
+	"bulk/internal/tm"
+	"bulk/internal/workload"
 )
 
 // TestDeterministicOutputs: the entire pipeline — workload generation,
@@ -28,6 +33,87 @@ func TestDeterministicOutputs(t *testing.T) {
 		if !bytes.Equal(out[0].Bytes(), out[1].Bytes()) {
 			t.Errorf("%s: two identical runs printed different outputs", id)
 		}
+	}
+}
+
+// TestTMRunByteIdentical drives tm.Run directly, twice per scheme with the
+// same seed, and demands byte-identical stats and commit logs. This is the
+// strongest form of the determinism claim: not just matching summary
+// tables, but an identical committed order and identical final memory.
+func TestTMRunByteIdentical(t *testing.T) {
+	p, ok := workload.TMProfileByName("cb")
+	if !ok {
+		t.Fatal("unknown TM profile cb")
+	}
+	p.TxnsPerThread = 5
+	for _, scheme := range []tm.Scheme{tm.Eager, tm.Lazy, tm.Bulk} {
+		var out [2]bytes.Buffer
+		var results [2]*tm.Result
+		for i := 0; i < 2; i++ {
+			w := workload.GenerateTM(p, 2006)
+			r, err := tm.Run(w, tm.NewOptions(scheme))
+			if err != nil {
+				t.Fatalf("%v run %d: %v", scheme, i, err)
+			}
+			results[i] = r
+			fmt.Fprintf(&out[i], "%+v\n", r.Stats)
+			for _, cu := range r.Log {
+				fmt.Fprintf(&out[i], "%+v\n", cu)
+			}
+		}
+		if !bytes.Equal(out[0].Bytes(), out[1].Bytes()) {
+			t.Errorf("tm %v: same seed produced different stats or commit logs", scheme)
+		}
+		if !results[0].Memory.Equal(results[1].Memory) {
+			t.Errorf("tm %v: same seed produced different final memories (diff: %v)",
+				scheme, results[0].Memory.Diff(results[1].Memory, 5))
+		}
+	}
+}
+
+// TestTLSRunByteIdentical is the TLS counterpart of the above.
+func TestTLSRunByteIdentical(t *testing.T) {
+	p, ok := workload.TLSProfileByName("bzip2")
+	if !ok {
+		t.Fatal("unknown TLS profile bzip2")
+	}
+	p.Tasks = 30
+	for _, scheme := range []tls.Scheme{tls.Eager, tls.Lazy, tls.Bulk} {
+		var out [2]bytes.Buffer
+		var results [2]*tls.Result
+		for i := 0; i < 2; i++ {
+			w := workload.GenerateTLS(p, 2006)
+			r, err := tls.Run(w, tls.NewOptions(scheme))
+			if err != nil {
+				t.Fatalf("%v run %d: %v", scheme, i, err)
+			}
+			results[i] = r
+			fmt.Fprintf(&out[i], "%+v\n", r.Stats)
+		}
+		if !bytes.Equal(out[0].Bytes(), out[1].Bytes()) {
+			t.Errorf("tls %v: same seed produced different stats", scheme)
+		}
+		if !results[0].Memory.Equal(results[1].Memory) {
+			t.Errorf("tls %v: same seed produced different final memories (diff: %v)",
+				scheme, results[0].Memory.Diff(results[1].Memory, 5))
+		}
+	}
+}
+
+// TestScalingDeterministicUnderConcurrency: the scaling sweep runs its
+// processor counts on goroutines; the printed result must nonetheless be
+// byte-identical run to run (rows land by index, workloads are per-goroutine).
+func TestScalingDeterministicUnderConcurrency(t *testing.T) {
+	var out [2]bytes.Buffer
+	for i := 0; i < 2; i++ {
+		r, err := Scaling(Quick())
+		if err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+		r.Print(&out[i])
+	}
+	if !bytes.Equal(out[0].Bytes(), out[1].Bytes()) {
+		t.Error("concurrent scaling sweep printed different outputs on identical runs")
 	}
 }
 

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"io"
 
+	"bulk/internal/bus"
 	"bulk/internal/tls"
 	"bulk/internal/tm"
 	"bulk/internal/workload"
@@ -35,6 +36,9 @@ type Config struct {
 	// Verify runs the end-to-end correctness oracle after every
 	// simulation (slower; on by default in tests).
 	Verify bool
+	// Meter, when non-nil, aggregates bus bandwidth across every
+	// simulation an experiment runs. Shared safely across goroutines.
+	Meter *bus.Meter
 }
 
 // Default returns the full-size configuration used by cmd/bulksim.
@@ -77,6 +81,7 @@ func (c Config) tmWorkload(p workload.TMProfile) *workload.TMWorkload {
 
 // runTLS executes and (optionally) verifies one TLS configuration.
 func (c Config) runTLS(w *workload.TLSWorkload, opts tls.Options) (*tls.Result, error) {
+	opts.Meter = c.Meter
 	r, err := tls.Run(w, opts)
 	if err != nil {
 		return nil, fmt.Errorf("%s/%v: %w", w.Name, opts.Scheme, err)
@@ -91,6 +96,7 @@ func (c Config) runTLS(w *workload.TLSWorkload, opts tls.Options) (*tls.Result, 
 
 // runTM executes and (optionally) verifies one TM configuration.
 func (c Config) runTM(w *workload.TMWorkload, opts tm.Options) (*tm.Result, error) {
+	opts.Meter = c.Meter
 	r, err := tm.Run(w, opts)
 	if err != nil {
 		return nil, fmt.Errorf("%s/%v: %w", w.Name, opts.Scheme, err)

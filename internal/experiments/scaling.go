@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"sync"
 
 	"bulk/internal/stats"
 	"bulk/internal/tls"
@@ -32,53 +33,76 @@ type ScalingResult struct {
 	Rows []ScalingRow
 }
 
-// Scaling runs the sweep over 2..16 processors.
+// Scaling runs the sweep over 2..16 processors. The processor counts are
+// independent simulations (each goroutine generates its own workloads from
+// the shared seed), so they run concurrently; rows are written by index,
+// keeping the printed output identical to a sequential sweep.
 func Scaling(c Config) (*ScalingResult, error) {
-	res := &ScalingResult{}
 	tlsApps := []string{"bzip2", "gap", "twolf", "vpr"}
 	tmApps := []string{"cb", "mc", "series"}
-	for _, procs := range []int{2, 4, 8, 16} {
-		row := ScalingRow{Procs: procs}
+	procCounts := []int{2, 4, 8, 16}
 
-		var sp, sq []float64
-		for _, app := range tlsApps {
-			p, _ := workload.TLSProfileByName(app)
-			w := c.tlsWorkload(p)
-			seq, err := tls.RunSequential(w, tls.NewOptions(tls.Bulk).Params, 0, 0, 0)
-			if err != nil {
-				return nil, err
-			}
-			o := tls.NewOptions(tls.Bulk)
-			o.Procs = procs
-			r, err := c.runTLS(w, o)
-			if err != nil {
-				return nil, err
-			}
-			sp = append(sp, float64(seq)/float64(r.Stats.Cycles))
-			sq = append(sq, float64(r.Stats.Squashes)/float64(r.Stats.Commits))
+	res := &ScalingResult{Rows: make([]ScalingRow, len(procCounts))}
+	errs := make([]error, len(procCounts))
+	var wg sync.WaitGroup
+	for i, procs := range procCounts {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			row, err := scalingRow(c, procs, tlsApps, tmApps)
+			res.Rows[i], errs[i] = row, err
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
 		}
-		row.TLSBulk = stats.GeoMean(sp)
-		row.TLSSquashPerTask = stats.Mean(sq)
-
-		var tmRatios []float64
-		for _, app := range tmApps {
-			p, _ := workload.TMProfileByName(app)
-			p.Threads = procs
-			w := c.tmWorkload(p)
-			lazy, err := c.runTM(w, tm.NewOptions(tm.Lazy))
-			if err != nil {
-				return nil, err
-			}
-			bulk, err := c.runTM(w, tm.NewOptions(tm.Bulk))
-			if err != nil {
-				return nil, err
-			}
-			tmRatios = append(tmRatios, float64(lazy.Stats.Cycles)/float64(bulk.Stats.Cycles))
-		}
-		row.TMBulkOverLazy = stats.GeoMean(tmRatios)
-		res.Rows = append(res.Rows, row)
 	}
 	return res, nil
+}
+
+// scalingRow measures one processor count.
+func scalingRow(c Config, procs int, tlsApps, tmApps []string) (ScalingRow, error) {
+	row := ScalingRow{Procs: procs}
+
+	var sp, sq []float64
+	for _, app := range tlsApps {
+		p, _ := workload.TLSProfileByName(app)
+		w := c.tlsWorkload(p)
+		seq, err := tls.RunSequential(w, tls.NewOptions(tls.Bulk).Params, 0, 0, 0)
+		if err != nil {
+			return row, err
+		}
+		o := tls.NewOptions(tls.Bulk)
+		o.Procs = procs
+		r, err := c.runTLS(w, o)
+		if err != nil {
+			return row, err
+		}
+		sp = append(sp, float64(seq)/float64(r.Stats.Cycles))
+		sq = append(sq, float64(r.Stats.Squashes)/float64(r.Stats.Commits))
+	}
+	row.TLSBulk = stats.GeoMean(sp)
+	row.TLSSquashPerTask = stats.Mean(sq)
+
+	var tmRatios []float64
+	for _, app := range tmApps {
+		p, _ := workload.TMProfileByName(app)
+		p.Threads = procs
+		w := c.tmWorkload(p)
+		lazy, err := c.runTM(w, tm.NewOptions(tm.Lazy))
+		if err != nil {
+			return row, err
+		}
+		bulk, err := c.runTM(w, tm.NewOptions(tm.Bulk))
+		if err != nil {
+			return row, err
+		}
+		tmRatios = append(tmRatios, float64(lazy.Stats.Cycles)/float64(bulk.Stats.Cycles))
+	}
+	row.TMBulkOverLazy = stats.GeoMean(tmRatios)
+	return row, nil
 }
 
 // Print renders the sweep.

@@ -1,0 +1,92 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// analyzerMapRange flags `for … range` statements over map-typed values.
+// Go deliberately randomizes map iteration order, so any such loop in
+// simulator code is a latent nondeterminism: if the loop body's effects can
+// reach simulator state, statistics or output, two runs with the same seed
+// may diverge. The sanctioned idioms are `for _, k := range det.SortedKeys(m)`
+// or a `//bulklint:ordered <why>` waiver arguing that order cannot escape.
+func analyzerMapRange() *Analyzer {
+	return &Analyzer{
+		Name: "maprange",
+		Doc:  "range over a map without sorted keys or an ordered waiver",
+		Run: func(pkgs []*Package, r *Reporter) {
+			for _, pkg := range pkgs {
+				for _, f := range pkg.Files {
+					ast.Inspect(f, func(n ast.Node) bool {
+						rs, ok := n.(*ast.RangeStmt)
+						if !ok {
+							return true
+						}
+						tv, ok := pkg.Info.Types[rs.X]
+						if !ok || tv.Type == nil {
+							return true
+						}
+						if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+							r.Report(pkg, rs.For, "maprange",
+								"iteration over map %s is randomly ordered; range det.SortedKeys(…) or add //bulklint:ordered <why>",
+								types.TypeString(tv.Type, types.RelativeTo(pkg.Types)))
+						}
+						return true
+					})
+				}
+			}
+		},
+	}
+}
+
+// analyzerRandSrc flags ambient randomness and wall-clock reads in the
+// simulator core. Every workload must be a pure function of its seed, drawn
+// from the explicitly-seeded streams in internal/rng; math/rand (whose
+// global state is shared and, in v2, auto-seeded) and time.Now would let
+// run-to-run variation leak in. Command-line tools (cmd/, examples/) may
+// read the clock for wall-time reporting, and internal/rng is the one place
+// allowed to own generator state.
+func analyzerRandSrc() *Analyzer {
+	return &Analyzer{
+		Name: "randsrc",
+		Doc:  "math/rand or time.Now in deterministic simulator code",
+		Run: func(pkgs []*Package, r *Reporter) {
+			for _, pkg := range pkgs {
+				if !strings.Contains(pkg.Path, "/internal/") || strings.HasSuffix(pkg.Path, "/rng") {
+					continue
+				}
+				for _, f := range pkg.Files {
+					for _, imp := range f.Imports {
+						p, err := strconv.Unquote(imp.Path.Value)
+						if err != nil {
+							continue
+						}
+						if p == "math/rand" || p == "math/rand/v2" {
+							r.Report(pkg, imp.Pos(), "randsrc",
+								"import of %s in deterministic simulator code; use the seeded streams of internal/rng", p)
+						}
+					}
+					ast.Inspect(f, func(n ast.Node) bool {
+						sel, ok := n.(*ast.SelectorExpr)
+						if !ok || sel.Sel.Name != "Now" {
+							return true
+						}
+						id, ok := sel.X.(*ast.Ident)
+						if !ok {
+							return true
+						}
+						pn, ok := pkg.Info.Uses[id].(*types.PkgName)
+						if ok && pn.Imported().Path() == "time" {
+							r.Report(pkg, sel.Pos(), "randsrc",
+								"time.Now in deterministic simulator code; simulated time comes from sim.Engine")
+						}
+						return true
+					})
+				}
+			}
+		},
+	}
+}

@@ -1,0 +1,148 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// errorType is the predeclared error interface.
+var errorType = types.Universe.Lookup("error").Type()
+
+// analyzerDroppedErr flags call statements whose error result is silently
+// discarded: a plain expression statement, go statement, or defer whose
+// callee returns an error nobody looks at. An explicit `_ = f()` is an
+// audited discard and stays legal; fmt's print family and the never-failing
+// bytes.Buffer / strings.Builder writers are exempt.
+func analyzerDroppedErr() *Analyzer {
+	return &Analyzer{
+		Name: "droppederr",
+		Doc:  "call statement silently discards an error result",
+		Run: func(pkgs []*Package, r *Reporter) {
+			for _, pkg := range pkgs {
+				for _, f := range pkg.Files {
+					ast.Inspect(f, func(n ast.Node) bool {
+						var call *ast.CallExpr
+						switch s := n.(type) {
+						case *ast.ExprStmt:
+							call, _ = s.X.(*ast.CallExpr)
+						case *ast.GoStmt:
+							call = s.Call
+						case *ast.DeferStmt:
+							call = s.Call
+						}
+						if call == nil || !callReturnsError(pkg, call) || exemptErrDrop(pkg, call) {
+							return true
+						}
+						r.Report(pkg, call.Pos(), "droppederr",
+							"error result of %s is silently discarded; handle it or discard explicitly with `_ =`",
+							callDisplay(call))
+						return true
+					})
+				}
+			}
+		},
+	}
+}
+
+// callReturnsError reports whether the call's result includes an error.
+func callReturnsError(pkg *Package, call *ast.CallExpr) bool {
+	tv, ok := pkg.Info.Types[call]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if types.Identical(t.At(i).Type(), errorType) {
+				return true
+			}
+		}
+		return false
+	default:
+		return types.Identical(t, errorType)
+	}
+}
+
+// exemptErrDrop reports whether the callee is on the allow-list of
+// functions whose error results are discarded by universal convention.
+func exemptErrDrop(pkg *Package, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	// fmt.Println / fmt.Fprintf / … on the fmt package itself.
+	if id, ok := sel.X.(*ast.Ident); ok {
+		if pn, ok := pkg.Info.Uses[id].(*types.PkgName); ok && pn.Imported().Path() == "fmt" {
+			return true
+		}
+	}
+	// Methods on types that document errors as always nil.
+	if s := pkg.Info.Selections[sel]; s != nil {
+		recv := s.Recv()
+		if p, ok := recv.(*types.Pointer); ok {
+			recv = p.Elem()
+		}
+		switch types.TypeString(recv, nil) {
+		case "bytes.Buffer", "strings.Builder":
+			return true
+		}
+	}
+	return false
+}
+
+// callDisplay renders the callee for a diagnostic.
+func callDisplay(call *ast.CallExpr) string {
+	switch f := call.Fun.(type) {
+	case *ast.Ident:
+		return f.Name
+	case *ast.SelectorExpr:
+		if id, ok := f.X.(*ast.Ident); ok {
+			return id.Name + "." + f.Sel.Name
+		}
+		return f.Sel.Name
+	default:
+		return "call"
+	}
+}
+
+// analyzerNakedPanic flags panic calls in simulator code. Panics are legal
+// in Must*-style constructors (the established Go idiom for programmer
+// errors at init time); everywhere else an invariant guard must either
+// return an error or carry a `//bulklint:invariant <why>` waiver explaining
+// why violation is unreachable except through simulator bugs.
+func analyzerNakedPanic() *Analyzer {
+	return &Analyzer{
+		Name: "nakedpanic",
+		Doc:  "panic outside a Must* constructor without an invariant waiver",
+		Run: func(pkgs []*Package, r *Reporter) {
+			for _, pkg := range pkgs {
+				for _, f := range pkg.Files {
+					for _, decl := range f.Decls {
+						fd, ok := decl.(*ast.FuncDecl)
+						if !ok || fd.Body == nil {
+							continue
+						}
+						if strings.HasPrefix(fd.Name.Name, "Must") || strings.HasPrefix(fd.Name.Name, "must") {
+							continue
+						}
+						ast.Inspect(fd.Body, func(n ast.Node) bool {
+							call, ok := n.(*ast.CallExpr)
+							if !ok {
+								return true
+							}
+							id, ok := call.Fun.(*ast.Ident)
+							if !ok || id.Name != "panic" || !isBuiltin(pkg, id) {
+								return true
+							}
+							r.Report(pkg, call.Pos(), "nakedpanic",
+								"panic in %s; return an error, move it into a Must* helper, or waive with //bulklint:invariant <why>",
+								funcDisplayName(fd))
+							return true
+						})
+					}
+				}
+			}
+		},
+	}
+}

@@ -1,0 +1,147 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// analyzerGuardedBy enforces `//bulklint:guardedby <mu>` field annotations:
+// any function that reads or writes an annotated field must, somewhere in
+// its body, acquire the named mutex (call <mu>.Lock or <mu>.RLock), or be
+// waived as a whole with `//bulklint:locked <why>` when its caller holds
+// the lock. This is an intraprocedural approximation — it checks that the
+// lock is acquired in the same function, not that the access is inside the
+// critical section — which is exactly the discipline the simulator's small
+// commit-path types need.
+func analyzerGuardedBy() *Analyzer {
+	return &Analyzer{
+		Name: "guardedby",
+		Doc:  "guarded field accessed without acquiring its mutex",
+		Run: func(pkgs []*Package, r *Reporter) {
+			guarded := map[types.Object]string{}
+			for _, pkg := range pkgs {
+				collectGuarded(pkg, guarded)
+			}
+			if len(guarded) == 0 {
+				return
+			}
+			for _, pkg := range pkgs {
+				for _, f := range pkg.Files {
+					for _, decl := range f.Decls {
+						fd, ok := decl.(*ast.FuncDecl)
+						if !ok || fd.Body == nil {
+							continue
+						}
+						checkGuardedAccesses(pkg, fd, guarded, r)
+					}
+				}
+			}
+		},
+	}
+}
+
+// collectGuarded records every struct field carrying a guardedby directive
+// on its own line or the line above (field doc comment).
+func collectGuarded(pkg *Package, guarded map[types.Object]string) {
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				for _, name := range field.Names {
+					obj := pkg.Info.Defs[name]
+					if obj == nil {
+						continue
+					}
+					pos := sharedFset.Position(name.Pos())
+					if mu, ok := guardDirectiveAt(pkg, pos.Filename, pos.Line); ok {
+						guarded[obj] = mu
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// guardDirectiveAt looks for a guardedby directive at line or line-1.
+func guardDirectiveAt(pkg *Package, file string, line int) (string, bool) {
+	byLine := pkg.directives[file]
+	if byLine == nil {
+		return "", false
+	}
+	for _, l := range []int{line, line - 1} {
+		for _, d := range byLine[l] {
+			if d.name == "guardedby" && d.arg != "" {
+				return d.arg, true
+			}
+		}
+	}
+	return "", false
+}
+
+// checkGuardedAccesses reports accesses to guarded fields in fd when fd
+// neither acquires the guarding mutex nor carries a locked waiver.
+func checkGuardedAccesses(pkg *Package, fd *ast.FuncDecl, guarded map[types.Object]string, r *Reporter) {
+	// Mutexes this function acquires, by name (the last selector component
+	// or bare identifier before .Lock/.RLock).
+	acquired := map[string]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+			return true
+		}
+		switch x := sel.X.(type) {
+		case *ast.Ident:
+			acquired[x.Name] = true
+		case *ast.SelectorExpr:
+			acquired[x.Sel.Name] = true
+		}
+		return true
+	})
+
+	lockedWaiver := pkg.funcHasDirective(sharedFset, fd, "locked")
+
+	ast.Inspect(fd, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		s := pkg.Info.Selections[sel]
+		if s == nil || s.Kind() != types.FieldVal {
+			return true
+		}
+		mu, ok := guarded[s.Obj()]
+		if !ok || acquired[mu] {
+			return true
+		}
+		if lockedWaiver {
+			return true
+		}
+		r.Report(pkg, sel.Sel.Pos(), "guardedby",
+			"field %s is guarded by %s, but %s never acquires it; lock %s or annotate the function with //bulklint:locked <why>",
+			s.Obj().Name(), mu, funcDisplayName(fd), mu)
+		return true
+	})
+}
+
+// funcDisplayName renders "Type.Method" or "Func" for diagnostics.
+func funcDisplayName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return fd.Name.Name
+	}
+	t := fd.Recv.List[0].Type
+	if st, ok := t.(*ast.StarExpr); ok {
+		t = st.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name + "." + fd.Name.Name
+	}
+	return fd.Name.Name
+}

@@ -1,0 +1,149 @@
+// Package lint implements bulklint, the project's static-analysis pass.
+//
+// The simulator's experimental claims rest on two properties nothing in the
+// compiler enforces: determinism (identical seeds must produce byte-identical
+// runs, so map-iteration order and ambient randomness must never reach
+// simulator state) and the Bulk invariants of Ceze et al. (ISCA 2006) —
+// signatures are value-semantic under the Table 1 algebra, and shared
+// mutable state on the commit paths is touched only under its lock. bulklint
+// parses and type-checks every package in the module using only the Go
+// standard library and runs a suite of project-specific analyzers over the
+// result. Each finding is reported as `file:line: [rule] message`.
+//
+// Rules (each can be disabled with the CLI's -disable flag):
+//
+//   - maprange:   `for … range` over a map in non-test code. Iterate
+//     det.SortedKeys(m) instead, or waive with `//bulklint:ordered <why>`
+//     when order provably cannot escape into simulator state.
+//   - randsrc:    imports of math/rand (v1 or v2) or calls to time.Now
+//     under internal/, outside internal/rng. Workloads must draw all
+//     randomness from the seeded internal/rng streams.
+//   - sigpurity:  a method named like a pure Bulk algebra operation
+//     (Intersect, Union, Contains, Decode, …) that mutates its receiver.
+//     The paper's ∩/∪/∈/δ operators are value-semantic; in-place variants
+//     must be named like mutators (UnionWith, IntersectWith, …).
+//   - guardedby:  access to a field annotated `//bulklint:guardedby <mu>`
+//     from a function that never acquires <mu>. Waive a whole function
+//     with `//bulklint:locked <why>` when its caller holds the lock.
+//   - droppederr: a call statement (including go/defer) whose error result
+//     is silently discarded.
+//   - nakedpanic: a panic outside a Must*-style constructor. Waive with
+//     `//bulklint:invariant <why>` for genuine internal-invariant guards.
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+)
+
+// Finding is one diagnostic.
+type Finding struct {
+	File string `json:"file"`
+	Line int    `json:"line"`
+	Col  int    `json:"col"`
+	Rule string `json:"rule"`
+	Msg  string `json:"message"`
+}
+
+// String renders the canonical `file:line: [rule] message` form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d: [%s] %s", f.File, f.Line, f.Rule, f.Msg)
+}
+
+// Analyzer is one named rule run over the whole loaded module.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(pkgs []*Package, r *Reporter)
+}
+
+// Analyzers returns every rule in reporting order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		analyzerMapRange(),
+		analyzerRandSrc(),
+		analyzerSigPurity(),
+		analyzerGuardedBy(),
+		analyzerDroppedErr(),
+		analyzerNakedPanic(),
+	}
+}
+
+// AnalyzerNames returns the known rule names in order.
+func AnalyzerNames() []string {
+	var names []string
+	for _, a := range Analyzers() {
+		names = append(names, a.Name)
+	}
+	return names
+}
+
+// Reporter collects findings, applying waiver comments.
+type Reporter struct {
+	fset     *token.FileSet
+	findings []Finding
+}
+
+// NewReporter returns a reporter resolving positions against fset.
+func NewReporter(fset *token.FileSet) *Reporter {
+	return &Reporter{fset: fset}
+}
+
+// Report files a finding for rule at pos unless the owning package waived it
+// there. pkg may be nil (no waiver lookup).
+func (r *Reporter) Report(pkg *Package, pos token.Pos, rule, format string, args ...any) {
+	p := r.fset.Position(pos)
+	if pkg != nil && pkg.waivedAt(p.Filename, p.Line, rule) {
+		return
+	}
+	r.findings = append(r.findings, Finding{
+		File: p.Filename,
+		Line: p.Line,
+		Col:  p.Column,
+		Rule: rule,
+		Msg:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Findings returns the collected findings sorted by file, line, column and
+// rule — a stable order regardless of analyzer scheduling.
+func (r *Reporter) Findings() []Finding {
+	out := append([]Finding(nil), r.findings...)
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Rule < b.Rule
+	})
+	return out
+}
+
+// Run loads the module rooted at root and runs every analyzer not named in
+// disabled. It returns the sorted findings.
+func Run(root string, disabled map[string]bool) ([]Finding, error) {
+	pkgs, fset, err := LoadModule(root)
+	if err != nil {
+		return nil, err
+	}
+	return RunAnalyzers(pkgs, fset, disabled), nil
+}
+
+// RunAnalyzers runs the enabled analyzers over already-loaded packages.
+func RunAnalyzers(pkgs []*Package, fset *token.FileSet, disabled map[string]bool) []Finding {
+	r := NewReporter(fset)
+	for _, a := range Analyzers() {
+		if disabled[a.Name] {
+			continue
+		}
+		a.Run(pkgs, r)
+	}
+	return r.Findings()
+}

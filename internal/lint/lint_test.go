@@ -1,0 +1,384 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+// lintFixture type-checks the given sources under a fictional "bulk" module
+// and returns all findings (no rules disabled).
+func lintFixture(t *testing.T, files map[string]string) []Finding {
+	t.Helper()
+	pkgs, fset, err := LoadFixture("bulk", files)
+	if err != nil {
+		t.Fatalf("LoadFixture: %v", err)
+	}
+	return RunAnalyzers(pkgs, fset, nil)
+}
+
+// wantFinding asserts exactly one finding of rule, at file:line when line > 0.
+func wantFinding(t *testing.T, findings []Finding, rule, file string, line int) {
+	t.Helper()
+	var matches []Finding
+	for _, f := range findings {
+		if f.Rule == rule {
+			matches = append(matches, f)
+		}
+	}
+	if len(matches) != 1 {
+		t.Fatalf("want exactly 1 %s finding, got %d: %v", rule, len(matches), matches)
+	}
+	f := matches[0]
+	if !strings.HasSuffix(f.File, file) {
+		t.Errorf("finding file = %s, want suffix %s", f.File, file)
+	}
+	if line > 0 && f.Line != line {
+		t.Errorf("finding line = %d, want %d", f.Line, line)
+	}
+}
+
+func wantNoFinding(t *testing.T, findings []Finding, rule string) {
+	t.Helper()
+	for _, f := range findings {
+		if f.Rule == rule {
+			t.Errorf("unexpected %s finding: %v", rule, f)
+		}
+	}
+}
+
+func TestMapRange(t *testing.T) {
+	findings := lintFixture(t, map[string]string{
+		"internal/scratch/s.go": `package scratch
+
+func Sum(m map[int]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+`,
+	})
+	wantFinding(t, findings, "maprange", "internal/scratch/s.go", 5)
+}
+
+func TestMapRangeWaiver(t *testing.T) {
+	findings := lintFixture(t, map[string]string{
+		"internal/scratch/s.go": `package scratch
+
+func Sum(m map[int]int) int {
+	total := 0
+	for _, v := range m { //bulklint:ordered order-independent sum
+		total += v
+	}
+	//bulklint:ordered waiver on the line above the loop also works
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+`,
+	})
+	wantNoFinding(t, findings, "maprange")
+}
+
+func TestMapRangeSortedKeysClean(t *testing.T) {
+	// Ranging over a key slice (the det.SortedKeys idiom) is not a map range.
+	findings := lintFixture(t, map[string]string{
+		"internal/scratch/s.go": `package scratch
+
+import "sort"
+
+func Keys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m { //bulklint:ordered sorted before use
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func Walk(m map[string]int) int {
+	total := 0
+	for _, k := range Keys(m) {
+		total += m[k]
+	}
+	return total
+}
+`,
+	})
+	wantNoFinding(t, findings, "maprange")
+}
+
+func TestRandSrc(t *testing.T) {
+	findings := lintFixture(t, map[string]string{
+		"internal/scratch/s.go": `package scratch
+
+import (
+	"math/rand"
+	"time"
+)
+
+func Jitter() int64 {
+	return time.Now().UnixNano() + int64(rand.Int())
+}
+`,
+	})
+	var rules []string
+	for _, f := range findings {
+		if f.Rule == "randsrc" {
+			rules = append(rules, f.Rule)
+		}
+	}
+	if len(rules) != 2 {
+		t.Fatalf("want 2 randsrc findings (import + time.Now), got %d: %v", len(rules), findings)
+	}
+}
+
+func TestRandSrcScope(t *testing.T) {
+	// internal/rng may own generator state; cmd/ may read the clock.
+	findings := lintFixture(t, map[string]string{
+		"internal/rng/r.go": `package rng
+
+import "math/rand"
+
+func New() *rand.Rand { return rand.New(rand.NewSource(1)) }
+`,
+		"cmd/tool/main.go": `package main
+
+import (
+	"fmt"
+	"time"
+)
+
+func main() { fmt.Println(time.Now()) }
+`,
+	})
+	wantNoFinding(t, findings, "randsrc")
+}
+
+func TestSigPurityMutatingIntersect(t *testing.T) {
+	findings := lintFixture(t, map[string]string{
+		"internal/scratch/s.go": `package scratch
+
+type Signature struct {
+	bits []uint64
+}
+
+func (s *Signature) Intersect(o *Signature) *Signature {
+	for i := range s.bits {
+		s.bits[i] &= o.bits[i]
+	}
+	return s
+}
+`,
+	})
+	wantFinding(t, findings, "sigpurity", "internal/scratch/s.go", 9)
+}
+
+func TestSigPurityPureClean(t *testing.T) {
+	findings := lintFixture(t, map[string]string{
+		"internal/scratch/s.go": `package scratch
+
+type Signature struct {
+	bits []uint64
+}
+
+func (s *Signature) Clone() *Signature {
+	n := &Signature{bits: make([]uint64, len(s.bits))}
+	copy(n.bits, s.bits)
+	return n
+}
+
+func (s *Signature) Intersect(o *Signature) *Signature {
+	n := s.Clone()
+	for i := range n.bits {
+		n.bits[i] &= o.bits[i]
+	}
+	return n
+}
+
+func (s *Signature) Contains(x uint64) bool {
+	return s.bits[x%uint64(len(s.bits))] != 0
+}
+`,
+	})
+	wantNoFinding(t, findings, "sigpurity")
+}
+
+func TestSigPurityMutatorCall(t *testing.T) {
+	findings := lintFixture(t, map[string]string{
+		"internal/scratch/s.go": `package scratch
+
+type Signature struct {
+	bits []uint64
+}
+
+func (s *Signature) UnionWith(o *Signature) {
+	for i := range s.bits {
+		s.bits[i] |= o.bits[i]
+	}
+}
+
+func (s *Signature) Union(o *Signature) *Signature {
+	s.UnionWith(o)
+	return s
+}
+`,
+	})
+	wantFinding(t, findings, "sigpurity", "internal/scratch/s.go", 14)
+}
+
+func TestGuardedBy(t *testing.T) {
+	findings := lintFixture(t, map[string]string{
+		"internal/scratch/s.go": `package scratch
+
+import "sync"
+
+type Meter struct {
+	mu sync.Mutex
+	//bulklint:guardedby mu
+	total int
+}
+
+func (m *Meter) Add(n int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.total += n
+}
+
+func (m *Meter) Peek() int {
+	return m.total
+}
+
+//bulklint:locked caller holds mu
+func (m *Meter) addLocked(n int) {
+	m.total += n
+}
+`,
+	})
+	wantFinding(t, findings, "guardedby", "internal/scratch/s.go", 18)
+}
+
+func TestDroppedErr(t *testing.T) {
+	findings := lintFixture(t, map[string]string{
+		"internal/scratch/s.go": `package scratch
+
+import (
+	"errors"
+	"fmt"
+)
+
+func fail() error { return errors.New("boom") }
+
+func Run() {
+	fail()
+	_ = fail()
+	fmt.Println("ok")
+	if err := fail(); err != nil {
+		fmt.Println(err)
+	}
+}
+`,
+	})
+	wantFinding(t, findings, "droppederr", "internal/scratch/s.go", 11)
+}
+
+func TestNakedPanic(t *testing.T) {
+	findings := lintFixture(t, map[string]string{
+		"internal/scratch/s.go": `package scratch
+
+func MustPositive(n int) int {
+	if n <= 0 {
+		panic("not positive")
+	}
+	return n
+}
+
+func Checked(n int) int {
+	if n <= 0 {
+		panic("not positive") //bulklint:invariant callers validate n at construction
+	}
+	return n
+}
+
+func Bad(n int) int {
+	if n <= 0 {
+		panic("not positive")
+	}
+	return n
+}
+`,
+	})
+	wantFinding(t, findings, "nakedpanic", "internal/scratch/s.go", 19)
+}
+
+func TestDisableRule(t *testing.T) {
+	pkgs, fset, err := LoadFixture("bulk", map[string]string{
+		"internal/scratch/s.go": `package scratch
+
+func Sum(m map[int]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+`,
+	})
+	if err != nil {
+		t.Fatalf("LoadFixture: %v", err)
+	}
+	findings := RunAnalyzers(pkgs, fset, map[string]bool{"maprange": true})
+	wantNoFinding(t, findings, "maprange")
+}
+
+func TestFindingString(t *testing.T) {
+	f := Finding{File: "internal/x/x.go", Line: 12, Col: 3, Rule: "maprange", Msg: "bad loop"}
+	want := "internal/x/x.go:12: [maprange] bad loop"
+	if got := f.String(); got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestFindingsSorted(t *testing.T) {
+	findings := lintFixture(t, map[string]string{
+		"internal/scratch/s.go": `package scratch
+
+func A(m map[int]int) {
+	for range m {
+	}
+	panic("x")
+}
+`,
+		"internal/alpha/a.go": `package alpha
+
+func B(m map[int]int) {
+	for range m {
+	}
+}
+`,
+	})
+	if len(findings) < 3 {
+		t.Fatalf("want >= 3 findings, got %v", findings)
+	}
+	for i := 1; i < len(findings); i++ {
+		a, b := findings[i-1], findings[i]
+		if a.File > b.File || (a.File == b.File && a.Line > b.Line) {
+			t.Errorf("findings out of order: %v before %v", a, b)
+		}
+	}
+}
+
+func TestAnalyzerNames(t *testing.T) {
+	want := []string{"maprange", "randsrc", "sigpurity", "guardedby", "droppederr", "nakedpanic"}
+	got := AnalyzerNames()
+	if len(got) != len(want) {
+		t.Fatalf("AnalyzerNames() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("AnalyzerNames()[%d] = %s, want %s", i, got[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,165 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// pureOpNames are method names the paper reserves for value-semantic bulk
+// algebra: the Table 1 operators ∩ (Intersect), ∪ (Union), ∈ (Contains),
+// δ (Decode), plus the obviously-pure derived queries. A method carrying
+// one of these names must not mutate its receiver — callers reason about
+// `a.Intersect(b)` exactly like `a ∩ b`. In-place variants belong under
+// mutator names (UnionWith, IntersectWith, Clear, …).
+var pureOpNames = map[string]bool{
+	"Intersect":  true,
+	"Union":      true,
+	"Intersects": true,
+	"Contains":   true,
+	"Decode":     true,
+	"Empty":      true,
+	"Zero":       true,
+	"Equal":      true,
+	"Clone":      true,
+	"PopCount":   true,
+}
+
+// mutatorName reports whether a method name announces in-place mutation,
+// so calling it on the receiver inside a pure-named method is a finding.
+func mutatorName(name string) bool {
+	switch name {
+	case "Add", "Clear", "Reset", "CopyFrom", "Dealloc", "Insert",
+		"Invalidate", "Remove", "Delete", "Write", "Spill":
+		return true
+	}
+	return strings.HasSuffix(name, "With") ||
+		strings.HasPrefix(name, "Set") ||
+		strings.HasPrefix(name, "Clear") ||
+		strings.HasPrefix(name, "Mark")
+}
+
+// analyzerSigPurity flags pure-named methods that mutate their receiver.
+func analyzerSigPurity() *Analyzer {
+	return &Analyzer{
+		Name: "sigpurity",
+		Doc:  "method named like a pure algebra op mutates its receiver",
+		Run: func(pkgs []*Package, r *Reporter) {
+			for _, pkg := range pkgs {
+				for _, f := range pkg.Files {
+					for _, decl := range f.Decls {
+						fd, ok := decl.(*ast.FuncDecl)
+						if !ok || fd.Recv == nil || !pureOpNames[fd.Name.Name] || fd.Body == nil {
+							continue
+						}
+						checkPureMethod(pkg, fd, r)
+					}
+				}
+			}
+		},
+	}
+}
+
+// checkPureMethod reports every receiver mutation inside a pure-named method.
+func checkPureMethod(pkg *Package, fd *ast.FuncDecl, r *Reporter) {
+	if len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+		return // unnamed receiver cannot be mutated through its name
+	}
+	recvIdent := fd.Recv.List[0].Names[0]
+	if recvIdent.Name == "_" {
+		return
+	}
+	recvObj := pkg.Info.Defs[recvIdent]
+	if recvObj == nil {
+		return
+	}
+	_, ptrRecv := recvObj.Type().Underlying().(*types.Pointer)
+
+	report := func(pos ast.Node, what string) {
+		r.Report(pkg, pos.Pos(), "sigpurity",
+			"%s %s its receiver; the paper's algebra ops are value-semantic — return a new value or rename to a mutator (e.g. %sWith)",
+			fd.Name.Name, what, fd.Name.Name)
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			// Closures share the receiver binding; keep inspecting.
+			return true
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if mutatesThrough(pkg, lhs, recvObj, ptrRecv) {
+					report(n, "assigns through")
+				}
+			}
+		case *ast.IncDecStmt:
+			if mutatesThrough(pkg, n.X, recvObj, ptrRecv) {
+				report(n, "increments through")
+			}
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "copy" && len(n.Args) == 2 {
+				if isBuiltin(pkg, id) && mutatesThrough(pkg, n.Args[0], recvObj, true) {
+					report(n, "copies into")
+				}
+			}
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok && mutatorName(sel.Sel.Name) {
+				if obj, _ := rootIdent(pkg, sel.X); obj == recvObj {
+					report(n, "calls mutator "+sel.Sel.Name+" on")
+				}
+			}
+		}
+		return true
+	})
+}
+
+// mutatesThrough reports whether assigning to expr mutates state reachable
+// from recvObj. For pointer receivers any path rooted at the receiver
+// counts; for value receivers only paths that traverse an index or
+// dereference (shared backing arrays / pointees) count — plain field writes
+// touch the local copy only.
+func mutatesThrough(pkg *Package, expr ast.Expr, recvObj types.Object, ptrRecv bool) bool {
+	obj, viaShared := rootIdent(pkg, expr)
+	if obj != recvObj {
+		return false
+	}
+	if _, isRootOnly := expr.(*ast.Ident); isRootOnly {
+		return false // rebinding the receiver variable itself is local
+	}
+	return ptrRecv || viaShared
+}
+
+// rootIdent unwraps selector/index/deref/paren chains to the root
+// identifier's object. viaShared reports whether the path traversed an
+// index expression or pointer dereference.
+func rootIdent(pkg *Package, expr ast.Expr) (obj types.Object, viaShared bool) {
+	for {
+		switch e := expr.(type) {
+		case *ast.ParenExpr:
+			expr = e.X
+		case *ast.SelectorExpr:
+			expr = e.X
+		case *ast.IndexExpr:
+			viaShared = true
+			expr = e.X
+		case *ast.SliceExpr:
+			viaShared = true
+			expr = e.X
+		case *ast.StarExpr:
+			viaShared = true
+			expr = e.X
+		case *ast.Ident:
+			if o := pkg.Info.Uses[e]; o != nil {
+				return o, viaShared
+			}
+			return pkg.Info.Defs[e], viaShared
+		default:
+			return nil, viaShared
+		}
+	}
+}
+
+// isBuiltin reports whether the identifier resolves to a Go builtin.
+func isBuiltin(pkg *Package, id *ast.Ident) bool {
+	_, ok := pkg.Info.Uses[id].(*types.Builtin)
+	return ok
+}

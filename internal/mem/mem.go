@@ -15,6 +15,8 @@
 // the "Overflow Accesses Bulk/Lazy (%)" column of Table 7.
 package mem
 
+import "bulk/internal/det"
+
 // Word is a memory word value.
 type Word uint64
 
@@ -46,7 +48,7 @@ func (m *Memory) Len() int { return len(m.words) }
 // Snapshot returns a copy of the non-zero words.
 func (m *Memory) Snapshot() map[uint64]Word {
 	s := make(map[uint64]Word, len(m.words))
-	for a, v := range m.words {
+	for a, v := range m.words { //bulklint:ordered copying map to map; order cannot escape
 		s[a] = v
 	}
 	return s
@@ -57,7 +59,7 @@ func (m *Memory) Equal(other *Memory) bool {
 	if len(m.words) != len(other.words) {
 		return false
 	}
-	for a, v := range m.words {
+	for a, v := range m.words { //bulklint:ordered order-independent boolean reduction
 		if other.words[a] != v {
 			return false
 		}
@@ -69,16 +71,16 @@ func (m *Memory) Equal(other *Memory) bool {
 // for test failure messages.
 func (m *Memory) Diff(other *Memory, max int) []uint64 {
 	var out []uint64
-	for a, v := range m.words {
-		if other.words[a] != v {
+	for _, a := range det.SortedKeys(m.words) {
+		if other.words[a] != m.words[a] {
 			out = append(out, a)
 			if len(out) >= max {
 				return out
 			}
 		}
 	}
-	for a, v := range other.words {
-		if m.words[a] != v && v != 0 {
+	for _, a := range det.SortedKeys(other.words) {
+		if v := other.words[a]; m.words[a] != v && v != 0 {
 			out = append(out, a)
 			if len(out) >= max {
 				return out
@@ -133,7 +135,7 @@ func (o *OverflowArea) Spill(line uint64, words map[int]Word) {
 		dst = make(map[int]Word, len(words))
 		o.lines[line] = dst
 	}
-	for w, v := range words {
+	for w, v := range words { //bulklint:ordered copying map to map; order cannot escape
 		dst[w] = v
 	}
 }
@@ -162,13 +164,9 @@ func (o *OverflowArea) DisambiguationScan(line uint64) bool {
 	return ok
 }
 
-// Lines returns the overflowed line addresses (unordered).
+// Lines returns the overflowed line addresses in ascending order.
 func (o *OverflowArea) Lines() []uint64 {
-	out := make([]uint64, 0, len(o.lines))
-	for a := range o.lines {
-		out = append(out, a)
-	}
-	return out
+	return det.SortedKeys(o.lines)
 }
 
 // Dealloc discards the area contents (after the owning thread commits or is

@@ -67,7 +67,7 @@ func (r *Rand) Uint32() uint32 { return uint32(r.Uint64() >> 32) }
 // Intn returns a value in [0, n). It panics if n <= 0.
 func (r *Rand) Intn(n int) int {
 	if n <= 0 {
-		panic("rng: Intn called with non-positive n")
+		panic("rng: Intn called with non-positive n") //bulklint:invariant mirrors the documented math/rand.Intn contract
 	}
 	return int(r.Uint64n(uint64(n)))
 }
@@ -76,7 +76,7 @@ func (r *Rand) Intn(n int) int {
 // method to avoid modulo bias. It panics if n == 0.
 func (r *Rand) Uint64n(n uint64) uint64 {
 	if n == 0 {
-		panic("rng: Uint64n called with zero n")
+		panic("rng: Uint64n called with zero n") //bulklint:invariant an empty range has no uniform value to return
 	}
 	// For simulator purposes a simple threshold rejection is plenty.
 	threshold := -n % n // (2^64 - n) % n

@@ -191,7 +191,7 @@ func (p *DecodePlan) Decode(s *Signature) SetMask {
 // DecodeInto is Decode writing into an existing mask (which is cleared).
 func (p *DecodePlan) DecodeInto(s *Signature, mask SetMask) {
 	if !s.cfg.Compatible(p.cfg) {
-		panic("sig: decode plan applied to signature with different configuration")
+		panic("sig: decode plan applied to signature with different configuration") //bulklint:invariant plans are built per-config at system setup
 	}
 	mask.Clear()
 	// Per contributing field, compute the set of partial index patterns

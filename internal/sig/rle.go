@@ -37,7 +37,7 @@ func (w *bitWriter) writeBit(b uint) {
 // floor(log2 n) zero bits, then the binary representation of n.
 func (w *bitWriter) writeGamma(n uint64) {
 	if n == 0 {
-		panic("sig: gamma code undefined for 0")
+		panic("sig: gamma code undefined for 0") //bulklint:invariant run lengths are offset to be >= 1 before encoding
 	}
 	k := bits.Len64(n) - 1
 	for i := 0; i < k; i++ {

@@ -125,7 +125,7 @@ func (e *Engine) Next() int {
 // Advance re-arms processor i to be runnable cost cycles from now.
 func (e *Engine) Advance(i int, cost int) {
 	if cost < 0 {
-		panic("sim: negative cost")
+		panic("sim: negative cost") //bulklint:invariant cycle costs come from the cost model, never negative
 	}
 	e.readyAt[i] = e.now + int64(cost)
 }

@@ -140,7 +140,7 @@ func NewChart(series ...string) *Chart {
 // Row adds a group with one value per series.
 func (c *Chart) Row(label string, values ...float64) *Chart {
 	if len(values) != len(c.series) {
-		panic("stats: chart row arity mismatch")
+		panic("stats: chart row arity mismatch") //bulklint:invariant row arity is fixed by the caller's literal series list
 	}
 	c.rows = append(c.rows, chartRow{label: label, values: values})
 	return c

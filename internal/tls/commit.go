@@ -3,6 +3,7 @@ package tls
 import (
 	"bulk/internal/bus"
 	"bulk/internal/cache"
+	"bulk/internal/det"
 	"bulk/internal/mem"
 	"bulk/internal/sig"
 )
@@ -43,8 +44,8 @@ func (s *System) commitTask(t *task) {
 	s.engine.AcquireBus(par.CommitArbitration + par.TransferCycles(packetBytes))
 
 	// Commit the values.
-	for a, v := range t.wbuf {
-		s.mem.Write(a, mem.Word(v))
+	for _, a := range det.SortedKeys(t.wbuf) {
+		s.mem.Write(a, mem.Word(t.wbuf[a]))
 	}
 	s.stats.Commits++
 	s.stats.ReadSetWords += uint64(len(t.readW))
@@ -95,7 +96,7 @@ func (s *System) disambiguateCommit(t *task) {
 			exactW = t.postSpawnW
 		}
 		exactDep := uint64(0)
-		for a := range exactW {
+		for a := range exactW { //bulklint:ordered order-independent count
 			if v.readW[a] || v.writeW[a] {
 				exactDep++
 			}
@@ -105,7 +106,7 @@ func (s *System) disambiguateCommit(t *task) {
 		// coarse encoding, not aliasing.
 		realOverlap := exactDep > 0
 		if s.opts.LineGranularity && !realOverlap {
-			for a := range exactW {
+			for a := range exactW { //bulklint:ordered order-independent boolean reduction
 				l := s.lineOf(a)
 				if v.readL[l] || v.writeL[l] {
 					realOverlap = true
@@ -121,7 +122,7 @@ func (s *System) disambiguateCommit(t *task) {
 		case Lazy:
 			// Exact word-level lazy: only read-after-write needs a
 			// squash; exact write-write merges by commit order.
-			for a := range exactW {
+			for a := range exactW { //bulklint:ordered order-independent boolean reduction
 				if v.readW[a] {
 					violated = true
 					break
@@ -187,7 +188,7 @@ func (s *System) invalidateCommit(t *task) {
 			if q.id == t.proc {
 				continue
 			}
-			for lAddr := range t.writeL {
+			for _, lAddr := range det.SortedKeys(t.writeL) {
 				cl := q.cache.Lookup(cache.LineAddr(lAddr))
 				if cl == nil {
 					continue
@@ -265,12 +266,12 @@ func (s *System) squashOne(t *task) {
 		// predecessor).
 		p.module.SquashInvalidate(t.version, true)
 	} else {
-		for l := range t.writeL {
+		for _, l := range det.SortedKeys(t.writeL) {
 			if cl := p.cache.Lookup(cache.LineAddr(l)); cl != nil && cl.State == cache.Dirty {
 				p.cache.Invalidate(cache.LineAddr(l))
 			}
 		}
-		for l := range t.readL {
+		for _, l := range det.SortedKeys(t.readL) {
 			if cl := p.cache.Lookup(cache.LineAddr(l)); cl != nil && cl.State == cache.Clean {
 				p.cache.Invalidate(cache.LineAddr(l))
 			}

@@ -6,6 +6,7 @@ import (
 
 	"bulk/internal/bdm"
 	"bulk/internal/cache"
+	"bulk/internal/det"
 	"bulk/internal/mem"
 	"bulk/internal/sig"
 	"bulk/internal/sim"
@@ -199,6 +200,7 @@ func (s *System) run() (*Result, error) {
 			s.stats.SafeWritebacks += p.module.Stats().SafeWritebacks
 		}
 	}
+	s.opts.Meter.Merge(&s.stats.Bandwidth)
 	return &Result{Stats: s.stats, Memory: s.mem}, nil
 }
 
@@ -325,7 +327,7 @@ func (s *System) startTask(p *proc, t *task) {
 	case Lazy:
 		// Exact equivalent: drop clean copies of the parent's written
 		// lines.
-		for l := range parent.writeL {
+		for _, l := range det.SortedKeys(parent.writeL) {
 			if cl := p.cache.Lookup(cache.LineAddr(l)); cl != nil && cl.State == cache.Clean {
 				p.cache.Invalidate(cache.LineAddr(l))
 			}

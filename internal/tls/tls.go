@@ -82,6 +82,9 @@ type Options struct {
 	MaxVersions int
 	// RestartLimit aborts the run when one task restarts this many times.
 	RestartLimit int
+	// Meter, when non-nil, receives this run's final bus.Bandwidth.
+	// It is safe to share one Meter across runs on separate goroutines.
+	Meter *bus.Meter
 }
 
 // NewOptions returns the paper's defaults for a scheme (Partial Overlap on

@@ -3,6 +3,7 @@ package tm
 import (
 	"bulk/internal/bus"
 	"bulk/internal/cache"
+	"bulk/internal/det"
 	"bulk/internal/mem"
 	"bulk/internal/sig"
 	"bulk/internal/workload"
@@ -49,8 +50,8 @@ func (s *System) commit(p *proc, seg *workload.TMSegment) {
 	// Apply the speculative values to committed memory, section order
 	// (outer first) so inner overwrites win, matching bufLookup.
 	for _, sec := range p.sections {
-		for a, v := range sec.wbuf {
-			s.mem.Write(a, mem.Word(v))
+		for _, a := range det.SortedKeys(sec.wbuf) {
+			s.mem.Write(a, mem.Word(sec.wbuf[a]))
 		}
 	}
 	// Commit propagates the transaction's dirty data: the written lines
@@ -58,7 +59,7 @@ func (s *System) commit(p *proc, seg *workload.TMSegment) {
 	// commit; the same bytes would otherwise be written back at
 	// eviction). This keeps committed lines from lingering dirty and
 	// later being charged as Set Restriction safe writebacks.
-	for l := range writeLines {
+	for _, l := range det.SortedKeys(writeLines) {
 		if cl := p.cache.Lookup(cache.LineAddr(l)); cl != nil && cl.State == cache.Dirty {
 			p.cache.MarkClean(cache.LineAddr(l))
 			s.stats.Bandwidth.Record(bus.WB, bus.WritebackBytes)
@@ -119,7 +120,7 @@ func (s *System) disambiguateAtCommit(p, q *proc, wc *sig.Signature, writeLines 
 	// Exact overlap (ground truth): committer writes vs. receiver R∪W,
 	// in lines (the Table 7 dependence-set metric).
 	dep := uint64(0)
-	for l := range writeLines {
+	for l := range writeLines { //bulklint:ordered order-independent count
 		if q.inReadSet(l) || q.inWriteSet(l) {
 			dep++
 		}
@@ -130,7 +131,7 @@ func (s *System) disambiguateAtCommit(p, q *proc, wc *sig.Signature, writeLines 
 	if s.opts.WordGranularity {
 		real = 0
 		for _, sec := range p.sections {
-			for w := range sec.wbuf {
+			for w := range sec.wbuf { //bulklint:ordered order-independent count
 				if q.readWord(w) || q.wroteWord(w) {
 					real++
 				}
@@ -146,7 +147,7 @@ func (s *System) disambiguateAtCommit(p, q *proc, wc *sig.Signature, writeLines 
 		// Conventional lazy must also disambiguate against the
 		// receiver's overflowed addresses in memory.
 		if !q.over.Empty() {
-			for range writeLines {
+			for range writeLines { //bulklint:ordered keyless loop; only the count matters
 				q.over.DisambiguationScan(0)
 			}
 			s.stats.Bandwidth.Record(bus.UB, len(writeLines)*bus.AddrBytes+bus.HeaderBytes)
@@ -179,7 +180,7 @@ func (s *System) invalidateCommitted(p, q *proc, wc *sig.Signature, writeLines m
 	case Eager:
 		// Copies were invalidated when ownership was acquired.
 	case Lazy:
-		for l := range writeLines {
+		for _, l := range det.SortedKeys(writeLines) {
 			q.cache.Invalidate(cache.LineAddr(l))
 		}
 	case Bulk:
@@ -252,7 +253,7 @@ func (s *System) squash(q *proc, fromSection int, dep uint64) {
 			q.module.FreeVersion(sec.version)
 		}
 	} else {
-		for l := range q.allWriteLines() {
+		for _, l := range det.SortedKeys(q.allWriteLines()) {
 			if cl := q.cache.Lookup(cache.LineAddr(l)); cl != nil && cl.State == cache.Dirty {
 				q.cache.Invalidate(cache.LineAddr(l))
 			}

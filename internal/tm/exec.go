@@ -299,7 +299,7 @@ func (s *System) fill(p *proc, line uint64, spec bool) (*cache.Line, int) {
 			if words, ok := p.over.Fetch(line); ok {
 				s.stats.Bandwidth.Record(bus.UB, bus.FillBytes)
 				l := s.insertLine(p, line, cache.Dirty)
-				for w, v := range words {
+				for w, v := range words { //bulklint:ordered writes to distinct array slots; order cannot escape
 					l.Data[w] = uint64(v)
 				}
 				return l, par.MemLatency

@@ -3,6 +3,7 @@ package tm
 import (
 	"bulk/internal/bus"
 	"bulk/internal/cache"
+	"bulk/internal/det"
 	"bulk/internal/mem"
 	"bulk/internal/sig"
 )
@@ -83,7 +84,7 @@ func (s *System) maybePreempt(p *proc) bool {
 // area (the cache no longer knows who owns them once the signatures left
 // the BDM).
 func (s *System) spillDirtyLines(p *proc, sec *section) {
-	for line := range sec.writeL {
+	for _, line := range det.SortedKeys(sec.writeL) {
 		cl := p.cache.Lookup(cache.LineAddr(line))
 		if cl == nil || cl.State != cache.Dirty {
 			continue
@@ -146,7 +147,7 @@ func (s *System) disambiguateSpilled(p *proc, wc *sig.Signature, writeLines map[
 		if wc.Intersects(sp.sv.R) || wc.Intersects(sp.sv.W) {
 			p.preempt.doomed = true
 			dep := uint64(0)
-			for l := range writeLines {
+			for l := range writeLines { //bulklint:ordered order-independent count
 				if sp.sec.readL[l] || sp.sec.writeL[l] {
 					dep++
 				}
@@ -192,11 +193,11 @@ func (s *System) resumePreempted(p *proc) {
 				// the signature's granularity; the decode is exact so the
 				// mask matches.
 				if s.opts.WordGranularity {
-					for w := range sp.sec.wbuf {
+					for w := range sp.sec.wbuf { //bulklint:ordered signature Add is a commutative bitwise OR
 						p.module.CommitWrite(v, sig.Addr(w))
 					}
 				} else {
-					for l := range sp.sec.writeL {
+					for l := range sp.sec.writeL { //bulklint:ordered signature Add is a commutative bitwise OR
 						p.module.CommitWrite(v, sig.Addr(l))
 					}
 				}

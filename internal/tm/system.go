@@ -198,6 +198,7 @@ func (s *System) run() (*Result, error) {
 	s.stats.Cycles = s.engine.Now()
 	s.collectModuleStats()
 	s.collectOverflowStats()
+	s.opts.Meter.Merge(&s.stats.Bandwidth)
 	return &Result{Stats: s.stats, Memory: s.mem, Log: s.log, RealSquashes: s.real}, nil
 }
 
@@ -379,7 +380,7 @@ func (p *proc) bufLookup(word uint64) (uint64, bool) {
 func (p *proc) allWriteLines() map[uint64]bool {
 	out := map[uint64]bool{}
 	for _, sec := range p.sections {
-		for l := range sec.writeL {
+		for l := range sec.writeL { //bulklint:ordered building a map union; order cannot escape
 			out[l] = true
 		}
 	}
@@ -390,7 +391,7 @@ func (p *proc) allWriteLines() map[uint64]bool {
 func (p *proc) allReadLines() map[uint64]bool {
 	out := map[uint64]bool{}
 	for _, sec := range p.sections {
-		for l := range sec.readL {
+		for l := range sec.readL { //bulklint:ordered building a map union; order cannot escape
 			out[l] = true
 		}
 	}

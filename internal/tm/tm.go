@@ -88,6 +88,9 @@ type Options struct {
 	// of a line no longer conflict, and partially updated lines merge via
 	// the Updated Word Bitmask machinery. Bulk only.
 	WordGranularity bool
+	// Meter, when non-nil, receives this run's final bus.Bandwidth.
+	// It is safe to share one Meter across runs on separate goroutines.
+	Meter *bus.Meter
 }
 
 // NewOptions returns Options with the paper's defaults for a scheme.

@@ -137,6 +137,6 @@ func (e *Executor) Step(opIndex int, op Op, load func(addr uint64) uint64, store
 	case WriteDep:
 		store(op.Addr, DepValue(e.lastRead, op.Addr))
 	default:
-		panic(fmt.Sprintf("trace: unknown op kind %v", op.Kind))
+		panic(fmt.Sprintf("trace: unknown op kind %v", op.Kind)) //bulklint:invariant Kind is a closed enum owned by this package
 	}
 }

@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"bulk/internal/det"
 	"bulk/internal/rng"
 	"bulk/internal/trace"
 )
@@ -273,15 +274,7 @@ func (g *tmGen) transaction() TMSegment {
 		for len(bounds) < n-1 {
 			bounds[1+g.r.Intn(len(ops)-1)] = true
 		}
-		for b := range bounds {
-			seg.Sections = append(seg.Sections, b)
-		}
-		// Sort the small slice.
-		for i := 1; i < len(seg.Sections); i++ {
-			for j := i; j > 0 && seg.Sections[j] < seg.Sections[j-1]; j-- {
-				seg.Sections[j], seg.Sections[j-1] = seg.Sections[j-1], seg.Sections[j]
-			}
-		}
+		seg.Sections = append(seg.Sections, det.SortedKeys(bounds)...)
 	}
 	return seg
 }

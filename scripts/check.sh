@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Full verification gate: build, vet, bulklint, race-enabled tests.
+# Run from anywhere; operates on the module root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== go build =="
+go build ./...
+
+echo "== go vet =="
+go vet ./...
+
+echo "== bulklint =="
+go run ./cmd/bulklint ./...
+
+echo "== go test -race =="
+go test -race ./...
+
+echo "check.sh: all stages passed"
