@@ -1,0 +1,135 @@
+// Command benchjson converts `go test -bench` output into the JSON the
+// repository commits as its performance record (BENCH_sig.json and
+// BENCH_exhibits.json, written by scripts/bench.sh).
+//
+// It reads benchmark output on stdin and emits one JSON document with the
+// parsed rows under "current". With -baseline FILE, the same parser runs
+// over a committed raw capture and the result lands under "baseline", so
+// the JSON carries before/after numbers side by side. Lines that are not
+// benchmark results (printed exhibits, PASS/ok trailers) are skipped.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// row is one parsed benchmark line.
+type row struct {
+	Name        string  `json:"name"`
+	Iters       int64   `json:"iters"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+type report struct {
+	Schema     string `json:"schema"`
+	Go         string `json:"go"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	Note       string `json:"note,omitempty"`
+	Baseline   []row  `json:"baseline,omitempty"`
+	Current    []row  `json:"current"`
+}
+
+// procSuffix strips the -N GOMAXPROCS suffix go test appends to benchmark
+// names (absent when GOMAXPROCS is 1), so baselines captured on different
+// machines compare by name.
+var procSuffix = regexp.MustCompile(`-\d+$`)
+
+// parse extracts benchmark rows from go test -bench output. Unparseable
+// lines are ignored: the stream legitimately interleaves printed exhibits.
+func parse(r io.Reader) ([]row, error) {
+	var rows []row
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		f := strings.Fields(sc.Text())
+		if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") || f[3] != "ns/op" {
+			continue
+		}
+		iters, err := strconv.ParseInt(f[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(f[2], 64)
+		if err != nil {
+			continue
+		}
+		b := row{
+			Name:    procSuffix.ReplaceAllString(strings.TrimPrefix(f[0], "Benchmark"), ""),
+			Iters:   iters,
+			NsPerOp: ns,
+		}
+		for i := 4; i+1 < len(f); i += 2 {
+			v, err := strconv.ParseInt(f[i], 10, 64)
+			if err != nil {
+				continue
+			}
+			switch f[i+1] {
+			case "B/op":
+				b.BytesPerOp = v
+			case "allocs/op":
+				b.AllocsPerOp = v
+			}
+		}
+		rows = append(rows, b)
+	}
+	return rows, sc.Err()
+}
+
+func run() error {
+	baseline := flag.String("baseline", "", "raw `go test -bench` capture to embed as the before numbers")
+	note := flag.String("note", "", "free-form provenance note stored in the JSON")
+	flag.Parse()
+
+	rep := report{
+		Schema:     "bulk-bench-v1",
+		Go:         runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Note:       *note,
+	}
+	if *baseline != "" {
+		f, err := os.Open(*baseline)
+		if err != nil {
+			return err
+		}
+		rep.Baseline, err = parse(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+	}
+	var err error
+	rep.Current, err = parse(os.Stdin)
+	if err != nil {
+		return err
+	}
+	if len(rep.Current) == 0 {
+		return fmt.Errorf("benchjson: no benchmark lines found on stdin")
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -101,6 +101,7 @@ type Module struct {
 
 	scratchLines []*cache.Line
 	scratchSets  []int
+	scratchMask  sig.SetMask // reused δ(s) output of expand
 }
 
 // New builds a module attached to a cache. The signature configuration must
@@ -124,10 +125,11 @@ func New(cfg Config, c *cache.Cache) (*Module, error) {
 			"bulk invalidation would be unsafe (Section 4.3)")
 	}
 	m := &Module{
-		cfg:     cfg,
-		cache:   c,
-		plan:    plan,
-		preMask: sig.NewSetMask(c.NumSets()),
+		cfg:         cfg,
+		cache:       c,
+		plan:        plan,
+		preMask:     sig.NewSetMask(c.NumSets()),
+		scratchMask: sig.NewSetMask(c.NumSets()),
 	}
 	if cfg.WordsPerLine > 1 {
 		wp, err := sig.NewWordMaskPlan(cfg.Sig, cfg.WordsPerLine)
@@ -350,8 +352,8 @@ func (m *Module) DisambiguateAddr(v *Version, a sig.Addr) bool {
 // widened to signature granularity for the membership test: at word
 // granularity a line passes if *any* of its word addresses passes.
 func (m *Module) expand(s *sig.Signature, fn func(*cache.Line)) {
-	mask := m.plan.Decode(s)
-	m.scratchSets = mask.Sets(m.scratchSets[:0])
+	m.plan.DecodeInto(s, m.scratchMask)
+	m.scratchSets = m.scratchMask.Sets(m.scratchSets[:0])
 	for _, set := range m.scratchSets {
 		m.stats.ExpansionSetsVisited++
 		m.scratchLines = m.cache.LinesInSet(set, m.scratchLines[:0])

@@ -256,7 +256,9 @@ func (s *System) commitEpisode(p *proc, e *Episode) {
 	var packet int
 	var wc *sig.Signature
 	if p.module != nil {
-		wc = p.version.W.Clone()
+		// The committer's W is read-only from here until finishEpisode
+		// clears it (after the receiver loop), so no defensive clone.
+		wc = p.version.W
 		packet = bus.SignatureCommitBytes(sig.RLEncodedBits(wc))
 	} else {
 		lines := map[uint64]bool{}

@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"bulk/internal/ckpt"
+	"bulk/internal/par"
 	"bulk/internal/sig"
 	"bulk/internal/stats"
 )
@@ -37,56 +38,71 @@ func Checkpoint(c Config) (*CheckpointResult, error) {
 	if c.TMTxns > 0 {
 		episodes = c.TMTxns * 2
 	}
-	w := ckpt.GenerateWorkload(8, episodes, 0.92, c.Seed)
-
-	stall, err := ckpt.Run(w, ckpt.NewOptions(ckpt.Stall))
-	if err != nil {
-		return nil, err
+	sigNames := []string{"S1", "S4", "S14", "S19"}
+	// Six independent simulations (stall, exact, four signature sizes).
+	// Every task regenerates the workload from the seed — GenerateWorkload
+	// is pure — so the runs fan out; speedups over the stall baseline are
+	// computed after the barrier, once the baseline's cycle count is known.
+	type ckptOut struct {
+		cycles         int64
+		rollbacks      uint64
+		falseRollbacks uint64
+		bits           int
 	}
-	if c.Verify {
-		if err := ckpt.Verify(w, stall); err != nil {
-			return nil, err
+	runs := make([]ckptOut, 2+len(sigNames))
+	err := par.ForEach(len(runs), func(i int) error {
+		w := ckpt.GenerateWorkload(8, episodes, 0.92, c.Seed)
+		var o ckpt.Options
+		name := ""
+		switch i {
+		case 0:
+			o = ckpt.NewOptions(ckpt.Stall)
+		case 1:
+			o = ckpt.NewOptions(ckpt.Exact)
+		default:
+			name = sigNames[i-2]
+			cfg, err := sig.StandardConfig(name, sig.TMPermutation, sig.TMAddrBits)
+			if err != nil {
+				return err
+			}
+			o = ckpt.NewOptions(ckpt.Bulk)
+			o.SigConfig = cfg
+			runs[i].bits = cfg.TotalBits()
 		}
-	}
-	res := &CheckpointResult{StallCycles: stall.Stats.Cycles}
-
-	exact, err := ckpt.Run(w, ckpt.NewOptions(ckpt.Exact))
-	if err != nil {
-		return nil, err
-	}
-	if c.Verify {
-		if err := ckpt.Verify(w, exact); err != nil {
-			return nil, err
-		}
-	}
-	res.Exact = CheckpointRow{
-		Config:    "Exact",
-		Speedup:   float64(stall.Stats.Cycles) / float64(exact.Stats.Cycles),
-		Rollbacks: exact.Stats.Rollbacks,
-	}
-
-	for _, name := range []string{"S1", "S4", "S14", "S19"} {
-		cfg, err := sig.StandardConfig(name, sig.TMPermutation, sig.TMAddrBits)
-		if err != nil {
-			return nil, err
-		}
-		o := ckpt.NewOptions(ckpt.Bulk)
-		o.SigConfig = cfg
 		r, err := ckpt.Run(w, o)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if c.Verify {
 			if err := ckpt.Verify(w, r); err != nil {
-				return nil, fmt.Errorf("%s: %w", name, err)
+				if name != "" {
+					return fmt.Errorf("%s: %w", name, err)
+				}
+				return err
 			}
 		}
+		runs[i].cycles = r.Stats.Cycles
+		runs[i].rollbacks = r.Stats.Rollbacks
+		runs[i].falseRollbacks = r.Stats.FalseRollbacks
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &CheckpointResult{StallCycles: runs[0].cycles}
+	res.Exact = CheckpointRow{
+		Config:    "Exact",
+		Speedup:   float64(runs[0].cycles) / float64(runs[1].cycles),
+		Rollbacks: runs[1].rollbacks,
+	}
+	for i, name := range sigNames {
+		r := runs[i+2]
 		res.Rows = append(res.Rows, CheckpointRow{
 			Config:         name,
-			Bits:           cfg.TotalBits(),
-			Speedup:        float64(stall.Stats.Cycles) / float64(r.Stats.Cycles),
-			Rollbacks:      r.Stats.Rollbacks,
-			FalseRollbacks: r.Stats.FalseRollbacks,
+			Bits:           r.bits,
+			Speedup:        float64(runs[0].cycles) / float64(r.cycles),
+			Rollbacks:      r.rollbacks,
+			FalseRollbacks: r.falseRollbacks,
 		})
 	}
 	return res, nil

@@ -14,25 +14,28 @@ import (
 // simulation, statistics, rendering — is a pure function of the
 // configuration. Identical configs must print byte-identical exhibits.
 // This is what makes every number in EXPERIMENTS.md reproducible.
+//
+// Every exhibit in the registry is covered, and every exhibit now runs its
+// trials on worker goroutines (internal/par), so this doubles as the
+// engine-wide check that the concurrent schedule is unobservable in the
+// printed output.
 func TestDeterministicOutputs(t *testing.T) {
-	// A representative subset (the full registry is covered elsewhere;
-	// this test runs each twice).
-	for _, id := range []string{"fig12", "table6", "fig14", "table8", "ext-checkpoint"} {
-		runner, ok := ByID(id)
-		if !ok {
-			t.Fatalf("unknown experiment %q", id)
-		}
-		var out [2]bytes.Buffer
-		for i := 0; i < 2; i++ {
-			p, err := runner.Run(Quick())
-			if err != nil {
-				t.Fatalf("%s run %d: %v", id, i, err)
+	for _, runner := range All() {
+		runner := runner
+		t.Run(runner.ID, func(t *testing.T) {
+			t.Parallel()
+			var out [2]bytes.Buffer
+			for i := 0; i < 2; i++ {
+				p, err := runner.Run(Quick())
+				if err != nil {
+					t.Fatalf("%s run %d: %v", runner.ID, i, err)
+				}
+				p.Print(&out[i])
 			}
-			p.Print(&out[i])
-		}
-		if !bytes.Equal(out[0].Bytes(), out[1].Bytes()) {
-			t.Errorf("%s: two identical runs printed different outputs", id)
-		}
+			if !bytes.Equal(out[0].Bytes(), out[1].Bytes()) {
+				t.Errorf("%s: two identical runs printed different outputs", runner.ID)
+			}
+		})
 	}
 }
 

@@ -3,8 +3,8 @@ package experiments
 import (
 	"fmt"
 	"io"
-	"sync"
 
+	"bulk/internal/par"
 	"bulk/internal/stats"
 	"bulk/internal/tls"
 	"bulk/internal/tm"
@@ -34,30 +34,26 @@ type ScalingResult struct {
 }
 
 // Scaling runs the sweep over 2..16 processors. The processor counts are
-// independent simulations (each goroutine generates its own workloads from
-// the shared seed), so they run concurrently; rows are written by index,
-// keeping the printed output identical to a sequential sweep.
+// independent simulations (each worker generates its own workloads from
+// the shared seed), so they fan out through par.ForEach; rows land by
+// index, keeping the printed output identical to a sequential sweep. This
+// was the prototype for the engine-wide pattern now in internal/par.
 func Scaling(c Config) (*ScalingResult, error) {
 	tlsApps := []string{"bzip2", "gap", "twolf", "vpr"}
 	tmApps := []string{"cb", "mc", "series"}
 	procCounts := []int{2, 4, 8, 16}
 
 	res := &ScalingResult{Rows: make([]ScalingRow, len(procCounts))}
-	errs := make([]error, len(procCounts))
-	var wg sync.WaitGroup
-	for i, procs := range procCounts {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			row, err := scalingRow(c, procs, tlsApps, tmApps)
-			res.Rows[i], errs[i] = row, err
-		}()
-	}
-	wg.Wait()
-	for _, err := range errs {
+	err := par.ForEach(len(procCounts), func(i int) error {
+		row, err := scalingRow(c, procCounts[i], tlsApps, tmApps)
 		if err != nil {
-			return nil, err
+			return err
 		}
+		res.Rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return res, nil
 }

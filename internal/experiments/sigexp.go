@@ -5,6 +5,7 @@ import (
 	"io"
 	"strings"
 
+	"bulk/internal/par"
 	"bulk/internal/rng"
 	"bulk/internal/sig"
 	"bulk/internal/stats"
@@ -13,9 +14,17 @@ import (
 
 // addrSampler draws line addresses with the TM workloads' structure: a
 // shared hot region plus per-thread private heaps, so the bit-distribution
-// seen by the signatures matches what the simulator produces.
+// seen by the signatures matches what the simulator produces. Its scratch
+// state (dedup map, set slices) is reused across samples, so the sampling
+// loop allocates nothing after warm-up.
 type addrSampler struct {
-	r *rng.Rand
+	r          *rng.Rand
+	seen       map[sig.Addr]bool
+	wc, rd, wr []sig.Addr
+}
+
+func newAddrSampler(seed uint64) *addrSampler {
+	return &addrSampler{r: rng.New(seed), seen: make(map[sig.Addr]bool, 128)}
 }
 
 func (s *addrSampler) line(tid int) sig.Addr {
@@ -26,49 +35,54 @@ func (s *addrSampler) line(tid int) sig.Addr {
 	return sig.Addr(workload.TMPrivateHeapLine(tid, s.r.Uint64n(1<<16)))
 }
 
-// sampleSets draws a committer write set and a receiver read+write set
-// that are guaranteed disjoint (the "no dependence" ground truth of the
-// Figure 15 methodology).
-func (s *addrSampler) sampleSets(nW, nR, nW2 int) (wc, recv []sig.Addr) {
-	seen := map[sig.Addr]bool{}
-	draw := func(tid, n int, dst *[]sig.Addr) {
-		for len(*dst) < n {
+// sampleSets draws a committer write set and a receiver read and write set
+// that are guaranteed mutually disjoint (the "no dependence" ground truth
+// of the Figure 15 methodology). The returned slices are owned by the
+// sampler and overwritten by the next call.
+func (s *addrSampler) sampleSets(nW, nR, nW2 int) (wc, rd, wr []sig.Addr) {
+	clear(s.seen)
+	draw := func(tid, n int, dst []sig.Addr) []sig.Addr {
+		for len(dst) < n {
 			a := s.line(tid)
-			if !seen[a] {
-				seen[a] = true
-				*dst = append(*dst, a)
+			if !s.seen[a] {
+				s.seen[a] = true
+				dst = append(dst, a)
 			}
 		}
+		return dst
 	}
-	draw(0, nW, &wc)
-	var rd, wr []sig.Addr
-	draw(1, nR, &rd)
-	draw(1, nW2, &wr)
-	recv = append(rd, wr...)
-	return wc, recv
+	s.wc = draw(0, nW, s.wc[:0])
+	s.rd = draw(1, nR, s.rd[:0])
+	s.wr = draw(1, nW2, s.wr[:0])
+	return s.wc, s.rd, s.wr
 }
 
 // falsePositiveRate measures the fraction of disjoint-set disambiguations
 // that a configuration flags as dependent (Equation 1 on aliased bits).
+// It is a pure function of (cfg, samples, seed) — the property the
+// parallel sweeps below rely on — and reuses its three signatures across
+// samples, so the hot loop is allocation-free.
 func falsePositiveRate(cfg *sig.Config, samples int, seed uint64) float64 {
-	s := &addrSampler{r: rng.New(seed)}
+	s := newAddrSampler(seed)
+	wc := cfg.NewSignature()
+	// Receiver sets split like the runtime does: reads into R, writes
+	// into W; Equation 1 checks both.
+	r := cfg.NewSignature()
+	w := cfg.NewSignature()
 	fp := 0
 	for i := 0; i < samples; i++ {
-		wcSet, recvSet := s.sampleSets(22, 68, 22)
-		wc := cfg.NewSignature()
+		wcSet, rdSet, wrSet := s.sampleSets(22, 68, 22)
+		wc.Clear()
+		r.Clear()
+		w.Clear()
 		for _, a := range wcSet {
 			wc.Add(a)
 		}
-		// Split the receiver sets like the runtime does: reads into R,
-		// writes into W; Equation 1 checks both.
-		r := cfg.NewSignature()
-		w := cfg.NewSignature()
-		for j, a := range recvSet {
-			if j < 68 {
-				r.Add(a)
-			} else {
-				w.Add(a)
-			}
+		for _, a := range rdSet {
+			r.Add(a)
+		}
+		for _, a := range wrSet {
+			w.Add(a)
 		}
 		if wc.Intersects(r) || wc.Intersects(w) {
 			fp++
@@ -98,14 +112,27 @@ func Table8(c Config) (*Table8Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	res := &Table8Result{}
-	s := &addrSampler{r: rng.New(c.Seed)}
 	const trials = 200
-	for _, cfg := range cfgs {
+	// All 23 configurations consume one shared sampler stream, so the write
+	// sets are pre-drawn serially in the exact order the sequential loop
+	// used — the printed averages are unchanged — and only the encode work
+	// (signature build + RLE size) fans out per configuration.
+	sets := make([][][]sig.Addr, len(cfgs))
+	s := newAddrSampler(c.Seed)
+	for i := range cfgs {
+		sets[i] = make([][]sig.Addr, trials)
+		for t := 0; t < trials; t++ {
+			wset, _, _ := s.sampleSets(22, 0, 0)
+			sets[i][t] = append([]sig.Addr(nil), wset...)
+		}
+	}
+	res := &Table8Result{Rows: make([]Table8Row, len(cfgs))}
+	err = par.ForEach(len(cfgs), func(i int) error {
+		cfg := cfgs[i]
+		w := cfg.NewSignature()
 		total := 0
-		for i := 0; i < trials; i++ {
-			wset, _ := s.sampleSets(22, 0, 0)
-			w := cfg.NewSignature()
+		for _, wset := range sets[i] {
+			w.Clear()
 			for _, a := range wset {
 				w.Add(a)
 			}
@@ -115,12 +142,16 @@ func Table8(c Config) (*Table8Result, error) {
 		for _, ch := range cfg.Chunks() {
 			chunks = append(chunks, fmt.Sprintf("%d", ch))
 		}
-		res.Rows = append(res.Rows, Table8Row{
+		res.Rows[i] = Table8Row{
 			ID:             cfg.Name(),
 			FullBits:       cfg.TotalBits(),
 			CompressedBits: float64(total) / trials,
 			Chunks:         strings.Join(chunks, ","),
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return res, nil
 }
@@ -168,11 +199,13 @@ type HashResult struct {
 // never consume.
 func clusteredFalsePositiveRate(cfg *sig.Config, samples int, seed uint64) float64 {
 	r := rng.New(seed ^ 0xc1)
+	wc := cfg.NewSignature()
+	rr := cfg.NewSignature()
 	fp := 0
 	for i := 0; i < samples; i++ {
 		base := sig.Addr(r.Intn(1 << 12))
-		wc := cfg.NewSignature()
-		rr := cfg.NewSignature()
+		wc.Clear()
+		rr.Clear()
 		for k := 0; k < 22; k++ {
 			wc.Add(base + sig.Addr(r.Intn(1<<9)))
 		}
@@ -190,16 +223,20 @@ func clusteredFalsePositiveRate(cfg *sig.Config, samples int, seed uint64) float
 // both regimes.
 func AblationHash(c Config) (*HashResult, error) {
 	samples := c.fig15Samples()
-	res := &HashResult{}
-	for _, chunks := range [][]int{{8, 8}, {9, 9}, {10, 10}, {11, 11}} {
+	sizes := [][]int{{8, 8}, {9, 9}, {10, 10}, {11, 11}}
+	res := &HashResult{Rows: make([]HashRow, len(sizes))}
+	// Each row's rates are pure functions of (chunks, c.Seed), so the four
+	// sizes fan out independently and land by index.
+	err := par.ForEach(len(sizes), func(i int) error {
+		chunks := sizes[i]
 		name := fmt.Sprintf("2x%d", chunks[0])
 		bitSel, err := sig.NewConfig(name, chunks, sig.TMPermutation, sig.TMAddrBits)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		hashed, err := sig.NewHashedConfig(name, chunks, sig.TMAddrBits, c.Seed)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		row := HashRow{
 			Size:          name,
@@ -213,7 +250,11 @@ func AblationHash(c Config) (*HashResult, error) {
 		_, errH := sig.NewDecodePlan(hashed, sig.IndexSpec{LowBit: 0, Bits: 7})
 		row.BitSelDecodes = errB == nil
 		row.HashedDecodes = errH == nil
-		res.Rows = append(res.Rows, row)
+		res.Rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return res, nil
 }
@@ -260,22 +301,34 @@ type Figure15Result struct {
 func Figure15(c Config) (*Figure15Result, error) {
 	samples := c.fig15Samples()
 	nPerms := c.fig15Perms()
-	res := &Figure15Result{Samples: samples}
-	permRand := rng.New(c.Seed ^ 0xf15)
 	names := sig.StandardConfigNames()
-	for _, name := range names {
+	// The random permutations come from one shared stream, so they are
+	// pre-drawn serially in the sequential loop's order (outer: config,
+	// inner: perm) — identical perms land at identical rows — and the
+	// expensive sampling sweeps fan out per configuration. This is the
+	// engine's heaviest exhibit: 23 configs x (nPerms+2) sweeps.
+	permRand := rng.New(c.Seed ^ 0xf15)
+	perms := make([][][]int, len(names))
+	for i := range names {
+		perms[i] = make([][]int, nPerms)
+		for k := 0; k < nPerms; k++ {
+			perms[i][k] = permRand.Perm(sig.TMAddrBits)
+		}
+	}
+	res := &Figure15Result{Samples: samples, Rows: make([]Figure15Row, len(names))}
+	err := par.ForEach(len(names), func(i int) error {
+		name := names[i]
 		base, err := sig.StandardConfig(name, nil, sig.TMAddrBits)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		row := Figure15Row{ID: name, FullBits: base.TotalBits()}
 		row.NoPerm = falsePositiveRate(base, samples, c.Seed)
 		row.BestPerm, row.WorstPerm = row.NoPerm, row.NoPerm
-		for i := 0; i < nPerms; i++ {
-			perm := permRand.Perm(sig.TMAddrBits)
+		for _, perm := range perms[i] {
 			cfg, err := base.WithPerm(perm)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			rate := falsePositiveRate(cfg, samples, c.Seed)
 			if rate < row.BestPerm {
@@ -287,7 +340,7 @@ func Figure15(c Config) (*Figure15Result, error) {
 		}
 		paper, err := sig.StandardConfig(name, sig.TMPermutation, sig.TMAddrBits)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		row.PaperPerm = falsePositiveRate(paper, samples, c.Seed)
 		if row.PaperPerm < row.BestPerm {
@@ -296,7 +349,11 @@ func Figure15(c Config) (*Figure15Result, error) {
 		if row.PaperPerm > row.WorstPerm {
 			row.WorstPerm = row.PaperPerm
 		}
-		res.Rows = append(res.Rows, row)
+		res.Rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return res, nil
 }

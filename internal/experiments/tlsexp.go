@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 
+	"bulk/internal/par"
 	"bulk/internal/stats"
 	"bulk/internal/tls"
 	"bulk/internal/workload"
@@ -28,13 +29,17 @@ type Figure10Result struct {
 // Figure10 runs the four TLS schemes on every SPECint profile and reports
 // speedups over the sequential baseline.
 func Figure10(c Config) (*Figure10Result, error) {
-	res := &Figure10Result{}
-	var e, l, b, bn []float64
-	for _, p := range workload.TLSProfiles() {
+	profiles := workload.TLSProfiles()
+	res := &Figure10Result{Rows: make([]Figure10Row, len(profiles))}
+	// Each application is an independent simulation of a workload that is a
+	// pure function of (profile, seed), so the apps fan out and their rows
+	// land by index; the geometric means are folded afterwards in row order.
+	err := par.ForEach(len(profiles), func(i int) error {
+		p := profiles[i]
 		w := c.tlsWorkload(p)
 		seq, err := tls.RunSequential(w, tls.NewOptions(tls.Bulk).Params, 0, 0, 0)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		row := Figure10Row{App: p.Name}
 		for _, run := range []struct {
@@ -52,11 +57,18 @@ func Figure10(c Config) (*Figure10Result, error) {
 		} {
 			r, err := c.runTLS(w, run.opts)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			*run.dst = float64(seq) / float64(r.Stats.Cycles)
 		}
-		res.Rows = append(res.Rows, row)
+		res.Rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var e, l, b, bn []float64
+	for _, row := range res.Rows {
 		e = append(e, row.Eager)
 		l = append(l, row.Lazy)
 		b = append(b, row.Bulk)
@@ -110,14 +122,16 @@ type Table6Result struct {
 // Table6 runs Bulk on each TLS profile and extracts the characterization
 // counters.
 func Table6(c Config) (*Table6Result, error) {
-	res := &Table6Result{}
-	for _, p := range workload.TLSProfiles() {
+	profiles := workload.TLSProfiles()
+	res := &Table6Result{Rows: make([]Table6Row, len(profiles))}
+	err := par.ForEach(len(profiles), func(i int) error {
+		p := profiles[i]
 		w := c.tlsWorkload(p)
 		r, err := c.runTLS(w, tls.NewOptions(tls.Bulk))
 		if err != nil {
-			return nil, err
+			return err
 		}
-		row := Table6Row{
+		res.Rows[i] = Table6Row{
 			App:        p.Name,
 			RdSetWords: r.AvgReadSetWords(),
 			WrSetWords: r.AvgWriteSetWords(),
@@ -127,7 +141,10 @@ func Table6(c Config) (*Table6Result, error) {
 			SafeWB:     r.SafeWBPerTask(),
 			WrWrPer1k:  r.WrWrPer1kTasks(),
 		}
-		res.Rows = append(res.Rows, row)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	n := float64(len(res.Rows))
 	res.Avg.App = "Avg"
@@ -171,30 +188,36 @@ type GranularityResult struct {
 
 // AblationGranularity runs Bulk TLS at word and line signature granularity.
 func AblationGranularity(c Config) (*GranularityResult, error) {
-	res := &GranularityResult{}
-	for _, p := range workload.TLSProfiles() {
+	profiles := workload.TLSProfiles()
+	res := &GranularityResult{Rows: make([]GranularityRow, len(profiles))}
+	err := par.ForEach(len(profiles), func(i int) error {
+		p := profiles[i]
 		w := c.tlsWorkload(p)
 		seq, err := tls.RunSequential(w, tls.NewOptions(tls.Bulk).Params, 0, 0, 0)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		word, err := c.runTLS(w, tls.NewOptions(tls.Bulk))
 		if err != nil {
-			return nil, err
+			return err
 		}
 		lo := tls.NewOptions(tls.Bulk)
 		lo.LineGranularity = true
 		line, err := c.runTLS(w, lo)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		res.Rows = append(res.Rows, GranularityRow{
+		res.Rows[i] = GranularityRow{
 			App:         p.Name,
 			WordSpeedup: float64(seq) / float64(word.Stats.Cycles),
 			LineSpeedup: float64(seq) / float64(line.Stats.Cycles),
 			WordSquash:  word.Stats.Squashes,
 			LineSquash:  line.Stats.Squashes,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return res, nil
 }

@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"bulk/internal/bus"
+	"bulk/internal/par"
 	"bulk/internal/stats"
 	"bulk/internal/tm"
 	"bulk/internal/trace"
@@ -29,36 +30,45 @@ type Figure11Result struct {
 
 // Figure11 runs the TM schemes on every Java-workload profile.
 func Figure11(c Config) (*Figure11Result, error) {
-	res := &Figure11Result{}
-	var l, b, bp []float64
-	for _, p := range workload.TMProfiles() {
+	profiles := workload.TMProfiles()
+	res := &Figure11Result{Rows: make([]Figure11Row, len(profiles))}
+	// Per-app fan-out, same contract as Figure 10: workloads are pure
+	// functions of (profile, seed), rows land by index, means fold after.
+	err := par.ForEach(len(profiles), func(i int) error {
+		p := profiles[i]
 		w := c.tmWorkload(p)
 		eager, err := c.runTM(w, tm.NewOptions(tm.Eager))
 		if err != nil {
-			return nil, err
+			return err
 		}
 		lazy, err := c.runTM(w, tm.NewOptions(tm.Lazy))
 		if err != nil {
-			return nil, err
+			return err
 		}
 		bulk, err := c.runTM(w, tm.NewOptions(tm.Bulk))
 		if err != nil {
-			return nil, err
+			return err
 		}
 		po := tm.NewOptions(tm.Bulk)
 		po.PartialRollback = true
 		partial, err := c.runTM(w, po)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		row := Figure11Row{
+		res.Rows[i] = Figure11Row{
 			App:         p.Name,
 			Eager:       1.0,
 			Lazy:        float64(eager.Stats.Cycles) / float64(lazy.Stats.Cycles),
 			Bulk:        float64(eager.Stats.Cycles) / float64(bulk.Stats.Cycles),
 			BulkPartial: float64(eager.Stats.Cycles) / float64(partial.Stats.Cycles),
 		}
-		res.Rows = append(res.Rows, row)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var l, b, bp []float64
+	for _, row := range res.Rows {
 		l = append(l, row.Lazy)
 		b = append(b, row.Bulk)
 		bp = append(bp, row.BulkPartial)
@@ -152,45 +162,68 @@ type Figure12Result struct {
 
 // Figure12 runs the pathological Eager scenarios.
 func Figure12(c Config) (*Figure12Result, error) {
-	wa, wb := Figure12Workloads()
 	res := &Figure12Result{}
-
-	noFix := tm.NewOptions(tm.Eager)
-	noFix.LivelockFix = false
-	noFix.Params.BackoffBase = 0
-	noFix.RestartLimit = 50
-	r, err := tm.Run(wa, noFix)
-	if err != nil {
+	// Five independent simulations. Each task rebuilds the micro-workloads
+	// (pure constructors, no RNG) inside its own goroutine and writes to
+	// distinct result fields, so nothing is shared between tasks.
+	tasks := []func() error{
+		func() error {
+			wa, _ := Figure12Workloads()
+			noFix := tm.NewOptions(tm.Eager)
+			noFix.LivelockFix = false
+			noFix.Params.BackoffBase = 0
+			noFix.RestartLimit = 50
+			r, err := tm.Run(wa, noFix)
+			if err != nil {
+				return err
+			}
+			res.EagerNoFixLivelocked = r.Stats.LivelockDetected
+			res.EagerNoFixSquashes = r.Stats.Squashes
+			return nil
+		},
+		func() error {
+			wa, _ := Figure12Workloads()
+			fix := tm.NewOptions(tm.Eager)
+			fix.Params.BackoffBase = 0
+			rf, err := c.runTM(wa, fix)
+			if err != nil {
+				return err
+			}
+			res.EagerFixCommits = rf.Stats.Commits
+			res.EagerFixStalls = rf.Stats.Stalls
+			return nil
+		},
+		func() error {
+			wa, _ := Figure12Workloads()
+			rl, err := c.runTM(wa, tm.NewOptions(tm.Lazy))
+			if err != nil {
+				return err
+			}
+			res.LazySquashesA = rl.Stats.Squashes
+			return nil
+		},
+		func() error {
+			_, wb := Figure12Workloads()
+			reb, err := c.runTM(wb, tm.NewOptions(tm.Eager))
+			if err != nil {
+				return err
+			}
+			res.EagerSquashesB = reb.Stats.Squashes
+			return nil
+		},
+		func() error {
+			_, wb := Figure12Workloads()
+			rlb, err := c.runTM(wb, tm.NewOptions(tm.Lazy))
+			if err != nil {
+				return err
+			}
+			res.LazySquashesB = rlb.Stats.Squashes
+			return nil
+		},
+	}
+	if err := par.ForEach(len(tasks), func(i int) error { return tasks[i]() }); err != nil {
 		return nil, err
 	}
-	res.EagerNoFixLivelocked = r.Stats.LivelockDetected
-	res.EagerNoFixSquashes = r.Stats.Squashes
-
-	fix := tm.NewOptions(tm.Eager)
-	fix.Params.BackoffBase = 0
-	rf, err := c.runTM(wa, fix)
-	if err != nil {
-		return nil, err
-	}
-	res.EagerFixCommits = rf.Stats.Commits
-	res.EagerFixStalls = rf.Stats.Stalls
-
-	rl, err := c.runTM(wa, tm.NewOptions(tm.Lazy))
-	if err != nil {
-		return nil, err
-	}
-	res.LazySquashesA = rl.Stats.Squashes
-
-	reb, err := c.runTM(wb, tm.NewOptions(tm.Eager))
-	if err != nil {
-		return nil, err
-	}
-	res.EagerSquashesB = reb.Stats.Squashes
-	rlb, err := c.runTM(wb, tm.NewOptions(tm.Lazy))
-	if err != nil {
-		return nil, err
-	}
-	res.LazySquashesB = rlb.Stats.Squashes
 	return res, nil
 }
 
@@ -228,26 +261,28 @@ type Table7Result struct {
 // (8KB) cache so the transactions' ~100-line footprints actually overflow,
 // as the paper's workloads did; the other columns use the Table 5 cache.
 func Table7(c Config) (*Table7Result, error) {
-	res := &Table7Result{}
-	for _, p := range workload.TMProfiles() {
+	profiles := workload.TMProfiles()
+	res := &Table7Result{Rows: make([]Table7Row, len(profiles))}
+	err := par.ForEach(len(profiles), func(i int) error {
+		p := profiles[i]
 		w := c.tmWorkload(p)
 		r, err := c.runTM(w, tm.NewOptions(tm.Bulk))
 		if err != nil {
-			return nil, err
+			return err
 		}
 		smallBulk := tm.NewOptions(tm.Bulk)
 		smallBulk.CacheBytes = 8 << 10
 		rb, err := c.runTM(w, smallBulk)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		smallLazy := tm.NewOptions(tm.Lazy)
 		smallLazy.CacheBytes = 8 << 10
 		rl, err := c.runTM(w, smallLazy)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		row := Table7Row{
+		res.Rows[i] = Table7Row{
 			App:        p.Name,
 			RdSetLines: r.AvgReadSetLines(),
 			WrSetLines: r.AvgWriteSetLines(),
@@ -259,7 +294,10 @@ func Table7(c Config) (*Table7Result, error) {
 				float64(rb.Stats.OverflowAccesses),
 				float64(rl.Stats.OverflowAccesses)),
 		}
-		res.Rows = append(res.Rows, row)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	n := float64(len(res.Rows))
 	res.Avg.App = "Avg"
@@ -301,21 +339,23 @@ type Figure13Result struct {
 
 // Figure13 measures the TM bandwidth breakdown by message type.
 func Figure13(c Config) (*Figure13Result, error) {
-	res := &Figure13Result{}
-	for _, p := range workload.TMProfiles() {
+	profiles := workload.TMProfiles()
+	res := &Figure13Result{Rows: make([]Figure13Row, len(profiles))}
+	err := par.ForEach(len(profiles), func(i int) error {
+		p := profiles[i]
 		w := c.tmWorkload(p)
 		row := Figure13Row{App: p.Name}
 		var eagerTotal float64
-		for i, sc := range []tm.Scheme{tm.Eager, tm.Lazy, tm.Bulk} {
+		for k, sc := range []tm.Scheme{tm.Eager, tm.Lazy, tm.Bulk} {
 			r, err := c.runTM(w, tm.NewOptions(sc))
 			if err != nil {
-				return nil, err
+				return err
 			}
 			if sc == tm.Eager {
 				eagerTotal = float64(r.Stats.Bandwidth.Total())
 			}
 			var dst *[5]float64
-			switch i {
+			switch k {
 			case 0:
 				dst = &row.Eager
 			case 1:
@@ -327,7 +367,11 @@ func Figure13(c Config) (*Figure13Result, error) {
 				dst[j] = stats.Ratio(float64(r.Stats.Bandwidth.Bytes(ty)), eagerTotal)
 			}
 		}
-		res.Rows = append(res.Rows, row)
+		res.Rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	res.Avg.App = "Avg"
 	n := float64(len(res.Rows))
@@ -375,25 +419,35 @@ type Figure14Result struct {
 
 // Figure14 measures commit-packet bytes under Lazy and Bulk.
 func Figure14(c Config) (*Figure14Result, error) {
-	res := &Figure14Result{}
-	var sum float64
-	for _, p := range workload.TMProfiles() {
+	profiles := workload.TMProfiles()
+	res := &Figure14Result{Rows: make([]struct {
+		App string
+		Pct float64
+	}, len(profiles))}
+	err := par.ForEach(len(profiles), func(i int) error {
+		p := profiles[i]
 		w := c.tmWorkload(p)
 		lazy, err := c.runTM(w, tm.NewOptions(tm.Lazy))
 		if err != nil {
-			return nil, err
+			return err
 		}
 		bulk, err := c.runTM(w, tm.NewOptions(tm.Bulk))
 		if err != nil {
-			return nil, err
+			return err
 		}
-		pct := stats.Ratio(float64(bulk.Stats.Bandwidth.CommitBytes()),
-			float64(lazy.Stats.Bandwidth.CommitBytes()))
-		res.Rows = append(res.Rows, struct {
+		res.Rows[i] = struct {
 			App string
 			Pct float64
-		}{p.Name, pct})
-		sum += pct
+		}{p.Name, stats.Ratio(float64(bulk.Stats.Bandwidth.CommitBytes()),
+			float64(lazy.Stats.Bandwidth.CommitBytes()))}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var sum float64
+	for _, row := range res.Rows {
+		sum += row.Pct
 	}
 	res.Avg = sum / float64(len(res.Rows))
 	return res, nil
@@ -430,18 +484,20 @@ type RLEResult struct {
 
 // AblationRLE measures how much run-length encoding shrinks commit packets.
 func AblationRLE(c Config) (*RLEResult, error) {
-	res := &RLEResult{}
-	for _, p := range workload.TMProfiles() {
+	profiles := workload.TMProfiles()
+	res := &RLEResult{Rows: make([]RLERow, len(profiles))}
+	err := par.ForEach(len(profiles), func(i int) error {
+		p := profiles[i]
 		w := c.tmWorkload(p)
 		with, err := c.runTM(w, tm.NewOptions(tm.Bulk))
 		if err != nil {
-			return nil, err
+			return err
 		}
 		o := tm.NewOptions(tm.Bulk)
 		o.NoRLE = true
 		without, err := c.runTM(w, o)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		row := RLERow{
 			App:        p.Name,
@@ -451,7 +507,11 @@ func AblationRLE(c Config) (*RLEResult, error) {
 		if row.WithRLE > 0 {
 			row.CompressionX = float64(row.WithoutRLE) / float64(row.WithRLE)
 		}
-		res.Rows = append(res.Rows, row)
+		res.Rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return res, nil
 }

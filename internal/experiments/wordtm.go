@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 
+	"bulk/internal/par"
 	"bulk/internal/stats"
 	"bulk/internal/tm"
 	"bulk/internal/trace"
@@ -70,27 +71,35 @@ func WordTM(c Config) (*WordTMResult, error) {
 	if c.TMTxns > 0 {
 		txns = c.TMTxns * 2
 	}
-	res := &WordTMResult{}
-	for _, slots := range []int{1, 2, 4, 8} {
+	slotCounts := []int{1, 2, 4, 8}
+	res := &WordTMResult{Rows: make([]WordTMRow, len(slotCounts))}
+	// Each packing degree builds its own workload (pure in slots/txns/seed),
+	// so the sweep fans out with rows landing by index.
+	err := par.ForEach(len(slotCounts), func(i int) error {
+		slots := slotCounts[i]
 		w := wordTMWorkload(slots, txns, c.Seed)
 		line, err := c.runTM(w, tm.NewOptions(tm.Bulk))
 		if err != nil {
-			return nil, err
+			return err
 		}
 		wo := tm.NewOptions(tm.Bulk)
 		wo.WordGranularity = true
 		word, err := c.runTM(w, wo)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		res.Rows = append(res.Rows, WordTMRow{
+		res.Rows[i] = WordTMRow{
 			SlotsPerLine: slots,
 			LineSquashes: line.Stats.Squashes,
 			WordSquashes: word.Stats.Squashes,
 			LineCycles:   line.Stats.Cycles,
 			WordCycles:   word.Stats.Cycles,
 			WordMerges:   word.Stats.Merges,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return res, nil
 }

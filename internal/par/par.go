@@ -1,0 +1,99 @@
+// Package par is the deterministic bounded fan-out engine behind the
+// experiment harness. Independent trials — rows of a table, bars of a
+// figure, processor counts of a sweep — run concurrently on a bounded pool
+// of workers, and every result lands in a slot chosen by its index, never
+// by completion order. Combined with the repository's seeding discipline
+// (each trial derives everything it needs from the shared seed and its own
+// index, sharing no generator state with its siblings), this makes the
+// concurrent schedule unobservable: printed exhibits are byte-identical to
+// a serial run, which is what the golden determinism tests in
+// internal/experiments assert.
+//
+// This is the pattern the scaling sweep proved out with hand-rolled
+// goroutines, promoted to shared infrastructure:
+//
+//   - results land by index (no channels, no completion-order effects);
+//   - errors land by index too, and the lowest-index error wins, so the
+//     reported failure is the one a serial loop would have hit first;
+//   - worker count is bounded by GOMAXPROCS, so a 23-configuration sweep
+//     does not spawn 23 unbounded goroutines on a 2-core CI box.
+//
+// Shared mutable state is the caller's responsibility: the only values a
+// trial may touch are its own slot and explicitly synchronized aggregators
+// (bus.Meter is the sanctioned one).
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers returns the number of goroutines ForEach uses for n tasks: at
+// most GOMAXPROCS, never more than n, never less than 1.
+func Workers(n int) int {
+	w := runtime.GOMAXPROCS(0)
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// ForEach runs fn(i) for every i in [0, n) across a bounded worker pool
+// and blocks until all calls return. Indices are claimed from a shared
+// counter, so scheduling is dynamic, but fn must write its result only
+// into index-i state — under that contract the output of a ForEach-based
+// computation is identical to the serial loop `for i := 0; i < n; i++`.
+//
+// Every fn(i) is invoked even after another index has failed (trials are
+// independent; there is nothing to cancel), and the error returned is the
+// one with the lowest index — the failure a serial run would report.
+func ForEach(n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := Workers(n); w > 0; w-- {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Map is ForEach collecting one value per index: out[i] = fn(i). On error
+// the whole result is discarded and the lowest-index error returned.
+func Map[T any](n int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := ForEach(n, func(i int) error {
+		v, err := fn(i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

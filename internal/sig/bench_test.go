@@ -1,0 +1,283 @@
+package sig
+
+import (
+	"fmt"
+	"testing"
+
+	"bulk/internal/rng"
+)
+
+// Micro-benchmarks for the signature hot path. Every simulated memory
+// access goes through Add/Contains and every commit broadcast through
+// Intersects and the RLE size model, so these five kernels bound the
+// simulator's throughput. All of them must report 0 allocs/op — the
+// zero-allocation claim of the gather-table kernel is enforced by
+// scripts/bench.sh reading these numbers into BENCH_sig.json.
+
+// benchConfigNames is the subset of Table 8 configurations the benchmarks
+// sweep: the smallest, the paper's default-sized, a mid-sized and the
+// largest, so both short and long signatures are timed.
+var benchConfigNames = []string{"S1", "S4", "S14", "S19", "S23"}
+
+// benchAddrs returns a deterministic address working set shaped like the
+// TM workloads' (26-bit line addresses).
+func benchAddrs(n int) []Addr {
+	r := rng.New(2006)
+	addrs := make([]Addr, n)
+	for i := range addrs {
+		addrs[i] = Addr(r.Uint64n(1 << TMAddrBits))
+	}
+	return addrs
+}
+
+func benchConfigsUnder(b *testing.B) []*Config {
+	b.Helper()
+	var cfgs []*Config
+	for _, name := range benchConfigNames {
+		cfg, err := StandardConfig(name, TMPermutation, TMAddrBits)
+		if err != nil {
+			b.Fatalf("StandardConfig(%s): %v", name, err)
+		}
+		cfgs = append(cfgs, cfg)
+	}
+	return cfgs
+}
+
+func BenchmarkAdd(b *testing.B) {
+	addrs := benchAddrs(1024)
+	for _, cfg := range benchConfigsUnder(b) {
+		b.Run(cfg.Name(), func(b *testing.B) {
+			s := cfg.NewSignature()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				s.Add(addrs[i&1023])
+			}
+		})
+	}
+}
+
+func BenchmarkContains(b *testing.B) {
+	addrs := benchAddrs(1024)
+	for _, cfg := range benchConfigsUnder(b) {
+		b.Run(cfg.Name(), func(b *testing.B) {
+			s := cfg.NewSignature()
+			for _, a := range addrs[:22] {
+				s.Add(a)
+			}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_ = s.Contains(addrs[i&1023])
+			}
+		})
+	}
+}
+
+func BenchmarkIntersects(b *testing.B) {
+	addrs := benchAddrs(1024)
+	for _, cfg := range benchConfigsUnder(b) {
+		b.Run(cfg.Name(), func(b *testing.B) {
+			x, y := cfg.NewSignature(), cfg.NewSignature()
+			for _, a := range addrs[:22] {
+				x.Add(a)
+			}
+			for _, a := range addrs[512 : 512+90] {
+				y.Add(a)
+			}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_ = x.Intersects(y)
+			}
+		})
+	}
+}
+
+func BenchmarkDecode(b *testing.B) {
+	addrs := benchAddrs(1024)
+	for _, cfg := range benchConfigsUnder(b) {
+		plan, err := NewDecodePlan(cfg, IndexSpec{LowBit: 0, Bits: 7})
+		if err != nil {
+			// Not every Table 8 configuration projects a cache-set index;
+			// skip those, exactly as the BDM refuses them.
+			continue
+		}
+		b.Run(cfg.Name(), func(b *testing.B) {
+			s := cfg.NewSignature()
+			for _, a := range addrs[:22] {
+				s.Add(a)
+			}
+			mask := NewSetMask(plan.Index().NumSets())
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				plan.DecodeInto(s, mask)
+			}
+		})
+	}
+}
+
+func BenchmarkRLEncodedBits(b *testing.B) {
+	addrs := benchAddrs(1024)
+	for _, cfg := range benchConfigsUnder(b) {
+		b.Run(cfg.Name(), func(b *testing.B) {
+			s := cfg.NewSignature()
+			for _, a := range addrs[:22] {
+				s.Add(a)
+			}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_ = RLEncodedBits(s)
+			}
+		})
+	}
+}
+
+func BenchmarkRLEncode(b *testing.B) {
+	addrs := benchAddrs(1024)
+	for _, cfg := range benchConfigsUnder(b) {
+		b.Run(cfg.Name(), func(b *testing.B) {
+			s := cfg.NewSignature()
+			for _, a := range addrs[:22] {
+				s.Add(a)
+			}
+			var buf []byte
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				buf = RLEncodeAppend(buf[:0], s)
+			}
+		})
+	}
+}
+
+func BenchmarkRLDecode(b *testing.B) {
+	addrs := benchAddrs(1024)
+	for _, cfg := range benchConfigsUnder(b) {
+		b.Run(cfg.Name(), func(b *testing.B) {
+			s := cfg.NewSignature()
+			for _, a := range addrs[:22] {
+				s.Add(a)
+			}
+			data := RLEncode(s)
+			dst := cfg.NewSignature()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := RLDecodeInto(dst, data); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// TestFieldValuesMatchesBitwiseReference cross-checks the gather-table
+// kernel against the definitional per-bit extraction, across the standard
+// configurations and a spread of random permutations (the Figure 15
+// stress case, where gather runs degenerate to single bits).
+func TestFieldValuesMatchesBitwiseReference(t *testing.T) {
+	r := rng.New(7)
+	check := func(cfg *Config) {
+		t.Helper()
+		var got [MaxChunks]uint32
+		ref := make([]uint32, len(cfg.chunks))
+		for trial := 0; trial < 200; trial++ {
+			a := Addr(r.Uint64n(1 << cfg.addrBits))
+			// Reference: walk permPos bit by bit.
+			pos := 0
+			for i, ch := range cfg.chunks {
+				var v uint32
+				for b := 0; b < ch; b++ {
+					if src := cfg.permPos[pos]; src >= 0 {
+						v |= uint32((a>>uint(src))&1) << uint(b)
+					}
+					pos++
+				}
+				ref[i] = v
+			}
+			for i, v := range cfg.fieldIndices(a, &got) {
+				if v != ref[i] {
+					t.Fatalf("%s perm=%v addr=%#x chunk %d: gather %#x, reference %#x",
+						cfg.Name(), cfg.perm, a, i, v, ref[i])
+				}
+			}
+		}
+	}
+	cfgs, err := StandardConfigs(TMPermutation, TMAddrBits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cfg := range cfgs {
+		check(cfg)
+		// Identity permutation.
+		noPerm, err := cfg.WithPerm(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		check(noPerm)
+	}
+	// Random permutations over one small and one large config.
+	for _, name := range []string{"S4", "S23"} {
+		base, err := StandardConfig(name, nil, TMAddrBits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := 0; k < 16; k++ {
+			cfg, err := base.WithPerm(r.Perm(TMAddrBits))
+			if err != nil {
+				t.Fatal(err)
+			}
+			check(cfg)
+		}
+	}
+}
+
+// TestNewConfigRejectsTooManyChunks: the MaxChunks bound backing the fixed
+// stack arrays in Add/Contains must be enforced, not assumed.
+func TestNewConfigRejectsTooManyChunks(t *testing.T) {
+	chunks := make([]int, MaxChunks+1)
+	for i := range chunks {
+		chunks[i] = 1
+	}
+	if _, err := NewConfig("too-many", chunks, nil, 26); err == nil {
+		t.Fatal("NewConfig accepted more than MaxChunks chunks")
+	}
+	if _, err := NewConfig("at-limit", chunks[:MaxChunks], nil, 26); err != nil {
+		t.Fatalf("NewConfig rejected exactly MaxChunks chunks: %v", err)
+	}
+}
+
+// TestBenchConfigNamesExist guards the benchmark sweep against config
+// renames in configs.go.
+func TestBenchConfigNamesExist(t *testing.T) {
+	for _, name := range benchConfigNames {
+		if _, err := StandardConfig(name, TMPermutation, TMAddrBits); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+// TestRLEncodeAppendMatchesRLEncode: the append-style encoder must emit the
+// same stream as the allocating one.
+func TestRLEncodeAppendMatchesRLEncode(t *testing.T) {
+	addrs := benchAddrs(64)
+	for _, name := range benchConfigNames {
+		cfg, err := StandardConfig(name, TMPermutation, TMAddrBits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := cfg.NewSignature()
+		for _, a := range addrs {
+			s.Add(a)
+		}
+		want := RLEncode(s)
+		got := RLEncodeAppend(nil, s)
+		if fmt.Sprintf("%x", want) != fmt.Sprintf("%x", got) {
+			t.Errorf("%s: RLEncodeAppend diverges from RLEncode", name)
+		}
+		// Round trip through the in-place decoder too.
+		dst := cfg.NewSignature()
+		if err := RLDecodeInto(dst, got); err != nil {
+			t.Fatalf("%s: RLDecodeInto: %v", name, err)
+		}
+		if !dst.Equal(s) {
+			t.Errorf("%s: RLDecodeInto round trip lost bits", name)
+		}
+	}
+}

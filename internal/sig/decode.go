@@ -189,11 +189,46 @@ func (p *DecodePlan) Decode(s *Signature) SetMask {
 }
 
 // DecodeInto is Decode writing into an existing mask (which is cleared).
+// Exact plans — the only kind the BDM accepts — run an allocation-free
+// fast path: every one bit of the single contributing field scatters
+// directly into the mask (SetMask.Set is idempotent, so no dedup pass is
+// needed). Inexact multi-field plans keep the allocating cross-product.
 func (p *DecodePlan) DecodeInto(s *Signature, mask SetMask) {
 	if !s.cfg.Compatible(p.cfg) {
 		panic("sig: decode plan applied to signature with different configuration") //bulklint:invariant plans are built per-config at system setup
 	}
 	mask.Clear()
+	if p.exact {
+		fp := &p.fields[0]
+		off := p.cfg.offsets[fp.field]
+		n := 1 << p.cfg.chunks[fp.field]
+		for i := 0; i < n; {
+			w := (off + i) >> 6
+			shift := uint((off + i) & 63)
+			take := 64 - int(shift)
+			if take > n-i {
+				take = n - i
+			}
+			var m uint64
+			if take == 64 {
+				m = ^uint64(0)
+			} else {
+				m = ((1 << uint(take)) - 1) << shift
+			}
+			word := s.bits[w] & m
+			for word != 0 {
+				v := uint32(i + bits.TrailingZeros64(word) - int(shift))
+				var pat uint32
+				for j, cb := range fp.chunkBits {
+					pat |= ((v >> uint(cb)) & 1) << uint(fp.indexBits[j])
+				}
+				mask.Set(int(pat))
+				word &= word - 1
+			}
+			i += take
+		}
+		return
+	}
 	// Per contributing field, compute the set of partial index patterns
 	// present, then cross-combine.
 	var scratch []uint32

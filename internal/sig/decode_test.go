@@ -191,20 +191,3 @@ func TestWordMaskPlanValidation(t *testing.T) {
 	}
 }
 
-func BenchmarkDecode(b *testing.B) {
-	cfg := DefaultTM()
-	plan, err := NewDecodePlan(cfg, IndexSpec{LowBit: 0, Bits: 7})
-	if err != nil {
-		b.Fatal(err)
-	}
-	s := cfg.NewSignature()
-	r := rng.New(1)
-	for i := 0; i < 64; i++ {
-		s.Add(Addr(r.Intn(1 << 26)))
-	}
-	mask := NewSetMask(128)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		plan.DecodeInto(s, mask)
-	}
-}

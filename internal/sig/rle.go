@@ -95,20 +95,30 @@ func gammaLen(n uint64) int { return 2*(bits.Len64(n)-1) + 1 }
 // the signature's configuration, suffices to reconstruct the signature.
 func RLEncode(s *Signature) []byte {
 	w := &bitWriter{}
-	zeros := uint64(0)
-	total := s.cfg.totalBits
-	for i := 0; i < total; i++ {
-		if s.bits[i>>6]&(1<<uint(i&63)) != 0 {
-			w.writeGamma(zeros + 1)
-			zeros = 0
-		} else {
-			zeros++
+	encodeRuns(s, w)
+	return w.buf
+}
+
+// encodeRuns walks the signature's zero runs and emits their gamma codes.
+// Signatures are sparse (tens of ones in thousands of bits), so instead of
+// testing every bit it jumps from one bit to the next with TrailingZeros64,
+// skipping all-zero words wholesale — the same priority-encoder shortcut
+// the hardware RLE unit would use. For a one at bit b following a one at
+// bit p, the zero run between them has length b-p-1, so gamma(b-p) is
+// emitted; the virtual "one" at position -1 makes the first run uniform.
+func encodeRuns(s *Signature, w *bitWriter) {
+	prev := -1
+	for wi, word := range s.bits {
+		for word != 0 {
+			b := wi<<6 + bits.TrailingZeros64(word)
+			w.writeGamma(uint64(b - prev))
+			prev = b
+			word &= word - 1
 		}
 	}
-	if zeros > 0 {
-		w.writeGamma(zeros + 1)
+	if total := s.cfg.totalBits; prev+1 < total {
+		w.writeGamma(uint64(total - prev)) // trailing zeros
 	}
-	return w.buf
 }
 
 // RLEncodedBits returns the exact size in bits of RLEncode's output stream
@@ -117,43 +127,62 @@ func RLEncode(s *Signature) []byte {
 // model (Figures 13 and 14).
 func RLEncodedBits(s *Signature) int {
 	n := 0
-	zeros := uint64(0)
-	total := s.cfg.totalBits
-	for i := 0; i < total; i++ {
-		if s.bits[i>>6]&(1<<uint(i&63)) != 0 {
-			n += gammaLen(zeros + 1)
-			zeros = 0
-		} else {
-			zeros++
+	prev := -1
+	for wi, word := range s.bits {
+		for word != 0 {
+			b := wi<<6 + bits.TrailingZeros64(word)
+			n += gammaLen(uint64(b - prev))
+			prev = b
+			word &= word - 1
 		}
 	}
-	if zeros > 0 {
-		n += gammaLen(zeros + 1)
+	if total := s.cfg.totalBits; prev+1 < total {
+		n += gammaLen(uint64(total - prev))
 	}
 	return n
+}
+
+// RLEncodeAppend appends RLEncode's stream to dst and returns the extended
+// slice. It is the zero-allocation form for hot commit paths: pass a
+// reusable buffer truncated to zero length.
+func RLEncodeAppend(dst []byte, s *Signature) []byte {
+	w := &bitWriter{buf: dst}
+	encodeRuns(s, w)
+	return w.buf
 }
 
 // RLDecode reconstructs a signature from an RLEncode stream under cfg.
 func RLDecode(cfg *Config, data []byte) (*Signature, error) {
 	s := cfg.NewSignature()
+	if err := RLDecodeInto(s, data); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// RLDecodeInto reconstructs a signature from an RLEncode stream into dst,
+// overwriting its previous contents. The zero-allocation counterpart of
+// RLDecode for receivers that reuse a scratch signature.
+func RLDecodeInto(dst *Signature, data []byte) error {
+	dst.Clear()
 	r := &bitReader{buf: data}
 	pos := 0
-	total := cfg.totalBits
+	total := dst.cfg.totalBits
 	for pos < total {
 		g, err := r.readGamma()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		zeros := int(g - 1)
 		pos += zeros
 		if pos > total {
-			return nil, errors.New("sig: RLE run overflows signature")
+			return errors.New("sig: RLE run overflows signature")
 		}
 		if pos == total {
 			break // trailing-zero run
 		}
-		s.bits[pos>>6] |= 1 << uint(pos&63)
+		dst.bits[pos>>6] |= 1 << uint(pos&63)
 		pos++
 	}
-	return s, nil
+	return nil
 }

@@ -132,15 +132,3 @@ func TestGammaCodes(t *testing.T) {
 	}
 }
 
-func BenchmarkRLEncode(b *testing.B) {
-	cfg := DefaultTM()
-	s := cfg.NewSignature()
-	r := rng.New(2)
-	for i := 0; i < 22; i++ {
-		s.Add(Addr(r.Intn(1 << 26)))
-	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		RLEncodedBits(s)
-	}
-}

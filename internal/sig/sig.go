@@ -44,6 +44,7 @@ type Config struct {
 	offsets   []int // bit offset of each Vi field within the signature
 	words     int   // number of uint64 words backing a signature
 	permPos   []int // for consumed positions 0..sum(Ci)-1: source bit index
+	gather    [][]gatherOp // per chunk: precomputed mask/shift extraction ops
 
 	// Hashed variant (see hashed.go): fields indexed by multiply-shift
 	// hashes of the whole address instead of bit selection.
@@ -63,6 +64,11 @@ type Config struct {
 func NewConfig(name string, chunks []int, perm []int, addrBits int) (*Config, error) {
 	if len(chunks) == 0 {
 		return nil, errors.New("sig: config needs at least one chunk")
+	}
+	if len(chunks) > MaxChunks {
+		// Add/Contains gather chunk values into a fixed [MaxChunks]uint32
+		// stack array; a config with more chunks would silently truncate.
+		return nil, fmt.Errorf("sig: %d chunks exceeds the supported maximum of %d", len(chunks), MaxChunks)
 	}
 	if addrBits <= 0 || addrBits > 62 {
 		return nil, fmt.Errorf("sig: addrBits %d out of range (1..62)", addrBits)
@@ -108,7 +114,51 @@ func NewConfig(name string, chunks []int, perm []int, addrBits int) (*Config, er
 			cfg.permPos[i] = -1 // beyond the address: reads as zero
 		}
 	}
+	cfg.buildGather()
 	return cfg, nil
+}
+
+// gatherOp extracts one run of address bits into a chunk value:
+// v |= (uint32(a>>src) & mask) << dst. Runs are maximal stretches of
+// destination bits whose source bits are consecutive, so an identity or
+// near-identity permutation collapses a whole chunk into one op, and even a
+// fully random permutation costs one op per bit with no branch on the
+// beyond-address case (those bits are simply omitted — they read as zero).
+type gatherOp struct {
+	src  uint8
+	dst  uint8
+	mask uint32
+}
+
+// buildGather precomputes the per-chunk gather tables fieldValues executes.
+// This is the hardware analogy made explicit: the permute-and-split network
+// of Figure 2 is wiring chosen at design time (NewConfig), so the per-access
+// work is a handful of mask/shift ops, not a per-bit loop.
+func (c *Config) buildGather() {
+	c.gather = make([][]gatherOp, len(c.chunks))
+	pos := 0
+	for i, ch := range c.chunks {
+		var ops []gatherOp
+		for b := 0; b < ch; {
+			src := c.permPos[pos+b]
+			if src < 0 {
+				b++
+				continue
+			}
+			run := 1
+			for b+run < ch && c.permPos[pos+b+run] == src+run {
+				run++
+			}
+			ops = append(ops, gatherOp{
+				src:  uint8(src),
+				dst:  uint8(b),
+				mask: uint32(1)<<uint(run) - 1,
+			})
+			b += run
+		}
+		c.gather[i] = ops
+		pos += ch
+	}
 }
 
 // MustConfig is NewConfig that panics on error; for static tables.
@@ -185,9 +235,15 @@ func (c *Config) String() string {
 	return fmt.Sprintf("%s(%s; %d bits)", c.name, strings.Join(parts, ","), c.totalBits)
 }
 
+// MaxChunks bounds the number of chunks a configuration may have: the hot
+// paths gather chunk values into fixed-size stack arrays of this length,
+// and NewConfig rejects anything larger so they can never truncate.
+const MaxChunks = 16
+
 // fieldValues computes the per-chunk one-hot bit positions for an address:
 // result[i] is the value of chunk Ci of the permuted address, i.e. the bit
-// index within field Vi that Add would set.
+// index within field Vi that Add would set. Bit-selected configs execute
+// the precomputed gather table; hashed configs multiply-shift per field.
 func (c *Config) fieldValues(a Addr, out []uint32) {
 	if c.hashed {
 		for i := range c.chunks {
@@ -195,17 +251,23 @@ func (c *Config) fieldValues(a Addr, out []uint32) {
 		}
 		return
 	}
-	pos := 0
-	for i, ch := range c.chunks {
+	for i, ops := range c.gather {
 		var v uint32
-		for b := 0; b < ch; b++ {
-			if src := c.permPos[pos]; src >= 0 {
-				v |= uint32((a>>uint(src))&1) << uint(b)
-			}
-			pos++
+		for _, op := range ops {
+			v |= (uint32(a>>op.src) & op.mask) << op.dst
 		}
 		out[i] = v
 	}
+}
+
+// fieldIndices is the one shared entry point of the Add/Contains hot path:
+// it gathers the chunk values for a into the caller's stack array and
+// returns the populated slice. vals must be a *[MaxChunks]uint32 so the
+// slice header never escapes; NewConfig guarantees len(chunks) fits.
+func (c *Config) fieldIndices(a Addr, vals *[MaxChunks]uint32) []uint32 {
+	fv := vals[:len(c.chunks)]
+	c.fieldValues(a, fv)
+	return fv
 }
 
 // Signature is a set-of-addresses encoding under a particular Config.
@@ -227,10 +289,8 @@ func (s *Signature) Config() *Config { return s.cfg }
 // Add inserts an address into the signature (Figure 2: permute, split into
 // chunks, decode each chunk, OR into the fields).
 func (s *Signature) Add(a Addr) {
-	var vals [16]uint32
-	fv := vals[:len(s.cfg.chunks)]
-	s.cfg.fieldValues(a, fv)
-	for i, v := range fv {
+	var vals [MaxChunks]uint32
+	for i, v := range s.cfg.fieldIndices(a, &vals) {
 		bit := s.cfg.offsets[i] + int(v)
 		s.bits[bit>>6] |= 1 << uint(bit&63)
 	}
@@ -240,10 +300,8 @@ func (s *Signature) Add(a Addr) {
 // membership operation of Table 1). False means a was definitely never
 // added; true may be a false positive.
 func (s *Signature) Contains(a Addr) bool {
-	var vals [16]uint32
-	fv := vals[:len(s.cfg.chunks)]
-	s.cfg.fieldValues(a, fv)
-	for i, v := range fv {
+	var vals [MaxChunks]uint32
+	for i, v := range s.cfg.fieldIndices(a, &vals) {
 		bit := s.cfg.offsets[i] + int(v)
 		if s.bits[bit>>6]&(1<<uint(bit&63)) == 0 {
 			return false

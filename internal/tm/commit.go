@@ -33,10 +33,22 @@ func (s *System) commit(p *proc, seg *workload.TMSegment) {
 		s.stats.Bandwidth.RecordCommit(packetBytes)
 	case Bulk:
 		// The broadcast signature is the union of the section write
-		// signatures (Section 6.2.1).
-		wc = s.sigCfg.NewSignature()
-		for _, sec := range p.sections {
-			wc.UnionWith(sec.version.W)
+		// signatures (Section 6.2.1). A single-section transaction — the
+		// common case — broadcasts its W directly: the committer's versions
+		// are cleared only after the receiver loop, so wc stays valid.
+		// Nested transactions union into a reusable scratch signature.
+		if len(p.sections) == 1 {
+			wc = p.sections[0].version.W
+		} else {
+			if s.commitWC == nil {
+				s.commitWC = s.sigCfg.NewSignature()
+			} else {
+				s.commitWC.Clear()
+			}
+			for _, sec := range p.sections {
+				s.commitWC.UnionWith(sec.version.W)
+			}
+			wc = s.commitWC
 		}
 		rleBits := wc.Config().TotalBits()
 		if !s.opts.NoRLE {

@@ -68,6 +68,10 @@ type System struct {
 	log   []CommitUnit
 	real  uint64 // real (non-false) squashes
 
+	// commitWC is the reusable broadcast signature for multi-section Bulk
+	// commits (single-section commits broadcast the section's W directly).
+	commitWC *sig.Signature
+
 	wordsPerLine int
 }
 

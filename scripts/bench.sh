@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Performance record: runs the signature micro-benchmarks and the exhibit
+# regeneration benchmarks, and rewrites BENCH_sig.json / BENCH_exhibits.json
+# at the repo root. Each JSON carries the committed pre-optimization capture
+# (bench/baseline/*.txt) as "baseline" next to the fresh "current" numbers,
+# so before/after is always visible in one file.
+#
+# Usage: scripts/bench.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+echo "== signature kernel micro-benchmarks (internal/sig) =="
+go test ./internal/sig/ -run '^$' -bench '.' -benchmem | tee "$tmp/sig.txt"
+go run ./cmd/benchjson \
+  -baseline bench/baseline/sig.txt \
+  -note "internal/sig kernels; baseline = pre gather-table/zero-alloc rewrite" \
+  < "$tmp/sig.txt" > BENCH_sig.json
+
+echo
+echo "== exhibit regeneration benchmarks (one full run per exhibit) =="
+go test . -run '^$' -bench '.' -benchtime 1x -benchmem | tee "$tmp/exhibits.txt"
+go run ./cmd/benchjson \
+  -baseline bench/baseline/exhibits.txt \
+  -note "wall-clock per exhibit regeneration; baseline = serial engine before internal/par" \
+  < "$tmp/exhibits.txt" > BENCH_exhibits.json
+
+echo
+echo "bench.sh: wrote BENCH_sig.json and BENCH_exhibits.json"

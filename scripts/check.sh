@@ -14,6 +14,8 @@ echo "== bulklint =="
 go run ./cmd/bulklint ./...
 
 echo "== go test -race =="
+# ./... includes internal/par and the parallel experiment engine, so the
+# race stage exercises the fan-out worker pool on every run.
 go test -race ./...
 
 echo "check.sh: all stages passed"
