@@ -351,12 +351,28 @@ func (m *Module) DisambiguateAddr(v *Version, a sig.Addr) bool {
 // against s. fn is called for each line that passes. The line address is
 // widened to signature granularity for the membership test: at word
 // granularity a line passes if *any* of its word addresses passes.
-func (m *Module) expand(s *sig.Signature, fn func(*cache.Line)) {
+//
+// δ(s) is intersected with the cache's per-set occupancy mask before the
+// walk — any-dirty when the caller only acts on dirty lines, any-valid
+// otherwise — so expansion visits only sets that both appear in δ(s) and
+// actually hold candidate lines. This is the paper's "expansion visits only
+// the sets in δ(W)" claim made concrete: against a cold or clean cache, a
+// broadcast costs a handful of AND instructions.
+func (m *Module) expand(s *sig.Signature, dirtyOnly bool, fn func(*cache.Line)) {
 	m.plan.DecodeInto(s, m.scratchMask)
+	if dirtyOnly {
+		m.cache.AndDirtySets(m.scratchMask)
+	} else {
+		m.cache.AndValidSets(m.scratchMask)
+	}
 	m.scratchSets = m.scratchMask.Sets(m.scratchSets[:0])
 	for _, set := range m.scratchSets {
 		m.stats.ExpansionSetsVisited++
-		m.scratchLines = m.cache.LinesInSet(set, m.scratchLines[:0])
+		if dirtyOnly {
+			m.scratchLines = m.cache.DirtyLinesInSet(set, m.scratchLines[:0])
+		} else {
+			m.scratchLines = m.cache.LinesInSet(set, m.scratchLines[:0])
+		}
 		for _, l := range m.scratchLines {
 			m.stats.ExpansionLinesRead++
 			if m.lineInSignature(s, l.Addr) {
@@ -392,7 +408,7 @@ func (m *Module) lineInSignature(s *sig.Signature, line cache.LineAddr) bool {
 // Thanks to the Set Restriction plus exact δ, the dirty lines invalidated
 // here are guaranteed to belong to this version.
 func (m *Module) SquashInvalidate(v *Version, invalidateReads bool) (invalidated []cache.LineAddr) {
-	m.expand(v.W, func(l *cache.Line) {
+	m.expand(v.W, true, func(l *cache.Line) {
 		if l.State == cache.Dirty {
 			m.cache.Invalidate(l.Addr)
 			m.stats.SquashInvalidations++
@@ -404,7 +420,7 @@ func (m *Module) SquashInvalidate(v *Version, invalidateReads bool) (invalidated
 		// write (already handled via W above) or non-speculative dirty
 		// data whose only valid copy must not be destroyed. Clean lines
 		// are safe to drop — they can always be refetched.
-		m.expand(v.R, func(l *cache.Line) {
+		m.expand(v.R, false, func(l *cache.Line) {
 			if l.State == cache.Clean {
 				m.cache.Invalidate(l.Addr)
 				m.stats.SquashInvalidations++
@@ -450,7 +466,7 @@ type MergeLine struct {
 // The returned invalidated list lets the runtime charge refill costs and
 // classify false invalidations against the committer's exact set.
 func (m *Module) CommitInvalidate(wc *sig.Signature) (invalidated []cache.LineAddr, merges []MergeLine) {
-	m.expand(wc, func(l *cache.Line) {
+	m.expand(wc, false, func(l *cache.Line) {
 		switch l.State {
 		case cache.Clean:
 			m.cache.Invalidate(l.Addr)
@@ -488,7 +504,7 @@ func (m *Module) CommitInvalidate(wc *sig.Signature) (invalidated []cache.LineAd
 // the child will miss and fetch the parent's versions instead of using
 // stale ones.
 func (m *Module) SpawnInvalidate(w *sig.Signature) (invalidated []cache.LineAddr) {
-	m.expand(w, func(l *cache.Line) {
+	m.expand(w, false, func(l *cache.Line) {
 		if l.State == cache.Clean {
 			m.cache.Invalidate(l.Addr)
 			invalidated = append(invalidated, l.Addr)

@@ -106,6 +106,18 @@ func (b *Bandwidth) Record(t MsgType, n int) {
 	b.messages[t]++
 }
 
+// RecordN charges count messages of n bytes each in one call — the batched
+// form of Record for coalesced per-commit traffic (e.g. the writeback
+// downgrades of a whole write set). Byte and message totals are identical
+// to count individual Record(t, n) calls.
+func (b *Bandwidth) RecordN(t MsgType, n, count int) {
+	if n < 0 || count < 0 {
+		panic("bus: negative byte or message count") //bulklint:invariant message sizes and counts are computed, never user input
+	}
+	b.bytes[t] += uint64(n) * uint64(count)
+	b.messages[t] += uint64(count)
+}
+
 // RecordCommit charges a commit broadcast: the bytes count as Inv traffic
 // (as in the paper) and are also tracked separately for Figure 14.
 func (b *Bandwidth) RecordCommit(n int) {

@@ -77,6 +77,13 @@ type Stats struct {
 
 // Cache is a set-associative cache. Not safe for concurrent use; the
 // simulator serializes accesses.
+//
+// The cache maintains per-set occupancy summaries incrementally: a
+// valid/dirty line count per set and a bit-per-set any-valid/any-dirty
+// mask. Bulk operations (signature expansion, bulk invalidation) intersect
+// δ(W) with these masks and walk only the surviving sets, so a mostly-empty
+// or mostly-clean cache costs almost nothing to disambiguate against. The
+// masks share the []uint64 layout of sig.SetMask.
 type Cache struct {
 	sets      int
 	ways      int
@@ -85,6 +92,11 @@ type Cache struct {
 	lines     []Line // sets*ways, row-major by set
 	clock     uint64
 	stats     Stats
+
+	validCnt  []uint16 // valid lines per set
+	dirtyCnt  []uint16 // dirty lines per set
+	validMask []uint64 // bit s set iff validCnt[s] > 0
+	dirtyMask []uint64 // bit s set iff dirtyCnt[s] > 0
 }
 
 // New builds a cache of sizeBytes bytes, with the given associativity and
@@ -106,6 +118,10 @@ func New(sizeBytes, ways, lineBytes int) (*Cache, error) {
 		lineBytes: lineBytes,
 		indexBits: bits.TrailingZeros(uint(sets)),
 		lines:     make([]Line, sets*ways),
+		validCnt:  make([]uint16, sets),
+		dirtyCnt:  make([]uint16, sets),
+		validMask: make([]uint64, (sets+63)/64),
+		dirtyMask: make([]uint64, (sets+63)/64),
 	}, nil
 }
 
@@ -139,6 +155,33 @@ func (c *Cache) Stats() Stats { return c.stats }
 
 // set returns the ways of set i.
 func (c *Cache) set(i int) []Line { return c.lines[i*c.ways : (i+1)*c.ways] }
+
+// Occupancy bookkeeping. Counts drive the masks: a set's mask bit flips
+// exactly on the 0↔1 count transitions, so every state change costs O(1).
+
+func (c *Cache) addValid(set int) {
+	c.validCnt[set]++
+	c.validMask[set>>6] |= 1 << (set & 63)
+}
+
+func (c *Cache) subValid(set int) {
+	c.validCnt[set]--
+	if c.validCnt[set] == 0 {
+		c.validMask[set>>6] &^= 1 << (set & 63)
+	}
+}
+
+func (c *Cache) addDirty(set int) {
+	c.dirtyCnt[set]++
+	c.dirtyMask[set>>6] |= 1 << (set & 63)
+}
+
+func (c *Cache) subDirty(set int) {
+	c.dirtyCnt[set]--
+	if c.dirtyCnt[set] == 0 {
+		c.dirtyMask[set>>6] &^= 1 << (set & 63)
+	}
+}
 
 // Lookup returns the line holding address a, or nil. It does not touch LRU
 // state or statistics; use Access for the full load/store path.
@@ -178,16 +221,18 @@ func (c *Cache) Insert(a LineAddr, st State) (*Line, *Evicted) {
 	if st == Invalid {
 		panic("cache: cannot insert a line in Invalid state") //bulklint:invariant callers insert only Clean or Dirty lines
 	}
+	set := c.SetIndex(a)
 	if l := c.Lookup(a); l != nil {
 		// Already present: just update state (an upgrade) and LRU.
-		if st == Dirty || l.State == Invalid {
-			l.State = st
+		if st == Dirty && l.State != Dirty {
+			l.State = Dirty
+			c.addDirty(set)
 		}
 		c.clock++
 		l.lru = c.clock
 		return l, nil
 	}
-	ws := c.set(c.SetIndex(a))
+	ws := c.set(set)
 	victim := -1
 	for i := range ws {
 		if ws[i].State == Invalid {
@@ -205,12 +250,18 @@ func (c *Cache) Insert(a LineAddr, st State) (*Line, *Evicted) {
 		}
 		ev = &Evicted{Addr: ws[victim].Addr, State: ws[victim].State, Data: ws[victim].Data}
 		c.stats.Evictions++
+		c.subValid(set)
 		if ws[victim].State == Dirty {
 			c.stats.DirtyEvicts++
+			c.subDirty(set)
 		}
 	}
 	c.clock++
 	ws[victim] = Line{Addr: a, State: st, lru: c.clock}
+	c.addValid(set)
+	if st == Dirty {
+		c.addDirty(set)
+	}
 	return &ws[victim], ev
 }
 
@@ -224,6 +275,11 @@ func (c *Cache) Invalidate(a LineAddr) State {
 	st := l.State
 	l.State = Invalid
 	c.stats.Invals++
+	set := c.SetIndex(a)
+	c.subValid(set)
+	if st == Dirty {
+		c.subDirty(set)
+	}
 	return st
 }
 
@@ -232,6 +288,20 @@ func (c *Cache) Invalidate(a LineAddr) State {
 func (c *Cache) MarkClean(a LineAddr) {
 	if l := c.Lookup(a); l != nil && l.State == Dirty {
 		l.State = Clean
+		c.subDirty(c.SetIndex(a))
+	}
+}
+
+// MarkDirty upgrades a resident line to Dirty. Line state transitions must
+// go through the cache (not `l.State = Dirty` on the returned pointer) so
+// the per-set occupancy summaries stay consistent.
+func (c *Cache) MarkDirty(l *Line) {
+	if l.State == Invalid {
+		panic("cache: MarkDirty on an invalid line") //bulklint:invariant callers pass lines obtained from Lookup/Access/Insert
+	}
+	if l.State != Dirty {
+		l.State = Dirty
+		c.addDirty(c.SetIndex(l.Addr))
 	}
 }
 
@@ -239,6 +309,9 @@ func (c *Cache) MarkClean(a LineAddr) {
 // the cache-side read of signature expansion (Figure 4): given a set index
 // from δ, read out all valid line addresses in the set.
 func (c *Cache) LinesInSet(i int, dst []*Line) []*Line {
+	if c.validCnt[i] == 0 {
+		return dst
+	}
 	ws := c.set(i)
 	for j := range ws {
 		if ws[j].State != Invalid {
@@ -249,18 +322,13 @@ func (c *Cache) LinesInSet(i int, dst []*Line) []*Line {
 }
 
 // DirtyInSet reports whether set i holds any dirty line.
-func (c *Cache) DirtyInSet(i int) bool {
-	ws := c.set(i)
-	for j := range ws {
-		if ws[j].State == Dirty {
-			return true
-		}
-	}
-	return false
-}
+func (c *Cache) DirtyInSet(i int) bool { return c.dirtyCnt[i] > 0 }
 
 // DirtyLinesInSet appends the dirty lines of set i to dst.
 func (c *Cache) DirtyLinesInSet(i int, dst []*Line) []*Line {
+	if c.dirtyCnt[i] == 0 {
+		return dst
+	}
 	ws := c.set(i)
 	for j := range ws {
 		if ws[j].State == Dirty {
@@ -268,6 +336,23 @@ func (c *Cache) DirtyLinesInSet(i int, dst []*Line) []*Line {
 		}
 	}
 	return dst
+}
+
+// AndValidSets intersects m (a bit-per-set mask in sig.SetMask layout) with
+// the cache's any-valid occupancy mask, clearing bits of sets that hold no
+// valid line. m must cover NumSets bits.
+func (c *Cache) AndValidSets(m []uint64) {
+	for i := range c.validMask {
+		m[i] &= c.validMask[i]
+	}
+}
+
+// AndDirtySets intersects m with the any-dirty occupancy mask, clearing
+// bits of sets that hold no dirty line.
+func (c *Cache) AndDirtySets(m []uint64) {
+	for i := range c.dirtyMask {
+		m[i] &= c.dirtyMask[i]
+	}
 }
 
 // Walk calls fn for every valid line. fn must not insert or invalidate.
@@ -296,4 +381,8 @@ func (c *Cache) Flush() {
 	for i := range c.lines {
 		c.lines[i].State = Invalid
 	}
+	clear(c.validCnt)
+	clear(c.dirtyCnt)
+	clear(c.validMask)
+	clear(c.dirtyMask)
 }

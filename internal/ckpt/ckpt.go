@@ -29,6 +29,7 @@ import (
 	"bulk/internal/bdm"
 	"bulk/internal/bus"
 	"bulk/internal/cache"
+	"bulk/internal/flatmap"
 	"bulk/internal/mem"
 	"bulk/internal/rng"
 	"bulk/internal/sig"
@@ -160,11 +161,15 @@ type proc struct {
 	done        bool
 
 	// Speculative episode state.
-	spec      bool
-	version   *bdm.Version
-	wbuf      map[uint64]uint64
-	readW     map[uint64]bool
-	writeW    map[uint64]bool
+	spec    bool
+	version *bdm.Version
+	wbuf    flatmap.Map[uint64]
+	readW   flatmap.Set
+	writeW  flatmap.Set
+	// tracking marks readW as live for stalled-episode conflict checks
+	// (it replaces the former readW != nil test; the sets themselves are
+	// recycled rather than reallocated).
+	tracking  bool
 	attempts  int
 	specStart int64
 	ckptReg   uint64 // dependence register at the checkpoint
@@ -181,6 +186,13 @@ type System struct {
 	stats  Stats
 	log    []CommitUnit
 	wpl    int // words per line
+
+	// keyScratch is the reusable sorted-key buffer for write-buffer
+	// iteration on the commit paths; lineScratch/lineKeys build the
+	// committed write-line set without per-commit map allocation.
+	keyScratch  []uint64
+	lineScratch flatmap.Set
+	lineKeys    []uint64
 }
 
 // NewSystem prepares a run.

@@ -5,7 +5,6 @@ import (
 
 	"bulk/internal/bus"
 	"bulk/internal/cache"
-	"bulk/internal/det"
 	"bulk/internal/mem"
 	"bulk/internal/sig"
 	"bulk/internal/trace"
@@ -68,15 +67,22 @@ func (s *System) plainOp(p *proc, op trace.Op) int {
 // it against every speculative episode (the membership path of §4.2).
 func (s *System) invalidateRemote(p *proc, line uint64) {
 	s.stats.Bandwidth.Record(bus.Inv, bus.InvalidationBytes)
+	s.applyRemoteInvalidation(p, line)
+}
+
+// applyRemoteInvalidation is invalidateRemote minus the bus accounting, so
+// a commit invalidating a whole write set can charge the traffic in one
+// coalesced RecordN call instead of one Meter update per line.
+func (s *System) applyRemoteInvalidation(p *proc, line uint64) {
 	for _, q := range s.procs {
 		if q == p {
 			continue
 		}
 		q.cache.Invalidate(cache.LineAddr(line))
-		if q.stalled && q.readW != nil {
+		if q.stalled && q.tracking {
 			base := line * uint64(s.wpl)
 			for w := 0; w < s.wpl; w++ {
-				if q.readW[base+uint64(w)] {
+				if q.readW.Has(base + uint64(w)) {
 					s.restartStalled(q)
 					break
 				}
@@ -92,7 +98,7 @@ func (s *System) invalidateRemote(p *proc, line uint64) {
 		} else {
 			base := line * uint64(s.wpl)
 			for w := 0; w < s.wpl; w++ {
-				if q.readW[base+uint64(w)] || q.writeW[base+uint64(w)] {
+				if q.readW.Has(base+uint64(w)) || q.writeW.Has(base+uint64(w)) {
 					hit = true
 					break
 				}
@@ -102,7 +108,7 @@ func (s *System) invalidateRemote(p *proc, line uint64) {
 			exact := false
 			base := line * uint64(s.wpl)
 			for w := 0; w < s.wpl; w++ {
-				if q.readW[base+uint64(w)] || q.writeW[base+uint64(w)] {
+				if q.readW.Has(base+uint64(w)) || q.writeW.Has(base+uint64(w)) {
 					exact = true
 					break
 				}
@@ -117,7 +123,7 @@ func (s *System) access(p *proc, line uint64, write bool) int {
 	par := s.opts.Params
 	if l := p.cache.Access(cache.LineAddr(line)); l != nil {
 		if write {
-			l.State = cache.Dirty
+			p.cache.MarkDirty(l)
 		}
 		return par.HitLatency
 	}
@@ -148,9 +154,10 @@ func (s *System) stepEpisode(p *proc, e *Episode) error {
 		// value.
 		p.spec = true
 		p.specStart = s.engine.Now()
-		p.wbuf = map[uint64]uint64{}
-		p.readW = map[uint64]bool{}
-		p.writeW = map[uint64]bool{}
+		p.wbuf.Reset()
+		p.readW.Reset()
+		p.writeW.Reset()
+		p.tracking = true
 		p.ckptReg = p.exec.LastRead()
 		if p.module != nil {
 			v, err := p.module.AllocVersion(p.id)
@@ -199,7 +206,7 @@ func (s *System) stepEpisode(p *proc, e *Episode) error {
 
 // recordRead notes a speculative read of a word.
 func (s *System) recordRead(p *proc, word uint64) {
-	p.readW[word] = true
+	p.readW.Add(word)
 	if p.module != nil {
 		p.module.OnRead(p.version, sig.Addr(s.lineOf(word)))
 	}
@@ -211,7 +218,7 @@ func (s *System) specOp(p *proc, op trace.Op) int {
 	cost := 0
 	switch op.Kind {
 	case trace.Read:
-		if v, ok := p.wbuf[op.Addr]; ok {
+		if v, ok := p.wbuf.Get(op.Addr); ok {
 			p.exec.SetLastRead(v)
 			cost = s.opts.Params.HitLatency
 		} else {
@@ -240,8 +247,8 @@ func (s *System) specOp(p *proc, op trace.Op) int {
 		} else {
 			v = trace.Value(p.id, opIndexFor(p.unit, p.opIdx), op.Addr)
 		}
-		p.wbuf[op.Addr] = v
-		p.writeW[op.Addr] = true
+		p.wbuf.Put(op.Addr, v)
+		p.writeW.Add(op.Addr)
 		if p.module != nil {
 			p.module.CommitWrite(p.version, sig.Addr(line))
 		}
@@ -261,27 +268,30 @@ func (s *System) commitEpisode(p *proc, e *Episode) {
 		wc = p.version.W
 		packet = bus.SignatureCommitBytes(sig.RLEncodedBits(wc))
 	} else {
-		lines := map[uint64]bool{}
-		for wAddr := range p.writeW { //bulklint:ordered building a map; only its size is used
-			lines[s.lineOf(wAddr)] = true
-		}
-		packet = bus.AddressListCommitBytes(len(lines))
+		// Exact mode: build the committed write-line set once; the sorted
+		// keys drive the per-receiver invalidations below.
+		s.lineScratch.Reset()
+		p.writeW.Range(func(wAddr uint64) bool { // building a set; order cannot escape
+			s.lineScratch.Add(s.lineOf(wAddr))
+			return true
+		})
+		s.lineKeys = s.lineScratch.SortedKeys(s.lineKeys[:0])
+		packet = bus.AddressListCommitBytes(len(s.lineKeys))
 	}
 	s.stats.Bandwidth.RecordCommit(packet)
 	busDone := s.engine.AcquireBus(par.CommitArbitration + par.TransferCycles(packet))
 
-	for _, a := range det.SortedKeys(p.wbuf) {
-		s.mem.Write(a, mem.Word(p.wbuf[a]))
+	s.keyScratch = p.wbuf.SortedKeys(s.keyScratch[:0])
+	for _, a := range s.keyScratch {
+		v, _ := p.wbuf.Get(a)
+		s.mem.Write(a, mem.Word(v))
 	}
 	s.log = append(s.log, CommitUnit{Proc: p.id, Unit: p.unit, Op: -1})
 	s.stats.Episodes++
 
 	// Receivers: disambiguate running episodes and invalidate stale
-	// copies of the committed lines.
-	writeLines := map[uint64]bool{}
-	for wAddr := range p.writeW { //bulklint:ordered building a map; iterated in sorted order below
-		writeLines[s.lineOf(wAddr)] = true
-	}
+	// copies of the committed lines (s.lineKeys, built above, holds the
+	// committer's write lines in sorted order for the exact path).
 	for _, q := range s.procs {
 		if q == p {
 			continue
@@ -292,35 +302,38 @@ func (s *System) commitEpisode(p *proc, e *Episode) {
 			if q.module != nil && wc != nil {
 				hit = q.module.Disambiguate(q.version, wc)
 			} else {
-				for wAddr := range p.writeW { //bulklint:ordered order-independent boolean reduction
-					if q.readW[wAddr] || q.writeW[wAddr] {
+				p.writeW.Range(func(wAddr uint64) bool { // order-independent boolean reduction
+					if q.readW.Has(wAddr) || q.writeW.Has(wAddr) {
 						hit = true
-						break
+						return false
 					}
-				}
+					return true
+				})
 			}
 			if hit {
 				exact := false
-				for wAddr := range p.writeW { //bulklint:ordered order-independent boolean reduction
-					if q.readW[wAddr] || q.writeW[wAddr] {
+				p.writeW.Range(func(wAddr uint64) bool { // order-independent boolean reduction
+					if q.readW.Has(wAddr) || q.writeW.Has(wAddr) {
 						exact = true
-						break
+						return false
 					}
-				}
+					return true
+				})
 				s.rollback(q, exact)
 			}
-		case q.stalled && q.readW != nil:
-			for wAddr := range p.writeW { //bulklint:ordered restart fires at most once, on any hit
-				if q.readW[wAddr] {
+		case q.stalled && q.tracking:
+			p.writeW.Range(func(wAddr uint64) bool { // restart fires at most once, on any hit
+				if q.readW.Has(wAddr) {
 					s.restartStalled(q)
-					break
+					return false
 				}
-			}
+				return true
+			})
 		}
 		if q.module != nil && wc != nil {
 			q.module.CommitInvalidate(wc)
 		} else {
-			for _, l := range det.SortedKeys(writeLines) {
+			for _, l := range s.lineKeys {
 				q.cache.Invalidate(cache.LineAddr(l))
 			}
 		}
@@ -338,9 +351,8 @@ func (s *System) finishEpisode(p *proc) {
 		p.version = nil
 	}
 	p.spec = false
-	p.wbuf = nil
-	p.readW = nil
-	p.writeW = nil
+	p.wbuf.Reset()
+	p.tracking = false
 	p.attempts = 0
 	p.unit++
 	p.opIdx = 0
@@ -365,7 +377,8 @@ func (s *System) rollbackInternal(q *proc) {
 		q.module.FreeVersion(q.version)
 		q.version = nil
 	} else {
-		for _, wAddr := range det.SortedKeys(q.writeW) {
+		s.keyScratch = q.writeW.SortedKeys(s.keyScratch[:0])
+		for _, wAddr := range s.keyScratch {
 			l := s.lineOf(wAddr)
 			if cl := q.cache.Lookup(cache.LineAddr(l)); cl != nil && cl.State == cache.Dirty {
 				q.cache.Invalidate(cache.LineAddr(l))
@@ -373,9 +386,8 @@ func (s *System) rollbackInternal(q *proc) {
 		}
 	}
 	q.spec = false
-	q.wbuf = nil
-	q.readW = nil
-	q.writeW = nil
+	q.wbuf.Reset()
+	q.tracking = false
 	q.exec.SetLastRead(q.ckptReg)
 	q.opIdx = 0
 	q.attempts++
@@ -399,8 +411,9 @@ func (s *System) runEpisodeStalled(p *proc, e *Episode) error {
 	par := s.opts.Params
 	if p.opIdx == 0 && !p.stalled {
 		p.stalled = true
-		p.wbuf = map[uint64]uint64{}
-		p.readW = map[uint64]bool{}
+		p.wbuf.Reset()
+		p.readW.Reset()
+		p.tracking = true
 		p.ckptReg = p.exec.LastRead()
 		if p.attempts == 0 {
 			// Stall mode pays the full miss latency; a retry after a
@@ -412,15 +425,15 @@ func (s *System) runEpisodeStalled(p *proc, e *Episode) error {
 	}
 	if p.opIdx == 0 {
 		p.exec.SetLastRead(uint64(s.mem.Read(e.MissAddr)))
-		p.readW[e.MissAddr] = true
+		p.readW.Add(e.MissAddr)
 	}
 	if p.opIdx < len(e.Ops) {
 		op := e.Ops[p.opIdx]
 		line := s.lineOf(op.Addr)
 		cost := s.access(p, line, op.Kind != trace.Read)
 		if op.Kind == trace.Read {
-			p.readW[op.Addr] = true
-			if v, ok := p.wbuf[op.Addr]; ok {
+			p.readW.Add(op.Addr)
+			if v, ok := p.wbuf.Get(op.Addr); ok {
 				p.exec.SetLastRead(v)
 			} else {
 				p.exec.SetLastRead(uint64(s.mem.Read(op.Addr)))
@@ -432,26 +445,31 @@ func (s *System) runEpisodeStalled(p *proc, e *Episode) error {
 			} else {
 				v = trace.Value(p.id, opIndexFor(p.unit, p.opIdx), op.Addr)
 			}
-			p.wbuf[op.Addr] = v
+			p.wbuf.Put(op.Addr, v)
 		}
 		p.opIdx++
 		s.engine.Advance(p.id, int(op.Think)+cost)
 		return nil
 	}
-	// Apply atomically, invalidate, and log one unit.
-	lines := map[uint64]bool{}
-	for _, a := range det.SortedKeys(p.wbuf) {
-		s.mem.Write(a, mem.Word(p.wbuf[a]))
-		lines[s.lineOf(a)] = true
+	// Apply atomically, invalidate, and log one unit. The invalidation
+	// traffic is charged as one coalesced batch.
+	s.lineScratch.Reset()
+	s.keyScratch = p.wbuf.SortedKeys(s.keyScratch[:0])
+	for _, a := range s.keyScratch {
+		v, _ := p.wbuf.Get(a)
+		s.mem.Write(a, mem.Word(v))
+		s.lineScratch.Add(s.lineOf(a))
 	}
-	for _, l := range det.SortedKeys(lines) {
-		s.invalidateRemote(p, l)
+	s.lineKeys = s.lineScratch.SortedKeys(s.lineKeys[:0])
+	s.stats.Bandwidth.RecordN(bus.Inv, bus.InvalidationBytes, len(s.lineKeys))
+	for _, l := range s.lineKeys {
+		s.applyRemoteInvalidation(p, l)
 	}
 	s.log = append(s.log, CommitUnit{Proc: p.id, Unit: p.unit, Op: -1})
 	s.stats.Episodes++
 	p.stalled = false
-	p.wbuf = nil
-	p.readW = nil
+	p.wbuf.Reset()
+	p.tracking = false
 	p.attempts = 0
 	p.unit++
 	p.opIdx = 0
@@ -464,8 +482,9 @@ func (s *System) runEpisodeStalled(p *proc, e *Episode) error {
 func (s *System) restartStalled(q *proc) {
 	s.stats.Rollbacks++
 	s.stats.ConflictRollbacks++
-	q.wbuf = map[uint64]uint64{}
-	q.readW = map[uint64]bool{}
+	q.wbuf.Reset()
+	q.readW.Reset()
+	q.tracking = true
 	q.exec.SetLastRead(q.ckptReg)
 	q.opIdx = 0
 	q.attempts++

@@ -6,6 +6,12 @@
 // speculative values live in the runtimes' write buffers until commit, so
 // squashing a thread never has to undo anything here.
 //
+// Both structures are backed by the deterministic open-addressed table of
+// internal/flatmap rather than Go's built-in map: memory reads/writes and
+// overflow traffic are the simulator's hottest operations, and the flat
+// layout removes the per-access allocation and pointer-chasing of the
+// runtime map while keeping iteration reproducible.
+//
 // The overflow area (Section 6.2.2 of the paper) is where dirty speculative
 // lines evicted from a thread's cache are parked. In conventional lazy
 // schemes the overflowed addresses must be consulted on every
@@ -15,72 +21,79 @@
 // the "Overflow Accesses Bulk/Lazy (%)" column of Table 7.
 package mem
 
-import "bulk/internal/det"
+import "bulk/internal/flatmap"
 
 // Word is a memory word value.
 type Word uint64
 
 // Memory is a sparse word-addressed committed memory image.
 type Memory struct {
-	words map[uint64]Word
+	words flatmap.Map[Word]
 }
 
 // NewMemory returns an empty (all-zero) memory.
 func NewMemory() *Memory {
-	return &Memory{words: make(map[uint64]Word)}
+	return &Memory{}
 }
 
 // Read returns the committed value at word address a (zero if never written).
-func (m *Memory) Read(a uint64) Word { return m.words[a] }
+func (m *Memory) Read(a uint64) Word {
+	v, _ := m.words.Get(a)
+	return v
+}
 
 // Write stores a committed value at word address a.
 func (m *Memory) Write(a uint64, v Word) {
 	if v == 0 {
-		delete(m.words, a) // keep the image sparse; zero is the default
+		m.words.Delete(a) // keep the image sparse; zero is the default
 		return
 	}
-	m.words[a] = v
+	m.words.Put(a, v)
 }
 
 // Len returns the number of non-zero words.
-func (m *Memory) Len() int { return len(m.words) }
+func (m *Memory) Len() int { return m.words.Len() }
 
 // Snapshot returns a copy of the non-zero words.
 func (m *Memory) Snapshot() map[uint64]Word {
-	s := make(map[uint64]Word, len(m.words))
-	for a, v := range m.words { //bulklint:ordered copying map to map; order cannot escape
+	s := make(map[uint64]Word, m.words.Len())
+	m.words.Range(func(a uint64, v Word) bool {
 		s[a] = v
-	}
+		return true
+	})
 	return s
 }
 
 // Equal reports whether two memories hold identical contents.
 func (m *Memory) Equal(other *Memory) bool {
-	if len(m.words) != len(other.words) {
+	if m.words.Len() != other.words.Len() {
 		return false
 	}
-	for a, v := range m.words { //bulklint:ordered order-independent boolean reduction
-		if other.words[a] != v {
+	eq := true
+	m.words.Range(func(a uint64, v Word) bool {
+		if ov, ok := other.words.Get(a); !ok || ov != v {
+			eq = false
 			return false
 		}
-	}
-	return true
+		return true
+	})
+	return eq
 }
 
 // Diff returns up to max word addresses at which the two memories differ,
 // for test failure messages.
 func (m *Memory) Diff(other *Memory, max int) []uint64 {
 	var out []uint64
-	for _, a := range det.SortedKeys(m.words) {
-		if other.words[a] != m.words[a] {
+	for _, a := range m.words.SortedKeys(nil) {
+		if other.Read(a) != m.Read(a) {
 			out = append(out, a)
 			if len(out) >= max {
 				return out
 			}
 		}
 	}
-	for _, a := range det.SortedKeys(other.words) {
-		if v := other.words[a]; m.words[a] != v && v != 0 {
+	for _, a := range other.words.SortedKeys(nil) {
+		if v := other.Read(a); m.Read(a) != v && v != 0 {
 			out = append(out, a)
 			if len(out) >= max {
 				return out
@@ -105,54 +118,73 @@ type OverflowStats struct {
 	Deallocs uint64
 }
 
+// ovLine is one overflowed line: a validity bitmask (bit w set when word w
+// holds a spilled value) plus the word values. words may be shorter than
+// the line when only low words were spilled.
+type ovLine struct {
+	mask  uint64
+	words []Word
+}
+
 // OverflowArea holds the speculative dirty lines a thread evicted from its
 // cache: line addresses plus the per-word values at eviction time.
 type OverflowArea struct {
-	lines map[uint64]map[int]Word // line address -> word-in-line -> value
+	lines flatmap.Map[ovLine]
 	stats OverflowStats
 }
 
 // NewOverflowArea returns an empty overflow area.
 func NewOverflowArea() *OverflowArea {
-	return &OverflowArea{lines: make(map[uint64]map[int]Word)}
+	return &OverflowArea{}
 }
 
 // Empty reports whether the area holds no lines.
-func (o *OverflowArea) Empty() bool { return len(o.lines) == 0 }
+func (o *OverflowArea) Empty() bool { return o.lines.Len() == 0 }
 
 // Len returns the number of overflowed lines.
-func (o *OverflowArea) Len() int { return len(o.lines) }
+func (o *OverflowArea) Len() int { return o.lines.Len() }
 
 // Stats returns a copy of the access counters.
 func (o *OverflowArea) Stats() OverflowStats { return o.stats }
 
 // Spill records the eviction of a dirty speculative line into the area.
-// words maps word-in-line offsets to the speculative values.
-func (o *OverflowArea) Spill(line uint64, words map[int]Word) {
+// mask marks which word-in-line offsets of words carry spilled values
+// (bit w set ⇒ words[w] valid); spilling into an already-present line
+// merges word-wise, newer values winning. words is copied — the caller may
+// reuse its buffer.
+func (o *OverflowArea) Spill(line uint64, mask uint64, words []Word) {
 	o.stats.Spills++
-	dst := o.lines[line]
-	if dst == nil {
-		dst = make(map[int]Word, len(words))
-		o.lines[line] = dst
+	cur, ok := o.lines.Get(line)
+	if !ok {
+		cur = ovLine{}
 	}
-	for w, v := range words { //bulklint:ordered copying map to map; order cannot escape
-		dst[w] = v
+	if need := len(words); need > len(cur.words) {
+		grown := make([]Word, need)
+		copy(grown, cur.words)
+		cur.words = grown
 	}
+	for w := range words {
+		if mask&(1<<uint(w)) != 0 {
+			cur.words[w] = words[w]
+		}
+	}
+	cur.mask |= mask
+	o.lines.Put(line, cur)
 }
 
 // Fetch looks a line up on behalf of the owning thread (a cache miss whose
-// address passed the W-signature membership filter). Returns the stored
-// words and whether the line was present.
-func (o *OverflowArea) Fetch(line uint64) (map[int]Word, bool) {
+// address passed the W-signature membership filter). Returns the validity
+// mask, the stored words (valid only where the mask is set; do not mutate),
+// and whether the line was present.
+func (o *OverflowArea) Fetch(line uint64) (uint64, []Word, bool) {
 	o.stats.Fetches++
-	w, ok := o.lines[line]
-	return w, ok
+	l, ok := o.lines.Get(line)
+	return l.mask, l.words, ok
 }
 
 // Contains reports presence without charging a Fetch (used by tests).
 func (o *OverflowArea) Contains(line uint64) bool {
-	_, ok := o.lines[line]
-	return ok
+	return o.lines.Has(line)
 }
 
 // DisambiguationScan models a conventional scheme walking the area to
@@ -160,20 +192,19 @@ func (o *OverflowArea) Contains(line uint64) bool {
 // the given line is present. Bulk never calls this.
 func (o *OverflowArea) DisambiguationScan(line uint64) bool {
 	o.stats.DisambiguationAccesses++
-	_, ok := o.lines[line]
-	return ok
+	return o.lines.Has(line)
 }
 
 // Lines returns the overflowed line addresses in ascending order.
 func (o *OverflowArea) Lines() []uint64 {
-	return det.SortedKeys(o.lines)
+	return o.lines.SortedKeys(nil)
 }
 
 // Dealloc discards the area contents (after the owning thread commits or is
 // squashed).
 func (o *OverflowArea) Dealloc() {
-	if len(o.lines) > 0 {
+	if o.lines.Len() > 0 {
 		o.stats.Deallocs++
 	}
-	o.lines = make(map[uint64]map[int]Word)
+	o.lines.Reset()
 }

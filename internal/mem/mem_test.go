@@ -59,16 +59,16 @@ func TestOverflowAreaSpillFetch(t *testing.T) {
 	if !o.Empty() {
 		t.Fatal("new area must be empty")
 	}
-	o.Spill(100, map[int]Word{0: 1, 3: 2})
-	o.Spill(100, map[int]Word{1: 9}) // merge into same line
+	o.Spill(100, 1<<0|1<<3, []Word{1, 77, 77, 2}) // words 0 and 3 valid
+	o.Spill(100, 1<<1, []Word{0, 9})              // merge into same line
 	if o.Len() != 1 {
 		t.Fatalf("Len=%d, want 1", o.Len())
 	}
-	words, ok := o.Fetch(100)
-	if !ok || words[0] != 1 || words[1] != 9 || words[3] != 2 {
-		t.Fatalf("Fetch returned %v, %v", words, ok)
+	mask, words, ok := o.Fetch(100)
+	if !ok || mask != 1<<0|1<<1|1<<3 || words[0] != 1 || words[1] != 9 || words[3] != 2 {
+		t.Fatalf("Fetch returned %#x, %v, %v", mask, words, ok)
 	}
-	if _, ok := o.Fetch(200); ok {
+	if _, _, ok := o.Fetch(200); ok {
 		t.Fatal("absent line must not be found")
 	}
 	st := o.Stats()
@@ -79,7 +79,7 @@ func TestOverflowAreaSpillFetch(t *testing.T) {
 
 func TestOverflowDisambiguationScan(t *testing.T) {
 	o := NewOverflowArea()
-	o.Spill(5, map[int]Word{0: 1})
+	o.Spill(5, 1<<0, []Word{1})
 	if !o.DisambiguationScan(5) || o.DisambiguationScan(6) {
 		t.Fatal("scan presence wrong")
 	}
@@ -94,7 +94,7 @@ func TestOverflowDealloc(t *testing.T) {
 	if o.Stats().Deallocs != 0 {
 		t.Fatal("deallocating an empty area must not count")
 	}
-	o.Spill(1, map[int]Word{0: 5})
+	o.Spill(1, 1<<0, []Word{5})
 	o.Dealloc()
 	if !o.Empty() || o.Stats().Deallocs != 1 {
 		t.Fatalf("Dealloc failed: empty=%v stats=%+v", o.Empty(), o.Stats())
@@ -103,8 +103,8 @@ func TestOverflowDealloc(t *testing.T) {
 
 func TestOverflowLinesAndContains(t *testing.T) {
 	o := NewOverflowArea()
-	o.Spill(10, nil)
-	o.Spill(20, nil)
+	o.Spill(10, 0, nil)
+	o.Spill(20, 0, nil)
 	if !o.Contains(10) || o.Contains(30) {
 		t.Fatal("Contains wrong")
 	}

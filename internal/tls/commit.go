@@ -3,7 +3,6 @@ package tls
 import (
 	"bulk/internal/bus"
 	"bulk/internal/cache"
-	"bulk/internal/det"
 	"bulk/internal/mem"
 	"bulk/internal/sig"
 )
@@ -30,7 +29,7 @@ func (s *System) commitTask(t *task) {
 		packetBytes = bus.HeaderBytes
 		s.stats.Bandwidth.Record(bus.Coh, packetBytes)
 	case Lazy:
-		packetBytes = bus.AddressListCommitBytes(len(t.writeW))
+		packetBytes = bus.AddressListCommitBytes(t.writeW.Len())
 		s.stats.Bandwidth.RecordCommit(packetBytes)
 	case Bulk:
 		bits := sig.RLEncodedBits(t.version.W)
@@ -44,12 +43,14 @@ func (s *System) commitTask(t *task) {
 	s.engine.AcquireBus(par.CommitArbitration + par.TransferCycles(packetBytes))
 
 	// Commit the values.
-	for _, a := range det.SortedKeys(t.wbuf) {
-		s.mem.Write(a, mem.Word(t.wbuf[a]))
+	s.keyScratch = t.wbuf.SortedKeys(s.keyScratch[:0])
+	for _, a := range s.keyScratch {
+		v, _ := t.wbuf.Get(a)
+		s.mem.Write(a, mem.Word(v))
 	}
 	s.stats.Commits++
-	s.stats.ReadSetWords += uint64(len(t.readW))
-	s.stats.WriteSetWords += uint64(len(t.writeW))
+	s.stats.ReadSetWords += uint64(t.readW.Len())
+	s.stats.WriteSetWords += uint64(t.writeW.Len())
 
 	// Disambiguate more-speculative tasks; the first violator and its
 	// children are squashed.
@@ -91,28 +92,30 @@ func (s *System) disambiguateCommit(t *task) {
 
 		// Exact ground truth: the dependence set is the committer's write
 		// set intersected with the victim's read and write sets.
-		exactW := t.writeW
+		exactW := &t.writeW
 		if firstChild && s.usesOverlap() {
-			exactW = t.postSpawnW
+			exactW = &t.postSpawnW
 		}
 		exactDep := uint64(0)
-		for a := range exactW { //bulklint:ordered order-independent count
-			if v.readW[a] || v.writeW[a] {
+		exactW.Range(func(a uint64) bool { // order-independent count
+			if v.readW.Has(a) || v.writeW.Has(a) {
 				exactDep++
 			}
-		}
+			return true
+		})
 		// At line granularity the honest ground truth is line overlap:
 		// same-line-different-word conflicts are real consequences of the
 		// coarse encoding, not aliasing.
 		realOverlap := exactDep > 0
 		if s.opts.LineGranularity && !realOverlap {
-			for a := range exactW { //bulklint:ordered order-independent boolean reduction
+			exactW.Range(func(a uint64) bool { // order-independent boolean reduction
 				l := s.lineOf(a)
-				if v.readL[l] || v.writeL[l] {
+				if v.readL.Has(l) || v.writeL.Has(l) {
 					realOverlap = true
-					break
+					return false
 				}
-			}
+				return true
+			})
 		}
 
 		violated := false
@@ -122,12 +125,13 @@ func (s *System) disambiguateCommit(t *task) {
 		case Lazy:
 			// Exact word-level lazy: only read-after-write needs a
 			// squash; exact write-write merges by commit order.
-			for a := range exactW { //bulklint:ordered order-independent boolean reduction
-				if v.readW[a] {
+			exactW.Range(func(a uint64) bool { // order-independent boolean reduction
+				if v.readW.Has(a) {
 					violated = true
-					break
+					return false
 				}
-			}
+				return true
+			})
 		case Bulk:
 			wc := t.version.W
 			if firstChild && s.opts.PartialOverlap && t.version.Wsh != nil {
@@ -175,7 +179,7 @@ func (s *System) invalidateCommit(t *task) {
 			}
 			invalidated, merges := q.module.CommitInvalidate(wc)
 			for _, l := range invalidated {
-				if !t.writeL[uint64(l)] {
+				if !t.writeL.Has(uint64(l)) {
 					s.stats.FalseInvalidations++
 				}
 			}
@@ -184,11 +188,12 @@ func (s *System) invalidateCommit(t *task) {
 			}
 		}
 	case Lazy:
+		s.keyScratch = t.writeL.SortedKeys(s.keyScratch[:0])
 		for _, q := range s.procs {
 			if q.id == t.proc {
 				continue
 			}
-			for _, lAddr := range det.SortedKeys(t.writeL) {
+			for _, lAddr := range s.keyScratch {
 				cl := q.cache.Lookup(cache.LineAddr(lAddr))
 				if cl == nil {
 					continue
@@ -220,7 +225,7 @@ func (s *System) mergeLine(q *proc, ownerIdx int, line uint64) {
 	base := line * uint64(s.wordsPerLine)
 	for w := 0; w < s.wordsPerLine; w++ {
 		a := base + uint64(w)
-		if v, ok := owner.wbuf[a]; ok {
+		if v, ok := owner.wbuf.Get(a); ok {
 			cl.Data[w] = v
 		} else {
 			cl.Data[w] = uint64(s.mem.Read(a))
@@ -266,12 +271,14 @@ func (s *System) squashOne(t *task) {
 		// predecessor).
 		p.module.SquashInvalidate(t.version, true)
 	} else {
-		for _, l := range det.SortedKeys(t.writeL) {
+		s.keyScratch = t.writeL.SortedKeys(s.keyScratch[:0])
+		for _, l := range s.keyScratch {
 			if cl := p.cache.Lookup(cache.LineAddr(l)); cl != nil && cl.State == cache.Dirty {
 				p.cache.Invalidate(cache.LineAddr(l))
 			}
 		}
-		for _, l := range det.SortedKeys(t.readL) {
+		s.keyScratch = t.readL.SortedKeys(s.keyScratch[:0])
+		for _, l := range s.keyScratch {
 			if cl := p.cache.Lookup(cache.LineAddr(l)); cl != nil && cl.State == cache.Clean {
 				p.cache.Invalidate(cache.LineAddr(l))
 			}

@@ -31,9 +31,15 @@ func (s *System) executeOp(p *proc, t *task, op trace.Op) (int, bool) {
 // buffer, then the nearest less-speculative active task's buffer (the
 // eager cross-task forwarding TLS permits), then committed memory.
 func (s *System) readValue(t *task, word uint64) uint64 {
-	if v, ok := t.wbuf[word]; ok {
+	if v, ok := t.wbuf.Get(word); ok {
 		return v
 	}
+	return s.forwardedValue(t, word)
+}
+
+// forwardedValue is readValue past the task's own buffer: the nearest
+// less-speculative active task's buffer, then committed memory.
+func (s *System) forwardedValue(t *task, word uint64) uint64 {
 	for i := t.idx - 1; i >= 0; i-- {
 		pre := s.tasks[i]
 		if pre.state == tsCommitted {
@@ -42,7 +48,7 @@ func (s *System) readValue(t *task, word uint64) uint64 {
 		if !pre.active() {
 			continue
 		}
-		if v, ok := pre.wbuf[word]; ok {
+		if v, ok := pre.wbuf.Get(word); ok {
 			return v
 		}
 	}
@@ -52,14 +58,15 @@ func (s *System) readValue(t *task, word uint64) uint64 {
 func (s *System) taskRead(p *proc, t *task, op trace.Op) int {
 	line := s.lineOf(op.Addr)
 	cost := s.opts.Params.HitLatency
-	if _, own := t.wbuf[op.Addr]; !own {
+	value, buffered := t.wbuf.Get(op.Addr)
+	if !buffered {
 		if p.cache.Access(cache.LineAddr(line)) == nil {
 			cost = s.fill(p, t, line)
 		}
+		value = s.forwardedValue(t, op.Addr)
 	}
-	value := s.readValue(t, op.Addr)
-	t.readW[op.Addr] = true
-	t.readL[line] = true
+	t.readW.Add(op.Addr)
+	t.readL.Add(line)
 	if t.version != nil {
 		p.module.OnRead(t.version, s.sigAddr(op.Addr))
 	}
@@ -79,13 +86,13 @@ func (s *System) taskWrite(p *proc, t *task, op trace.Op) (int, bool) {
 			if v.state == tsUnspawned {
 				break
 			}
-			if v.active() && v.readW[op.Addr] {
+			if v.active() && v.readW.Has(op.Addr) {
 				s.stats.DepSetWords++
 				s.squashFrom(j)
 				break
 			}
 		}
-		if !t.writeL[line] {
+		if !t.writeL.Has(line) {
 			// First write to the line: broadcast the invalidation.
 			s.stats.Bandwidth.Record(bus.Inv, bus.InvalidationBytes)
 			cost += s.opts.Params.TransferCycles(bus.InvalidationBytes)
@@ -129,7 +136,7 @@ func (s *System) taskWrite(p *proc, t *task, op trace.Op) (int, bool) {
 	} else {
 		cost += s.opts.Params.HitLatency
 	}
-	l.State = cache.Dirty
+	p.cache.MarkDirty(l)
 
 	var value uint64
 	if op.Kind == trace.WriteDep {
@@ -137,11 +144,11 @@ func (s *System) taskWrite(p *proc, t *task, op trace.Op) (int, bool) {
 	} else {
 		value = trace.Value(t.idx, t.opIdx, op.Addr)
 	}
-	t.wbuf[op.Addr] = value
-	t.writeW[op.Addr] = true
-	t.writeL[line] = true
+	t.wbuf.Put(op.Addr, value)
+	t.writeW.Add(op.Addr)
+	t.writeL.Add(line)
 	if t.spawned {
-		t.postSpawnW[op.Addr] = true
+		t.postSpawnW.Add(op.Addr)
 	}
 	l.Data[int(op.Addr)%s.wordsPerLine] = value
 	if t.version != nil {
@@ -157,9 +164,16 @@ func (s *System) fill(p *proc, t *task, line uint64) int {
 	par := s.opts.Params
 	latency := par.MemLatency
 
-	// Forwarding: does an active predecessor buffer words of this line?
+	// Suppliers: the tasks whose buffers may hold words of this line, in
+	// the order readValue resolves — t itself, then active predecessors
+	// newest first, stopping at committed state. taskWrite records the word
+	// in wbuf and the line in writeL together, so writeL.Has(line) is exact.
 	base := line * uint64(s.wordsPerLine)
-forward:
+	sup := s.supScratch[:0]
+	if t.writeL.Has(line) {
+		sup = append(sup, t)
+	}
+	nOwn := len(sup)
 	for i := t.idx - 1; i >= 0; i-- {
 		pre := s.tasks[i]
 		if pre.state == tsCommitted {
@@ -168,12 +182,14 @@ forward:
 		if !pre.active() {
 			continue
 		}
-		for w := 0; w < s.wordsPerLine; w++ {
-			if _, ok := pre.wbuf[base+uint64(w)]; ok {
-				latency = par.NeighborLatency
-				break forward
-			}
+		if pre.writeL.Has(line) {
+			sup = append(sup, pre)
 		}
+	}
+	s.supScratch = sup
+	if len(sup) > nOwn {
+		// Forwarding: an active predecessor buffers words of this line.
+		latency = par.NeighborLatency
 	}
 	if latency == par.MemLatency {
 		// A neighbor cache with a non-speculative copy can supply.
@@ -202,7 +218,17 @@ forward:
 		l.Data = make([]uint64, s.wordsPerLine)
 	}
 	for w := 0; w < s.wordsPerLine; w++ {
-		l.Data[w] = s.readValue(t, base+uint64(w))
+		word := base + uint64(w)
+		v, ok := uint64(0), false
+		for _, u := range sup {
+			if v, ok = u.wbuf.Get(word); ok {
+				break
+			}
+		}
+		if !ok {
+			v = uint64(s.mem.Read(word))
+		}
+		l.Data[w] = v
 	}
 	if ev != nil && ev.State == cache.Dirty {
 		// Speculative or not, the eviction is traffic; speculative values
@@ -217,7 +243,7 @@ forward:
 func (s *System) specDirtyOwner(q *proc, line uint64) *task {
 	for _, ti := range q.tasks {
 		t := s.tasks[ti]
-		if t.active() && t.writeL[line] {
+		if t.active() && t.writeL.Has(line) {
 			return t
 		}
 	}

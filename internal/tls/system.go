@@ -6,7 +6,7 @@ import (
 
 	"bulk/internal/bdm"
 	"bulk/internal/cache"
-	"bulk/internal/det"
+	"bulk/internal/flatmap"
 	"bulk/internal/mem"
 	"bulk/internal/sig"
 	"bulk/internal/sim"
@@ -40,14 +40,14 @@ type task struct {
 	attempts int
 	exec     trace.Executor
 
-	wbuf   map[uint64]uint64 // word -> speculative value
-	readW  map[uint64]bool   // exact read words
-	writeW map[uint64]bool   // exact write words
-	readL  map[uint64]bool   // exact read lines
-	writeL map[uint64]bool   // exact write lines
+	wbuf   flatmap.Map[uint64] // word -> speculative value
+	readW  flatmap.Set         // exact read words
+	writeW flatmap.Set         // exact write words
+	readL  flatmap.Set         // exact read lines
+	writeL flatmap.Set         // exact write lines
 	// postSpawnW is the exact post-spawn write-word set: Lazy's exact
 	// Partial Overlap equivalent.
-	postSpawnW map[uint64]bool
+	postSpawnW flatmap.Set
 	spawned    bool // crossed the spawn point this execution
 	// awaitSpawn gates a cascade-squashed task: its parent was also
 	// squashed and must re-cross its spawn point (re-producing the
@@ -64,12 +64,14 @@ type task struct {
 func (t *task) active() bool { return t.state == tsRunning || t.state == tsFinished }
 
 func (t *task) resetSpec() {
-	t.wbuf = map[uint64]uint64{}
-	t.readW = map[uint64]bool{}
-	t.writeW = map[uint64]bool{}
-	t.readL = map[uint64]bool{}
-	t.writeL = map[uint64]bool{}
-	t.postSpawnW = map[uint64]bool{}
+	// All speculative tracking state keeps its capacity across restarts of
+	// the same task — squash/restart churn allocates nothing.
+	t.wbuf.Reset()
+	t.readW.Reset()
+	t.writeW.Reset()
+	t.readL.Reset()
+	t.writeL.Reset()
+	t.postSpawnW.Reset()
 	t.spawned = false
 	t.opIdx = 0
 	t.exec.Reset()
@@ -96,6 +98,12 @@ type System struct {
 	commitNext   int
 	stats        Stats
 	wordsPerLine int
+
+	// keyScratch is the reusable sorted-key buffer for write-buffer
+	// iteration on the commit path; supScratch is the fill path's
+	// line-supplier list.
+	keyScratch []uint64
+	supScratch []*task
 }
 
 // NewSystem prepares a TLS run.
@@ -327,7 +335,8 @@ func (s *System) startTask(p *proc, t *task) {
 	case Lazy:
 		// Exact equivalent: drop clean copies of the parent's written
 		// lines.
-		for _, l := range det.SortedKeys(parent.writeL) {
+		s.keyScratch = parent.writeL.SortedKeys(s.keyScratch[:0])
+		for _, l := range s.keyScratch {
 			if cl := p.cache.Lookup(cache.LineAddr(l)); cl != nil && cl.State == cache.Clean {
 				p.cache.Invalidate(cache.LineAddr(l))
 			}

@@ -74,7 +74,7 @@ func RunSequential(w *workload.TLSWorkload, params sim.Params, cacheBytes, ways,
 				cycles += int64(params.HitLatency)
 				if op.Kind != trace.Read {
 					if l := c.Lookup(line); l != nil {
-						l.State = cache.Dirty
+						c.MarkDirty(l)
 					}
 				}
 				continue

@@ -3,7 +3,7 @@ package tm
 import (
 	"bulk/internal/bus"
 	"bulk/internal/cache"
-	"bulk/internal/det"
+	"bulk/internal/flatmap"
 	"bulk/internal/mem"
 	"bulk/internal/sig"
 	"bulk/internal/workload"
@@ -16,8 +16,8 @@ import (
 func (s *System) commit(p *proc, seg *workload.TMSegment) {
 	par := s.opts.Params
 
-	writeLines := p.allWriteLines()
-	readLines := p.allReadLines()
+	writeLines := p.unionWriteLines(&s.wlScratch)
+	readLines := p.unionReadLines(&s.rlScratch)
 
 	// Commit packet per scheme.
 	var wc *sig.Signature
@@ -29,7 +29,7 @@ func (s *System) commit(p *proc, seg *workload.TMSegment) {
 		packetBytes = bus.HeaderBytes
 		s.stats.Bandwidth.Record(bus.Coh, packetBytes)
 	case Lazy:
-		packetBytes = bus.AddressListCommitBytes(len(writeLines))
+		packetBytes = bus.AddressListCommitBytes(writeLines.Len())
 		s.stats.Bandwidth.RecordCommit(packetBytes)
 	case Bulk:
 		// The broadcast signature is the union of the section write
@@ -62,25 +62,33 @@ func (s *System) commit(p *proc, seg *workload.TMSegment) {
 	// Apply the speculative values to committed memory, section order
 	// (outer first) so inner overwrites win, matching bufLookup.
 	for _, sec := range p.sections {
-		for _, a := range det.SortedKeys(sec.wbuf) {
-			s.mem.Write(a, mem.Word(sec.wbuf[a]))
+		s.keyScratch = sec.wbuf.SortedKeys(s.keyScratch[:0])
+		for _, a := range s.keyScratch {
+			v, _ := sec.wbuf.Get(a)
+			s.mem.Write(a, mem.Word(v))
 		}
 	}
 	// Commit propagates the transaction's dirty data: the written lines
 	// are flushed to memory and downgrade to clean (TCC-style lazy
 	// commit; the same bytes would otherwise be written back at
 	// eviction). This keeps committed lines from lingering dirty and
-	// later being charged as Set Restriction safe writebacks.
-	for _, l := range det.SortedKeys(writeLines) {
+	// later being charged as Set Restriction safe writebacks. The bus
+	// traffic is charged as one coalesced batch after the walk.
+	wbLines := 0
+	s.keyScratch = writeLines.SortedKeys(s.keyScratch[:0])
+	for _, l := range s.keyScratch {
 		if cl := p.cache.Lookup(cache.LineAddr(l)); cl != nil && cl.State == cache.Dirty {
 			p.cache.MarkClean(cache.LineAddr(l))
-			s.stats.Bandwidth.Record(bus.WB, bus.WritebackBytes)
+			wbLines++
 		}
+	}
+	if wbLines > 0 {
+		s.stats.Bandwidth.RecordN(bus.WB, bus.WritebackBytes, wbLines)
 	}
 	s.log = append(s.log, CommitUnit{Thread: p.id, Segment: p.segIdx, OpLo: 0, OpHi: len(seg.Ops)})
 	s.stats.Commits++
-	s.stats.ReadSetLines += uint64(len(readLines))
-	s.stats.WriteSetLines += uint64(len(writeLines))
+	s.stats.ReadSetLines += uint64(readLines.Len())
+	s.stats.WriteSetLines += uint64(writeLines.Len())
 
 	// Receivers: disambiguate, then invalidate stale copies.
 	for _, q := range s.procs {
@@ -107,7 +115,7 @@ func (s *System) commit(p *proc, seg *workload.TMSegment) {
 			p.module.FreeVersion(sec.version)
 		}
 	}
-	p.sections = nil
+	p.sections = p.sections[:0] // keep the backing array for recycling
 	p.inTxn = false
 	p.attempts = 0
 	p.over.Dealloc()
@@ -128,26 +136,28 @@ func (s *System) commit(p *proc, seg *workload.TMSegment) {
 
 // disambiguateAtCommit applies the committer's write set/signature to a
 // receiver with an active transaction and squashes it on overlap.
-func (s *System) disambiguateAtCommit(p, q *proc, wc *sig.Signature, writeLines map[uint64]bool) {
+func (s *System) disambiguateAtCommit(p, q *proc, wc *sig.Signature, writeLines *flatmap.Set) {
 	// Exact overlap (ground truth): committer writes vs. receiver R∪W,
 	// in lines (the Table 7 dependence-set metric).
 	dep := uint64(0)
-	for l := range writeLines { //bulklint:ordered order-independent count
+	writeLines.Range(func(l uint64) bool { // order-independent count
 		if q.inReadSet(l) || q.inWriteSet(l) {
 			dep++
 		}
-	}
+		return true
+	})
 	// At word granularity the honest squash ground truth is word overlap:
 	// same-line-different-word contacts are not conflicts there.
 	real := dep
 	if s.opts.WordGranularity {
 		real = 0
 		for _, sec := range p.sections {
-			for w := range sec.wbuf { //bulklint:ordered order-independent count
+			sec.wbuf.Range(func(w, _ uint64) bool { // order-independent count
 				if q.readWord(w) || q.wroteWord(w) {
 					real++
 				}
-			}
+				return true
+			})
 		}
 	}
 
@@ -159,10 +169,10 @@ func (s *System) disambiguateAtCommit(p, q *proc, wc *sig.Signature, writeLines 
 		// Conventional lazy must also disambiguate against the
 		// receiver's overflowed addresses in memory.
 		if !q.over.Empty() {
-			for range writeLines { //bulklint:ordered keyless loop; only the count matters
+			for i := 0; i < writeLines.Len(); i++ {
 				q.over.DisambiguationScan(0)
 			}
-			s.stats.Bandwidth.Record(bus.UB, len(writeLines)*bus.AddrBytes+bus.HeaderBytes)
+			s.stats.Bandwidth.Record(bus.UB, writeLines.Len()*bus.AddrBytes+bus.HeaderBytes)
 		}
 		if dep > 0 {
 			s.squash(q, 0, dep)
@@ -187,12 +197,13 @@ func (s *System) disambiguateAtCommit(p, q *proc, wc *sig.Signature, writeLines 
 
 // invalidateCommitted removes the receiver's stale copies of the
 // committer's written lines.
-func (s *System) invalidateCommitted(p, q *proc, wc *sig.Signature, writeLines map[uint64]bool) {
+func (s *System) invalidateCommitted(p, q *proc, wc *sig.Signature, writeLines *flatmap.Set) {
 	switch s.opts.Scheme {
 	case Eager:
 		// Copies were invalidated when ownership was acquired.
 	case Lazy:
-		for _, l := range det.SortedKeys(writeLines) {
+		s.keyScratch = writeLines.SortedKeys(s.keyScratch[:0])
+		for _, l := range s.keyScratch {
 			q.cache.Invalidate(cache.LineAddr(l))
 		}
 	case Bulk:
@@ -201,7 +212,7 @@ func (s *System) invalidateCommitted(p, q *proc, wc *sig.Signature, writeLines m
 		}
 		invalidated, merges := q.module.CommitInvalidate(wc)
 		for _, l := range invalidated {
-			if !writeLines[uint64(l)] {
+			if !writeLines.Has(uint64(l)) {
 				s.stats.FalseInvalidations++
 			}
 		}
@@ -265,14 +276,17 @@ func (s *System) squash(q *proc, fromSection int, dep uint64) {
 			q.module.FreeVersion(sec.version)
 		}
 	} else {
-		for _, l := range det.SortedKeys(q.allWriteLines()) {
+		// A squash can fire inside a commit's receiver loop, so it keeps
+		// its own scratch set and key buffer distinct from the commit's.
+		s.sqKeys = q.unionWriteLines(&s.sqScratch).SortedKeys(s.sqKeys[:0])
+		for _, l := range s.sqKeys {
 			if cl := q.cache.Lookup(cache.LineAddr(l)); cl != nil && cl.State == cache.Dirty {
 				q.cache.Invalidate(cache.LineAddr(l))
 			}
 		}
 	}
 	q.exec.SetLastRead(q.sections[0].lastRead)
-	q.sections = nil
+	q.sections = q.sections[:0] // keep the backing array for recycling
 	q.inTxn = false
 	q.opIdx = 0
 	q.preempt = nil

@@ -73,8 +73,8 @@ func (s *System) specRead(p *proc, op trace.Op) (int, bool) {
 	}
 
 	sec := p.top()
-	sec.readL[line] = true
-	sec.readW[op.Addr] = true
+	sec.readL.Add(line)
+	sec.readW.Add(op.Addr)
 	if p.module != nil {
 		p.module.OnRead(sec.version, s.sigAddrOf(op.Addr))
 	}
@@ -137,7 +137,7 @@ func (s *System) specWrite(p *proc, op trace.Op) (int, bool) {
 	} else {
 		cost += s.opts.Params.HitLatency
 	}
-	l.State = cache.Dirty
+	p.cache.MarkDirty(l)
 
 	// Compute and buffer the speculative value.
 	var value uint64
@@ -146,8 +146,8 @@ func (s *System) specWrite(p *proc, op trace.Op) (int, bool) {
 	} else {
 		value = trace.Value(p.id, p.opIdx, op.Addr)
 	}
-	sec.wbuf[op.Addr] = value
-	sec.writeL[line] = true
+	sec.wbuf.Put(op.Addr, value)
+	sec.writeL.Add(line)
 	l.Data[int(op.Addr)%s.wordsPerLine] = value
 	if p.module != nil {
 		p.module.CommitWrite(sec.version, s.sigAddrOf(op.Addr))
@@ -229,7 +229,7 @@ func (s *System) plainWrite(p *proc, seg *workload.TMSegment, op trace.Op) int {
 						if sp.sv.R.Contains(sig.Addr(line)) || sp.sv.W.Contains(sig.Addr(line)) {
 							q.preempt.doomed = true
 							s.stats.Squashes++
-							if sp.sec.readL[line] || sp.sec.writeL[line] {
+							if sp.sec.readL.Has(line) || sp.sec.writeL.Has(line) {
 								s.real++
 								s.stats.DepSetLines++
 							} else {
@@ -244,10 +244,10 @@ func (s *System) plainWrite(p *proc, seg *workload.TMSegment, op trace.Op) int {
 					if q.module.DisambiguateAddr(sec.version, s.sigAddrOf(op.Addr)) {
 						dep := 0
 						if s.opts.WordGranularity {
-							if _, wrote := sec.wbuf[op.Addr]; sec.readW[op.Addr] || wrote {
+							if sec.readW.Has(op.Addr) || sec.wbuf.Has(op.Addr) {
 								dep = 1
 							}
-						} else if sec.readL[line] || sec.writeL[line] {
+						} else if sec.readL.Has(line) || sec.writeL.Has(line) {
 							dep = 1
 						}
 						s.squash(q, s.rollbackSection(q, si), uint64(dep))
@@ -270,7 +270,7 @@ func (s *System) plainWrite(p *proc, seg *workload.TMSegment, op trace.Op) int {
 	} else {
 		cost += s.opts.Params.HitLatency
 	}
-	l.State = cache.Dirty
+	p.cache.MarkDirty(l)
 	l.Data[int(op.Addr)%s.wordsPerLine] = value
 	return cost
 }
@@ -296,11 +296,13 @@ func (s *System) fill(p *proc, line uint64, spec bool) (*cache.Line, int) {
 	// Overflow-area path: the thread may have evicted this very line.
 	if spec && p.inTxn {
 		if s.overflowLookup(p, line) {
-			if words, ok := p.over.Fetch(line); ok {
+			if mask, words, ok := p.over.Fetch(line); ok {
 				s.stats.Bandwidth.Record(bus.UB, bus.FillBytes)
 				l := s.insertLine(p, line, cache.Dirty)
-				for w, v := range words { //bulklint:ordered writes to distinct array slots; order cannot escape
-					l.Data[w] = uint64(v)
+				for w := range words {
+					if mask&(1<<uint(w)) != 0 {
+						l.Data[w] = uint64(words[w])
+					}
 				}
 				return l, par.MemLatency
 			}
@@ -369,21 +371,34 @@ func (s *System) insertLine(p *proc, line uint64, st cache.State) *cache.Line {
 	return l
 }
 
+// gatherSpill collects p's buffered values for a line into the reusable
+// spill buffer, returning the validity mask and the buffer. The buffer is
+// only valid until the next call; Spill copies it.
+func (s *System) gatherSpill(p *proc, line uint64) (uint64, []mem.Word) {
+	if cap(s.spillWords) < s.wordsPerLine {
+		s.spillWords = make([]mem.Word, s.wordsPerLine)
+	}
+	words := s.spillWords[:s.wordsPerLine]
+	var mask uint64
+	base := line * uint64(s.wordsPerLine)
+	for w := 0; w < s.wordsPerLine; w++ {
+		if v, ok := p.bufLookup(base + uint64(w)); ok {
+			words[w] = mem.Word(v)
+			mask |= 1 << uint(w)
+		}
+	}
+	return mask, words
+}
+
 // handleDirtyEviction routes an evicted dirty line: speculative lines go
 // to the overflow area (Section 6.2.2); non-speculative lines write back.
 func (s *System) handleDirtyEviction(p *proc, line uint64) {
 	if p.inTxn && p.inWriteSet(line) {
-		words := map[int]mem.Word{}
-		base := line * uint64(s.wordsPerLine)
-		for w := 0; w < s.wordsPerLine; w++ {
-			if v, ok := p.bufLookup(base + uint64(w)); ok {
-				words[w] = mem.Word(v)
-			}
-		}
-		p.over.Spill(line, words)
+		mask, words := s.gatherSpill(p, line)
+		p.over.Spill(line, mask, words)
 		if p.module != nil {
 			for _, sec := range p.sections {
-				if sec.writeL[line] {
+				if sec.writeL.Has(line) {
 					p.module.NoteOverflow(sec.version)
 				}
 			}

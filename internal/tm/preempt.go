@@ -3,8 +3,7 @@ package tm
 import (
 	"bulk/internal/bus"
 	"bulk/internal/cache"
-	"bulk/internal/det"
-	"bulk/internal/mem"
+	"bulk/internal/flatmap"
 	"bulk/internal/sig"
 )
 
@@ -84,19 +83,14 @@ func (s *System) maybePreempt(p *proc) bool {
 // area (the cache no longer knows who owns them once the signatures left
 // the BDM).
 func (s *System) spillDirtyLines(p *proc, sec *section) {
-	for _, line := range det.SortedKeys(sec.writeL) {
+	s.keyScratch = sec.writeL.SortedKeys(s.keyScratch[:0])
+	for _, line := range s.keyScratch {
 		cl := p.cache.Lookup(cache.LineAddr(line))
 		if cl == nil || cl.State != cache.Dirty {
 			continue
 		}
-		words := map[int]mem.Word{}
-		base := line * uint64(s.wordsPerLine)
-		for w := 0; w < s.wordsPerLine; w++ {
-			if v, ok := p.bufLookup(base + uint64(w)); ok {
-				words[w] = mem.Word(v)
-			}
-		}
-		p.over.Spill(line, words)
+		mask, words := s.gatherSpill(p, line)
+		p.over.Spill(line, mask, words)
 		p.cache.Invalidate(cache.LineAddr(line))
 		s.stats.Bandwidth.Record(bus.UB, bus.WritebackBytes)
 	}
@@ -130,7 +124,7 @@ func (s *System) runInterloper(p *proc) {
 			s.stats.Bandwidth.Record(bus.Fill, bus.FillBytes)
 		}
 		if write {
-			l.State = cache.Dirty
+			p.cache.MarkDirty(l)
 		}
 	}
 }
@@ -138,7 +132,7 @@ func (s *System) runInterloper(p *proc) {
 // disambiguateSpilled checks an incoming commit against p's spilled
 // signatures (the in-memory disambiguation of Section 6.2.2). A hit dooms
 // the paused transaction.
-func (s *System) disambiguateSpilled(p *proc, wc *sig.Signature, writeLines map[uint64]bool) {
+func (s *System) disambiguateSpilled(p *proc, wc *sig.Signature, writeLines *flatmap.Set) {
 	if p.preempt == nil || len(p.preempt.spilled) == 0 || p.preempt.doomed {
 		return
 	}
@@ -147,11 +141,12 @@ func (s *System) disambiguateSpilled(p *proc, wc *sig.Signature, writeLines map[
 		if wc.Intersects(sp.sv.R) || wc.Intersects(sp.sv.W) {
 			p.preempt.doomed = true
 			dep := uint64(0)
-			for l := range writeLines { //bulklint:ordered order-independent count
-				if sp.sec.readL[l] || sp.sec.writeL[l] {
+			writeLines.Range(func(l uint64) bool { // order-independent count
+				if sp.sec.readL.Has(l) || sp.sec.writeL.Has(l) {
 					dep++
 				}
-			}
+				return true
+			})
 			s.stats.Squashes++
 			if dep == 0 {
 				s.stats.FalseSquashes++
@@ -193,13 +188,15 @@ func (s *System) resumePreempted(p *proc) {
 				// the signature's granularity; the decode is exact so the
 				// mask matches.
 				if s.opts.WordGranularity {
-					for w := range sp.sec.wbuf { //bulklint:ordered signature Add is a commutative bitwise OR
+					sp.sec.wbuf.Range(func(w, _ uint64) bool { // signature Add is a commutative bitwise OR
 						p.module.CommitWrite(v, sig.Addr(w))
-					}
+						return true
+					})
 				} else {
-					for l := range sp.sec.writeL { //bulklint:ordered signature Add is a commutative bitwise OR
+					sp.sec.writeL.Range(func(l uint64) bool { // signature Add is a commutative bitwise OR
 						p.module.CommitWrite(v, sig.Addr(l))
-					}
+						return true
+					})
 				}
 			}
 		}
@@ -220,7 +217,7 @@ func (s *System) restartDoomed(p *proc) {
 		}
 	}
 	p.exec.SetLastRead(p.sections[0].lastRead)
-	p.sections = nil
+	p.sections = p.sections[:0] // keep the backing array for recycling
 	p.inTxn = false
 	p.opIdx = 0
 	p.over.Dealloc()

@@ -6,6 +6,7 @@ import (
 
 	"bulk/internal/bdm"
 	"bulk/internal/cache"
+	"bulk/internal/flatmap"
 	"bulk/internal/mem"
 	"bulk/internal/sig"
 	"bulk/internal/sim"
@@ -18,12 +19,12 @@ import (
 // version, plus the executor checkpoint taken at its start (Figure 8).
 type section struct {
 	startOp  int
-	wbuf     map[uint64]uint64 // word addr -> speculative value
-	readL    map[uint64]bool   // exact line sets
-	writeL   map[uint64]bool
-	readW    map[uint64]bool // exact read words (word-granularity truth)
-	version  *bdm.Version    // Bulk only
-	lastRead uint64          // executor register at section start
+	wbuf     flatmap.Map[uint64] // word addr -> speculative value
+	readL    flatmap.Set         // exact line sets
+	writeL   flatmap.Set
+	readW    flatmap.Set  // exact read words (word-granularity truth)
+	version  *bdm.Version // Bulk only
+	lastRead uint64       // executor register at section start
 }
 
 // proc is one simulated processor and the thread pinned to it.
@@ -73,6 +74,19 @@ type System struct {
 	commitWC *sig.Signature
 
 	wordsPerLine int
+
+	// spillWords is the reusable word buffer for overflow-area spills
+	// (accesses are serialized, so one buffer serves every proc).
+	spillWords []mem.Word
+	// keyScratch is the reusable sorted-key buffer for write-buffer
+	// iteration on the commit path.
+	keyScratch []uint64
+	// wlScratch/rlScratch hold the committer's write/read line unions for
+	// the duration of a commit; sqScratch and sqKeys serve squash paths,
+	// which can run while a commit's unions are still live.
+	wlScratch, rlScratch flatmap.Set
+	sqScratch            flatmap.Set
+	sqKeys               []uint64
 }
 
 // NewSystem prepares a run of workload w under the given options.
@@ -296,28 +310,40 @@ func (s *System) beginTxn(p *proc, seg *workload.TMSegment) {
 	s.pushSection(p, 0)
 }
 
-// pushSection opens a nesting section starting at op index startOp.
+// pushSection opens a nesting section starting at op index startOp. Section
+// structs are recycled through the sections slice's backing array (commit
+// and squash truncate with [:0] rather than dropping it), so the write
+// buffers and exact sets keep their capacity from one transaction to the
+// next.
 func (s *System) pushSection(p *proc, startOp int) {
-	sec := &section{
-		startOp:  startOp,
-		wbuf:     map[uint64]uint64{},
-		readL:    map[uint64]bool{},
-		writeL:   map[uint64]bool{},
-		readW:    map[uint64]bool{},
-		lastRead: p.exec.LastRead(),
+	n := len(p.sections)
+	var sec *section
+	if n < cap(p.sections) {
+		p.sections = p.sections[:n+1]
+		sec = p.sections[n]
 	}
+	if sec == nil {
+		sec = &section{}
+		p.sections = append(p.sections[:n], sec)
+	}
+	sec.startOp = startOp
+	sec.wbuf.Reset()
+	sec.readL.Reset()
+	sec.writeL.Reset()
+	sec.readW.Reset()
+	sec.version = nil
+	sec.lastRead = p.exec.LastRead()
 	if p.module != nil {
-		v, err := p.module.AllocVersion(p.id*16 + len(p.sections))
+		v, err := p.module.AllocVersion(p.id*16 + n)
 		if err != nil {
 			// Out of version slots: flatten into the innermost section.
 			// (Only reachable with deep nesting; the workloads nest ≤3.)
-			sec.version = p.sections[len(p.sections)-1].version
+			sec.version = p.sections[n-1].version
 		} else {
 			sec.version = v
 			p.module.SetRunning(v)
 		}
 	}
-	p.sections = append(p.sections, sec)
 }
 
 // maybeEnterSection opens the next nested section when execution crosses
@@ -335,7 +361,7 @@ func (p *proc) top() *section { return p.sections[len(p.sections)-1] }
 // readLines / writeLines iterate exact sets across sections.
 func (p *proc) inReadSet(line uint64) bool {
 	for _, sec := range p.sections {
-		if sec.readL[line] {
+		if sec.readL.Has(line) {
 			return true
 		}
 	}
@@ -344,7 +370,7 @@ func (p *proc) inReadSet(line uint64) bool {
 
 func (p *proc) inWriteSet(line uint64) bool {
 	for _, sec := range p.sections {
-		if sec.writeL[line] {
+		if sec.writeL.Has(line) {
 			return true
 		}
 	}
@@ -354,7 +380,7 @@ func (p *proc) inWriteSet(line uint64) bool {
 // readWord/wroteWord are the word-granularity exact-set queries.
 func (p *proc) readWord(w uint64) bool {
 	for _, sec := range p.sections {
-		if sec.readW[w] {
+		if sec.readW.Has(w) {
 			return true
 		}
 	}
@@ -363,7 +389,7 @@ func (p *proc) readWord(w uint64) bool {
 
 func (p *proc) wroteWord(w uint64) bool {
 	for _, sec := range p.sections {
-		if _, ok := sec.wbuf[w]; ok {
+		if sec.wbuf.Has(w) {
 			return true
 		}
 	}
@@ -373,31 +399,34 @@ func (p *proc) wroteWord(w uint64) bool {
 // bufLookup searches the section write buffers innermost-first.
 func (p *proc) bufLookup(word uint64) (uint64, bool) {
 	for i := len(p.sections) - 1; i >= 0; i-- {
-		if v, ok := p.sections[i].wbuf[word]; ok {
+		if v, ok := p.sections[i].wbuf.Get(word); ok {
 			return v, true
 		}
 	}
 	return 0, false
 }
 
-// allWriteLines collects the union of exact write lines.
-func (p *proc) allWriteLines() map[uint64]bool {
-	out := map[uint64]bool{}
+// unionWriteLines rebuilds dst as the union of exact write lines across
+// sections. The caller supplies a reusable scratch set.
+func (p *proc) unionWriteLines(dst *flatmap.Set) *flatmap.Set {
+	dst.Reset()
 	for _, sec := range p.sections {
-		for l := range sec.writeL { //bulklint:ordered building a map union; order cannot escape
-			out[l] = true
-		}
+		sec.writeL.Range(func(l uint64) bool { // building a set union; order cannot escape
+			dst.Add(l)
+			return true
+		})
 	}
-	return out
+	return dst
 }
 
-// allReadLines collects the union of exact read lines.
-func (p *proc) allReadLines() map[uint64]bool {
-	out := map[uint64]bool{}
+// unionReadLines rebuilds dst as the union of exact read lines.
+func (p *proc) unionReadLines(dst *flatmap.Set) *flatmap.Set {
+	dst.Reset()
 	for _, sec := range p.sections {
-		for l := range sec.readL { //bulklint:ordered building a map union; order cannot escape
-			out[l] = true
-		}
+		sec.readL.Range(func(l uint64) bool { // building a set union; order cannot escape
+			dst.Add(l)
+			return true
+		})
 	}
-	return out
+	return dst
 }

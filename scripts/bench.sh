@@ -1,31 +1,57 @@
 #!/usr/bin/env bash
-# Performance record: runs the signature micro-benchmarks and the exhibit
-# regeneration benchmarks, and rewrites BENCH_sig.json / BENCH_exhibits.json
-# at the repo root. Each JSON carries the committed pre-optimization capture
+# Performance record: runs the signature micro-benchmarks, the exhibit
+# regeneration benchmarks, and the end-to-end core run benchmarks, and
+# rewrites BENCH_sig.json / BENCH_exhibits.json / BENCH_core.json at the
+# repo root. Each JSON carries the committed pre-optimization capture
 # (bench/baseline/*.txt) as "baseline" next to the fresh "current" numbers,
 # so before/after is always visible in one file.
 #
 # Usage: scripts/bench.sh
+#   BENCHTIME=5x COUNT=3 scripts/bench.sh   # override the per-bench budget
+#
+# BENCHTIME feeds -benchtime for the exhibit and core sections (default 1x:
+# one full regeneration / one full run per benchmark); COUNT feeds -count
+# everywhere (default 1).
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+BENCHTIME="${BENCHTIME:-1x}"
+COUNT="${COUNT:-1}"
 
 tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
 
+# emit_json RAW BASELINE NOTE OUT — convert a raw capture to committed JSON,
+# failing the whole script loudly when benchjson cannot parse the capture
+# (an empty or mangled capture must never overwrite the record silently).
+emit_json() {
+  if ! go run ./cmd/benchjson -baseline "$2" -note "$3" < "$1" > "$4"; then
+    echo "bench.sh: benchjson could not parse $1 (wanted for $4)" >&2
+    exit 1
+  fi
+}
+
 echo "== signature kernel micro-benchmarks (internal/sig) =="
-go test ./internal/sig/ -run '^$' -bench '.' -benchmem | tee "$tmp/sig.txt"
-go run ./cmd/benchjson \
-  -baseline bench/baseline/sig.txt \
-  -note "internal/sig kernels; baseline = pre gather-table/zero-alloc rewrite" \
-  < "$tmp/sig.txt" > BENCH_sig.json
+go test ./internal/sig/ -run '^$' -bench '.' -benchmem -count "$COUNT" | tee "$tmp/sig.txt"
+emit_json "$tmp/sig.txt" bench/baseline/sig.txt \
+  "internal/sig kernels; baseline = pre gather-table/zero-alloc rewrite" \
+  BENCH_sig.json
 
 echo
 echo "== exhibit regeneration benchmarks (one full run per exhibit) =="
-go test . -run '^$' -bench '.' -benchtime 1x -benchmem | tee "$tmp/exhibits.txt"
-go run ./cmd/benchjson \
-  -baseline bench/baseline/exhibits.txt \
-  -note "wall-clock per exhibit regeneration; baseline = serial engine before internal/par" \
-  < "$tmp/exhibits.txt" > BENCH_exhibits.json
+go test . -run '^$' -bench 'Figure|Table|Ablation|Ext' \
+  -benchtime "$BENCHTIME" -benchmem -count "$COUNT" | tee "$tmp/exhibits.txt"
+emit_json "$tmp/exhibits.txt" bench/baseline/exhibits.txt \
+  "wall-clock per exhibit regeneration; baseline = serial engine before internal/par" \
+  BENCH_exhibits.json
 
 echo
-echo "bench.sh: wrote BENCH_sig.json and BENCH_exhibits.json"
+echo "== end-to-end core run benchmarks (tm / tls / ckpt) =="
+go test . -run '^$' -bench 'TMRun|TLSRun|CkptRun' \
+  -benchtime "$BENCHTIME" -benchmem -count "$COUNT" | tee "$tmp/core.txt"
+emit_json "$tmp/core.txt" bench/baseline/core.txt \
+  "end-to-end simulation runs; baseline = map-backed core before internal/flatmap and occupancy-filtered bulk operations" \
+  BENCH_core.json
+
+echo
+echo "bench.sh: wrote BENCH_sig.json, BENCH_exhibits.json and BENCH_core.json"

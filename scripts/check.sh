@@ -18,4 +18,9 @@ echo "== go test -race =="
 # race stage exercises the fan-out worker pool on every run.
 go test -race ./...
 
+echo "== bench harness smoke (-benchtime=1x) =="
+# One iteration of each end-to-end run benchmark, so the bench harness
+# scripts/bench.sh depends on cannot silently rot.
+go test . -run '^$' -bench 'TMRun|TLSRun|CkptRun' -benchtime 1x
+
 echo "check.sh: all stages passed"
