@@ -2,13 +2,18 @@
 //
 // Usage:
 //
-//	bulklint [-json] [-disable rule1,rule2] [-list] [patterns]
+//	bulklint [-json] [-rules rule1,rule2] [-disable rule1,rule2] [-list] [patterns]
 //
 // Patterns follow the usual Go tool shape: "./..." (the default) lints the
 // whole module; "./internal/sig" or "bulk/internal/sig" lints one package;
 // a trailing "/..." matches a subtree. The whole module is always loaded
 // (type-checking needs the full import graph); patterns only select which
 // packages' findings are reported.
+//
+// -rules runs only the named rules; -disable runs everything except the
+// named rules. The two are mutually exclusive. The stalewaiver audit only
+// fires for waivers of rules that actually ran, so filtered runs never
+// report false stale waivers.
 //
 // Exit status: 0 when clean, 1 when findings were reported, 2 on usage or
 // load errors.
@@ -31,10 +36,11 @@ func main() {
 
 func run() int {
 	jsonOut := flag.Bool("json", false, "emit findings as a JSON array")
+	rules := flag.String("rules", "", "comma-separated rule names to run (default: all)")
 	disable := flag.String("disable", "", "comma-separated rule names to skip")
 	list := flag.Bool("list", false, "list rules and exit")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: bulklint [-json] [-disable rule1,rule2] [-list] [patterns]\n")
+		fmt.Fprintf(os.Stderr, "usage: bulklint [-json] [-rules rule1,rule2] [-disable rule1,rule2] [-list] [patterns]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -46,6 +52,10 @@ func run() int {
 		return 0
 	}
 
+	if *rules != "" && *disable != "" {
+		fmt.Fprintln(os.Stderr, "bulklint: -rules and -disable are mutually exclusive")
+		return 2
+	}
 	known := map[string]bool{}
 	for _, n := range lint.AnalyzerNames() {
 		known[n] = true
@@ -59,6 +69,22 @@ func run() int {
 				return 2
 			}
 			disabled[n] = true
+		}
+	}
+	if *rules != "" {
+		enabled := map[string]bool{}
+		for _, n := range strings.Split(*rules, ",") {
+			n = strings.TrimSpace(n)
+			if !known[n] {
+				fmt.Fprintf(os.Stderr, "bulklint: unknown rule %q (see -list)\n", n)
+				return 2
+			}
+			enabled[n] = true
+		}
+		for n := range known {
+			if !enabled[n] {
+				disabled[n] = true
+			}
 		}
 	}
 

@@ -98,6 +98,8 @@ type Bandwidth struct {
 }
 
 // Record charges n bytes of traffic of the given type.
+//
+//bulklint:noalloc
 func (b *Bandwidth) Record(t MsgType, n int) {
 	if n < 0 {
 		panic("bus: negative byte count") //bulklint:invariant message sizes are computed, never user input
@@ -110,6 +112,8 @@ func (b *Bandwidth) Record(t MsgType, n int) {
 // form of Record for coalesced per-commit traffic (e.g. the writeback
 // downgrades of a whole write set). Byte and message totals are identical
 // to count individual Record(t, n) calls.
+//
+//bulklint:noalloc
 func (b *Bandwidth) RecordN(t MsgType, n, count int) {
 	if n < 0 || count < 0 {
 		panic("bus: negative byte or message count") //bulklint:invariant message sizes and counts are computed, never user input
@@ -120,6 +124,8 @@ func (b *Bandwidth) RecordN(t MsgType, n, count int) {
 
 // RecordCommit charges a commit broadcast: the bytes count as Inv traffic
 // (as in the paper) and are also tracked separately for Figure 14.
+//
+//bulklint:noalloc
 func (b *Bandwidth) RecordCommit(n int) {
 	b.Record(Inv, n)
 	b.commitBytes += uint64(n)

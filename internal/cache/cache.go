@@ -185,6 +185,8 @@ func (c *Cache) subDirty(set int) {
 
 // Lookup returns the line holding address a, or nil. It does not touch LRU
 // state or statistics; use Access for the full load/store path.
+//
+//bulklint:noalloc
 func (c *Cache) Lookup(a LineAddr) *Line {
 	ws := c.set(c.SetIndex(a))
 	for i := range ws {
@@ -196,11 +198,15 @@ func (c *Cache) Lookup(a LineAddr) *Line {
 }
 
 // Contains reports whether address a is present (valid) in the cache.
+//
+//bulklint:noalloc
 func (c *Cache) Contains(a LineAddr) bool { return c.Lookup(a) != nil }
 
 // Access performs the tag-match part of a load or store: on a hit it
 // refreshes LRU and returns the line; on a miss it returns nil. The caller
 // decides what to insert on a miss (fill state depends on the request type).
+//
+//bulklint:noalloc
 func (c *Cache) Access(a LineAddr) *Line {
 	l := c.Lookup(a)
 	if l == nil {
@@ -285,6 +291,8 @@ func (c *Cache) Invalidate(a LineAddr) State {
 
 // MarkClean downgrades a dirty line to clean (after a writeback). No-op if
 // the line is absent.
+//
+//bulklint:noalloc
 func (c *Cache) MarkClean(a LineAddr) {
 	if l := c.Lookup(a); l != nil && l.State == Dirty {
 		l.State = Clean
@@ -295,6 +303,8 @@ func (c *Cache) MarkClean(a LineAddr) {
 // MarkDirty upgrades a resident line to Dirty. Line state transitions must
 // go through the cache (not `l.State = Dirty` on the returned pointer) so
 // the per-set occupancy summaries stay consistent.
+//
+//bulklint:noalloc
 func (c *Cache) MarkDirty(l *Line) {
 	if l.State == Invalid {
 		panic("cache: MarkDirty on an invalid line") //bulklint:invariant callers pass lines obtained from Lookup/Access/Insert
@@ -308,6 +318,8 @@ func (c *Cache) MarkDirty(l *Line) {
 // LinesInSet appends pointers to the valid lines of set i to dst. This is
 // the cache-side read of signature expansion (Figure 4): given a set index
 // from δ, read out all valid line addresses in the set.
+//
+//bulklint:noalloc
 func (c *Cache) LinesInSet(i int, dst []*Line) []*Line {
 	if c.validCnt[i] == 0 {
 		return dst
@@ -315,16 +327,20 @@ func (c *Cache) LinesInSet(i int, dst []*Line) []*Line {
 	ws := c.set(i)
 	for j := range ws {
 		if ws[j].State != Invalid {
-			dst = append(dst, &ws[j])
+			dst = append(dst, &ws[j]) //bulklint:allow noalloc amortized growth; callers pass a warmed scratch buffer
 		}
 	}
 	return dst
 }
 
 // DirtyInSet reports whether set i holds any dirty line.
+//
+//bulklint:noalloc
 func (c *Cache) DirtyInSet(i int) bool { return c.dirtyCnt[i] > 0 }
 
 // DirtyLinesInSet appends the dirty lines of set i to dst.
+//
+//bulklint:noalloc
 func (c *Cache) DirtyLinesInSet(i int, dst []*Line) []*Line {
 	if c.dirtyCnt[i] == 0 {
 		return dst
@@ -332,7 +348,7 @@ func (c *Cache) DirtyLinesInSet(i int, dst []*Line) []*Line {
 	ws := c.set(i)
 	for j := range ws {
 		if ws[j].State == Dirty {
-			dst = append(dst, &ws[j])
+			dst = append(dst, &ws[j]) //bulklint:allow noalloc amortized growth; callers pass a warmed scratch buffer
 		}
 	}
 	return dst
@@ -341,6 +357,8 @@ func (c *Cache) DirtyLinesInSet(i int, dst []*Line) []*Line {
 // AndValidSets intersects m (a bit-per-set mask in sig.SetMask layout) with
 // the cache's any-valid occupancy mask, clearing bits of sets that hold no
 // valid line. m must cover NumSets bits.
+//
+//bulklint:noalloc
 func (c *Cache) AndValidSets(m []uint64) {
 	for i := range c.validMask {
 		m[i] &= c.validMask[i]
@@ -349,6 +367,8 @@ func (c *Cache) AndValidSets(m []uint64) {
 
 // AndDirtySets intersects m with the any-dirty occupancy mask, clearing
 // bits of sets that hold no dirty line.
+//
+//bulklint:noalloc
 func (c *Cache) AndDirtySets(m []uint64) {
 	for i := range c.dirtyMask {
 		m[i] &= c.dirtyMask[i]

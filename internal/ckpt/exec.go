@@ -21,6 +21,7 @@ type CommitUnit struct {
 // opIndexFor derives the deterministic value-index of an op.
 func opIndexFor(unit, i int) int { return unit*4096 + i }
 
+//bulklint:noalloc
 func (s *System) lineOf(word uint64) uint64 { return word / uint64(s.wpl) }
 
 // step advances one processor by one action.
@@ -205,6 +206,8 @@ func (s *System) stepEpisode(p *proc, e *Episode) error {
 }
 
 // recordRead notes a speculative read of a word.
+//
+//bulklint:noalloc
 func (s *System) recordRead(p *proc, word uint64) {
 	p.readW.Add(word)
 	if p.module != nil {

@@ -54,6 +54,8 @@ func (m *Map[V]) clearUsed(i uint64)   { m.used[i>>6] &^= 1 << (i & 63) }
 func (m *Map[V]) Len() int { return m.n }
 
 // Get returns the value stored under k and whether it is present.
+//
+//bulklint:noalloc
 func (m *Map[V]) Get(k uint64) (V, bool) {
 	if m.n != 0 {
 		for i := m.slot(k); m.isUsed(i); i = (i + 1) & m.mask {
@@ -67,15 +69,19 @@ func (m *Map[V]) Get(k uint64) (V, bool) {
 }
 
 // Has reports whether k is present.
+//
+//bulklint:noalloc
 func (m *Map[V]) Has(k uint64) bool {
 	_, ok := m.Get(k)
 	return ok
 }
 
 // Put stores v under k, replacing any previous value.
+//
+//bulklint:noalloc
 func (m *Map[V]) Put(k uint64, v V) {
 	if 4*(m.n+1) > 3*len(m.keys) {
-		m.grow()
+		m.grow() //bulklint:allow noalloc amortized growth; simulators pre-size hot tables
 	}
 	i := m.slot(k)
 	for m.isUsed(i) {
@@ -118,6 +124,8 @@ func (m *Map[V]) grow() {
 // Delete removes k, reporting whether it was present. The probe chain
 // following the removed slot is backshifted, so the table never
 // accumulates tombstones.
+//
+//bulklint:noalloc
 func (m *Map[V]) Delete(k uint64) bool {
 	if m.n == 0 {
 		return false
@@ -160,6 +168,8 @@ func (m *Map[V]) Delete(k uint64) bool {
 
 // Reset empties the map, keeping the allocated capacity for reuse (the
 // write buffers clear on every transaction restart).
+//
+//bulklint:noalloc
 func (m *Map[V]) Reset() {
 	if len(m.keys) == 0 {
 		return
@@ -190,12 +200,14 @@ func (m *Map[V]) Range(fn func(k uint64, v V) bool) {
 // SortedKeys appends every key to dst in ascending order and returns the
 // extended slice. Only the appended portion is sorted, so callers can pass
 // a scratch buffer truncated with dst[:0].
+//
+//bulklint:noalloc
 func (m *Map[V]) SortedKeys(dst []uint64) []uint64 {
 	start := len(dst)
 	for wi, w := range m.used {
 		for w != 0 {
 			b := bits.TrailingZeros64(w)
-			dst = append(dst, m.keys[wi*64+b])
+			dst = append(dst, m.keys[wi*64+b]) //bulklint:allow noalloc amortized growth; callers pass a warmed scratch buffer
 			w &= w - 1
 		}
 	}
@@ -215,15 +227,23 @@ type Set struct {
 func (s *Set) Len() int { return s.m.Len() }
 
 // Has reports whether k is a member.
+//
+//bulklint:noalloc
 func (s *Set) Has(k uint64) bool { return s.m.Has(k) }
 
 // Add inserts k.
+//
+//bulklint:noalloc
 func (s *Set) Add(k uint64) { s.m.Put(k, struct{}{}) }
 
 // Delete removes k, reporting whether it was present.
+//
+//bulklint:noalloc
 func (s *Set) Delete(k uint64) bool { return s.m.Delete(k) }
 
 // Reset empties the set, keeping capacity for reuse.
+//
+//bulklint:noalloc
 func (s *Set) Reset() { s.m.Reset() }
 
 // Range calls fn for every member in storage order, stopping early if fn
@@ -235,4 +255,6 @@ func (s *Set) Range(fn func(k uint64) bool) {
 
 // SortedKeys appends every member to dst in ascending order and returns
 // the extended slice.
+//
+//bulklint:noalloc
 func (s *Set) SortedKeys(dst []uint64) []uint64 { return s.m.SortedKeys(dst) }

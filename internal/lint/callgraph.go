@@ -1,0 +1,141 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// This file builds the module-wide static call graph the flow-sensitive
+// analyses (guardedby lockset, noalloc) share. Only statically resolvable
+// calls appear: direct function calls, method calls on concrete receivers,
+// and qualified package calls. Interface-method calls and calls through
+// func-typed values are dynamic and are left to each analysis to treat
+// conservatively at the call site.
+
+// callSite is one statically resolved call inside a function body.
+type callSite struct {
+	call   *ast.CallExpr
+	callee *types.Func // canonical (generic origin) callee
+}
+
+// funcNode is one function declared in the module with a body.
+type funcNode struct {
+	fn    *types.Func
+	pkg   *Package
+	decl  *ast.FuncDecl
+	calls []*callSite // in source order
+}
+
+// callGraph maps every module-declared function to its node. Keys are
+// canonical: instantiated generic functions and methods are folded into
+// their origin via (*types.Func).Origin.
+type callGraph struct {
+	nodes map[*types.Func]*funcNode
+}
+
+// buildCallGraph indexes every FuncDecl in the loaded packages and records
+// the statically resolvable calls in each body.
+func buildCallGraph(pkgs []*Package) *callGraph {
+	cg := &callGraph{nodes: map[*types.Func]*funcNode{}}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				cg.nodes[fn.Origin()] = &funcNode{fn: fn.Origin(), pkg: pkg, decl: fd}
+			}
+		}
+	}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				node := cg.nodes[fn.Origin()]
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					if callee := staticCallee(pkg, call); callee != nil {
+						node.calls = append(node.calls, &callSite{call: call, callee: callee})
+					}
+					return true
+				})
+			}
+		}
+	}
+	return cg
+}
+
+// staticCallee resolves the canonical *types.Func a call targets, or nil
+// for builtins, type conversions, and dynamic (interface / func-value)
+// calls.
+func staticCallee(pkg *Package, call *ast.CallExpr) *types.Func {
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := pkg.Info.Uses[fun].(*types.Func); ok {
+			return fn.Origin()
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := pkg.Info.Selections[fun]; ok {
+			fn, ok := sel.Obj().(*types.Func)
+			if !ok {
+				return nil // field of func type — dynamic
+			}
+			if recvIsAbstract(sel.Recv()) {
+				return nil // interface or type-parameter method — dynamic
+			}
+			return fn.Origin()
+		}
+		// Qualified call: pkg.Func.
+		if fn, ok := pkg.Info.Uses[fun.Sel].(*types.Func); ok {
+			return fn.Origin()
+		}
+	case *ast.IndexExpr: // explicit generic instantiation f[T](...)
+		if id, ok := unparen(fun.X).(*ast.Ident); ok {
+			if fn, ok := pkg.Info.Uses[id].(*types.Func); ok {
+				return fn.Origin()
+			}
+		}
+	case *ast.IndexListExpr:
+		if id, ok := unparen(fun.X).(*ast.Ident); ok {
+			if fn, ok := pkg.Info.Uses[id].(*types.Func); ok {
+				return fn.Origin()
+			}
+		}
+	}
+	return nil
+}
+
+// recvIsAbstract reports whether a method selection's receiver is an
+// interface or a type parameter, i.e. the call cannot be resolved to one
+// concrete body.
+func recvIsAbstract(t types.Type) bool {
+	if t == nil {
+		return true
+	}
+	if _, ok := t.(*types.TypeParam); ok {
+		return true
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if _, ok := t.(*types.TypeParam); ok {
+		return true
+	}
+	_, isIface := t.Underlying().(*types.Interface)
+	return isIface
+}

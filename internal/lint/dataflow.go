@@ -1,0 +1,128 @@
+package lint
+
+import "go/ast"
+
+// This file is a small forward dataflow engine over Go's structured
+// control flow. There is no CFG: the walker mirrors the statement tree,
+// forking the state at branches and handing the forks back to the
+// analysis's merge hook. Loop bodies are walked twice with the first
+// walk's exit state merged into the second's entry — a bounded fixpoint
+// that lets facts created in iteration k reach uses in iteration k+1,
+// which is all the module's analyses need (their lattices stabilize after
+// one propagation).
+//
+// The state type S must behave like a reference (the analyses use maps):
+// stmt/pre hooks mutate the state they are handed in place, fork returns
+// an independent copy, and merge returns the joined state (it may consume
+// its inputs). A may-analysis merges by union, a must-analysis by
+// intersection; mayFallThrough tells merge whether the pre-branch state
+// is itself a possible outcome (if with no else, loop body skipped,
+// switch with no default) and must be included in the join.
+
+// flowHooks parameterizes flowWalk. Any hook may be nil (no-op).
+type flowHooks[S any] struct {
+	fork  func(S) S
+	merge func(base S, branches []S, mayFallThrough bool) S
+	stmt  func(S, ast.Stmt) // transfer for a simple statement
+	pre   func(S, ast.Stmt) // called for control statements before descent
+}
+
+// flowWalk pushes st through stmts in order and returns the final state.
+func flowWalk[S any](st S, stmts []ast.Stmt, h flowHooks[S]) S {
+	for _, s := range stmts {
+		st = flowStmt(st, s, h)
+	}
+	return st
+}
+
+func flowStmt[S any](st S, s ast.Stmt, h flowHooks[S]) S {
+	switch n := s.(type) {
+	case *ast.BlockStmt:
+		return flowWalk(st, n.List, h)
+	case *ast.LabeledStmt:
+		return flowStmt(st, n.Stmt, h)
+	case *ast.IfStmt:
+		callPre(h, st, s)
+		if n.Init != nil {
+			st = flowStmt(st, n.Init, h)
+		}
+		thenSt := flowWalk(h.fork(st), n.Body.List, h)
+		if n.Else != nil {
+			elseSt := flowStmt(h.fork(st), n.Else, h)
+			return h.merge(st, []S{thenSt, elseSt}, false)
+		}
+		return h.merge(st, []S{thenSt}, true)
+	case *ast.ForStmt:
+		callPre(h, st, s)
+		if n.Init != nil {
+			st = flowStmt(st, n.Init, h)
+		}
+		body := func(in S) S {
+			out := flowWalk(in, n.Body.List, h)
+			if n.Post != nil {
+				out = flowStmt(out, n.Post, h)
+			}
+			return out
+		}
+		b1 := body(h.fork(st))
+		b2 := body(h.fork(h.merge(h.fork(st), []S{b1}, true)))
+		return h.merge(st, []S{b2}, true)
+	case *ast.RangeStmt:
+		callPre(h, st, s)
+		b1 := flowWalk(h.fork(st), n.Body.List, h)
+		b2 := flowWalk(h.fork(h.merge(h.fork(st), []S{b1}, true)), n.Body.List, h)
+		return h.merge(st, []S{b2}, true)
+	case *ast.SwitchStmt:
+		callPre(h, st, s)
+		if n.Init != nil {
+			st = flowStmt(st, n.Init, h)
+		}
+		return flowClauses(st, n.Body.List, h)
+	case *ast.TypeSwitchStmt:
+		callPre(h, st, s)
+		if n.Init != nil {
+			st = flowStmt(st, n.Init, h)
+		}
+		return flowClauses(st, n.Body.List, h)
+	case *ast.SelectStmt:
+		callPre(h, st, s)
+		return flowClauses(st, n.Body.List, h)
+	default:
+		// Assign, Decl, Expr, Return, Send, IncDec, Defer, Go, Branch, Empty.
+		if h.stmt != nil {
+			h.stmt(st, s)
+		}
+		return st
+	}
+}
+
+// flowClauses forks once per case/comm clause and merges the outcomes.
+func flowClauses[S any](st S, clauses []ast.Stmt, h flowHooks[S]) S {
+	var branches []S
+	hasDefault := false
+	for _, c := range clauses {
+		switch cc := c.(type) {
+		case *ast.CaseClause:
+			if cc.List == nil {
+				hasDefault = true
+			}
+			branches = append(branches, flowWalk(h.fork(st), cc.Body, h))
+		case *ast.CommClause:
+			if cc.Comm == nil {
+				hasDefault = true
+			} else {
+				// The comm statement (send or receive) executes on this path.
+				branches = append(branches, flowWalk(h.fork(st), append([]ast.Stmt{cc.Comm}, cc.Body...), h))
+				continue
+			}
+			branches = append(branches, flowWalk(h.fork(st), cc.Body, h))
+		}
+	}
+	return h.merge(st, branches, !hasDefault)
+}
+
+func callPre[S any](h flowHooks[S], st S, s ast.Stmt) {
+	if h.pre != nil {
+		h.pre(st, s)
+	}
+}

@@ -7,40 +7,9 @@ import (
 	"strings"
 )
 
-// analyzerMapRange flags `for … range` statements over map-typed values.
-// Go deliberately randomizes map iteration order, so any such loop in
-// simulator code is a latent nondeterminism: if the loop body's effects can
-// reach simulator state, statistics or output, two runs with the same seed
-// may diverge. The sanctioned idioms are `for _, k := range det.SortedKeys(m)`
-// or a `//bulklint:ordered <why>` waiver arguing that order cannot escape.
-func analyzerMapRange() *Analyzer {
-	return &Analyzer{
-		Name: "maprange",
-		Doc:  "range over a map without sorted keys or an ordered waiver",
-		Run: func(pkgs []*Package, r *Reporter) {
-			for _, pkg := range pkgs {
-				for _, f := range pkg.Files {
-					ast.Inspect(f, func(n ast.Node) bool {
-						rs, ok := n.(*ast.RangeStmt)
-						if !ok {
-							return true
-						}
-						tv, ok := pkg.Info.Types[rs.X]
-						if !ok || tv.Type == nil {
-							return true
-						}
-						if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
-							r.Report(pkg, rs.For, "maprange",
-								"iteration over map %s is randomly ordered; range det.SortedKeys(…) or add //bulklint:ordered <why>",
-								types.TypeString(tv.Type, types.RelativeTo(pkg.Types)))
-						}
-						return true
-					})
-				}
-			}
-		},
-	}
-}
+// The maprange rule lives in orderescape.go: PR 1's syntactic rule
+// (every range over a builtin map is a finding) was replaced by the
+// flow-sensitive order-escape analysis.
 
 // analyzerRandSrc flags ambient randomness and wall-clock reads in the
 // simulator core. Every workload must be a pure function of its seed, drawn

@@ -1,20 +1,32 @@
-// Package lint implements bulklint, the project's static-analysis pass.
+// Package lint implements bulkvet (historically bulklint), the project's
+// static-analysis suite.
 //
-// The simulator's experimental claims rest on two properties nothing in the
+// The simulator's experimental claims rest on properties nothing in the
 // compiler enforces: determinism (identical seeds must produce byte-identical
 // runs, so map-iteration order and ambient randomness must never reach
-// simulator state) and the Bulk invariants of Ceze et al. (ISCA 2006) —
-// signatures are value-semantic under the Table 1 algebra, and shared
-// mutable state on the commit paths is touched only under its lock. bulklint
-// parses and type-checks every package in the module using only the Go
-// standard library and runs a suite of project-specific analyzers over the
-// result. Each finding is reported as `file:line: [rule] message`.
+// simulator state), the Bulk invariants of Ceze et al. (ISCA 2006) —
+// signatures are value-semantic under the Table 1 algebra, shared mutable
+// state on the commit paths is touched only under its lock — and the
+// zero-allocation contract of the signature/flatmap/cache hot kernels.
+// bulkvet parses and type-checks every package in the module using only the
+// Go standard library, builds a module-wide static call graph, and runs a
+// suite of analyzers — some per-node pattern matches, some flow- and
+// call-graph-sensitive — over the result. Each finding is reported as
+// `file:line: [rule] message`.
 //
-// Rules (each can be disabled with the CLI's -disable flag):
+// Rules (each can be disabled with the CLI's -disable flag, or selected
+// with -rules):
 //
-//   - maprange:   `for … range` over a map in non-test code. Iterate
-//     det.SortedKeys(m) instead, or waive with `//bulklint:ordered <why>`
-//     when order provably cannot escape into simulator state.
+//   - maprange:   order-escape analysis. A `for … range` over a map is
+//     reported only when a value derived from the iteration can escape
+//     into order-sensitive state: returned, stored to package-level or
+//     caller-visible state, sent on a channel, passed to a sink package
+//     (fmt printing, io, internal/stats, internal/trace, internal/bus,
+//     internal/sim) or used in an order-dependent sequence of effectful
+//     calls. Order-independent reductions (integer +=, |=, …), building
+//     other keyed structures, and values laundered through sort.* /
+//     slices.Sort* are clean. Iterate det.SortedKeys(m) where order can
+//     escape, or waive with `//bulklint:ordered <why>`.
 //   - randsrc:    imports of math/rand (v1 or v2) or calls to time.Now
 //     under internal/, outside internal/rng. Workloads must draw all
 //     randomness from the seeded internal/rng streams.
@@ -22,17 +34,31 @@
 //     (Intersect, Union, Contains, Decode, …) that mutates its receiver.
 //     The paper's ∩/∪/∈/δ operators are value-semantic; in-place variants
 //     must be named like mutators (UnionWith, IntersectWith, …).
-//   - guardedby:  access to a field annotated `//bulklint:guardedby <mu>`
-//     from a function that never acquires <mu>. Waive a whole function
-//     with `//bulklint:locked <why>` when its caller holds the lock.
+//   - guardedby:  interprocedural lockset analysis for fields annotated
+//     `//bulklint:guardedby <mu>`. An access is reported unless the named
+//     mutex is held on every path reaching it — acquired earlier in the
+//     function, or held at entry by every static caller. Waive a whole
+//     function with `//bulklint:locked <why>` when the lock is provided
+//     in a way the analysis cannot see.
 //   - droppederr: a call statement (including go/defer) whose error result
 //     is silently discarded.
 //   - nakedpanic: a panic outside a Must*-style constructor. Waive with
 //     `//bulklint:invariant <why>` for genuine internal-invariant guards.
+//   - noalloc:    a function annotated `//bulklint:noalloc` (and everything
+//     it statically calls) must not contain allocation-introducing
+//     constructs: make/new, composite literals, append, closures, string
+//     concatenation or conversion, builtin-map writes, interface boxing,
+//     fmt, go statements, or calls into non-allowlisted packages. Waive a
+//     cold call site with `//bulklint:allow noalloc <why>`.
+//   - stalewaiver: every //bulklint: directive must earn its keep — a
+//     waiver that suppresses no live finding of its rule, an annotation
+//     attached to nothing, or a directive naming an unknown rule is
+//     itself reported. Stale-waiver findings cannot be waived.
 package lint
 
 import (
 	"fmt"
+	"go/ast"
 	"go/token"
 	"sort"
 )
@@ -58,7 +84,8 @@ type Analyzer struct {
 	Run  func(pkgs []*Package, r *Reporter)
 }
 
-// Analyzers returns every rule in reporting order.
+// Analyzers returns every rule in execution order. stalewaiver must run
+// last: it audits the waiver-usage marks left by the other analyzers.
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		analyzerMapRange(),
@@ -67,6 +94,8 @@ func Analyzers() []*Analyzer {
 		analyzerGuardedBy(),
 		analyzerDroppedErr(),
 		analyzerNakedPanic(),
+		analyzerNoalloc(),
+		analyzerStaleWaiver(),
 	}
 }
 
@@ -83,24 +112,44 @@ func AnalyzerNames() []string {
 type Reporter struct {
 	fset     *token.FileSet
 	findings []Finding
+	// ran records which rules executed this run, so the stalewaiver audit
+	// skips waivers whose rule was disabled (their liveness is unknown).
+	ran map[string]bool
 }
 
 // NewReporter returns a reporter resolving positions against fset.
 func NewReporter(fset *token.FileSet) *Reporter {
-	return &Reporter{fset: fset}
+	return &Reporter{fset: fset, ran: map[string]bool{}}
 }
 
 // Report files a finding for rule at pos unless the owning package waived it
-// there. pkg may be nil (no waiver lookup).
+// there; a suppressing waiver is marked used for the stalewaiver audit.
+// pkg may be nil (no waiver lookup — such findings cannot be waived).
 func (r *Reporter) Report(pkg *Package, pos token.Pos, rule, format string, args ...any) {
 	p := r.fset.Position(pos)
-	if pkg != nil && pkg.waivedAt(p.Filename, p.Line, rule) {
-		return
+	if pkg != nil {
+		if d := pkg.waiverAt(p.Filename, p.Line, rule); d != nil {
+			d.used = true
+			return
+		}
 	}
 	r.findings = append(r.findings, Finding{
 		File: p.Filename,
 		Line: p.Line,
 		Col:  p.Column,
+		Rule: rule,
+		Msg:  fmt.Sprintf(format, args...),
+	})
+}
+
+// reportAt files a finding at an already-resolved position with no waiver
+// lookup. The stalewaiver audit uses it: directives carry file/line/col,
+// not token.Pos, and audit findings must not be waivable.
+func (r *Reporter) reportAt(file string, line, col int, rule, format string, args ...any) {
+	r.findings = append(r.findings, Finding{
+		File: file,
+		Line: line,
+		Col:  col,
 		Rule: rule,
 		Msg:  fmt.Sprintf(format, args...),
 	})
@@ -139,11 +188,48 @@ func Run(root string, disabled map[string]bool) ([]Finding, error) {
 // RunAnalyzers runs the enabled analyzers over already-loaded packages.
 func RunAnalyzers(pkgs []*Package, fset *token.FileSet, disabled map[string]bool) []Finding {
 	r := NewReporter(fset)
+	var enabled []*Analyzer
 	for _, a := range Analyzers() {
 		if disabled[a.Name] {
 			continue
 		}
+		r.ran[a.Name] = true
+		enabled = append(enabled, a)
+	}
+	for _, a := range enabled {
 		a.Run(pkgs, r)
 	}
 	return r.Findings()
+}
+
+// funcDisplayName renders a function's name as Type.Method or Func.
+func funcDisplayName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return fd.Name.Name
+	}
+	t := fd.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if idx, ok := t.(*ast.IndexExpr); ok { // generic receiver Map[V]
+		t = idx.X
+	}
+	if idl, ok := t.(*ast.IndexListExpr); ok {
+		t = idl.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name + "." + fd.Name.Name
+	}
+	return fd.Name.Name
+}
+
+// unparen strips any number of enclosing parentheses.
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
 }

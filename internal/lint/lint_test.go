@@ -47,15 +47,16 @@ func wantNoFinding(t *testing.T, findings []Finding, rule string) {
 }
 
 func TestMapRange(t *testing.T) {
+	// Unsorted keys escaping via return: iteration order reaches the caller.
 	findings := lintFixture(t, map[string]string{
 		"internal/scratch/s.go": `package scratch
 
-func Sum(m map[int]int) int {
-	total := 0
-	for _, v := range m {
-		total += v
+func Keys(m map[int]int) []int {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k)
 	}
-	return total
+	return keys
 }
 `,
 	})
@@ -66,24 +67,31 @@ func TestMapRangeWaiver(t *testing.T) {
 	findings := lintFixture(t, map[string]string{
 		"internal/scratch/s.go": `package scratch
 
-func Sum(m map[int]int) int {
-	total := 0
-	for _, v := range m { //bulklint:ordered order-independent sum
-		total += v
+func Keys(m map[int]int) []int {
+	var keys []int
+	for k := range m { //bulklint:ordered caller sorts
+		keys = append(keys, k)
 	}
+	return keys
+}
+
+func Keys2(m map[int]int) (keys []int) {
 	//bulklint:ordered waiver on the line above the loop also works
-	for _, v := range m {
-		total += v
+	for k := range m {
+		keys = append(keys, k)
 	}
-	return total
+	return keys
 }
 `,
 	})
 	wantNoFinding(t, findings, "maprange")
+	// Both waivers suppress live findings, so neither is stale.
+	wantNoFinding(t, findings, "stalewaiver")
 }
 
 func TestMapRangeSortedKeysClean(t *testing.T) {
-	// Ranging over a key slice (the det.SortedKeys idiom) is not a map range.
+	// The det.SortedKeys idiom needs no waiver anymore: sorting launders the
+	// iteration order before it escapes, and reductions are order-free.
 	findings := lintFixture(t, map[string]string{
 		"internal/scratch/s.go": `package scratch
 
@@ -91,7 +99,7 @@ import "sort"
 
 func Keys(m map[string]int) []string {
 	keys := make([]string, 0, len(m))
-	for k := range m { //bulklint:ordered sorted before use
+	for k := range m {
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
@@ -345,17 +353,25 @@ func TestFindingsSorted(t *testing.T) {
 	findings := lintFixture(t, map[string]string{
 		"internal/scratch/s.go": `package scratch
 
-func A(m map[int]int) {
-	for range m {
+func A(m map[int]int) []int {
+	var out []int
+	for k := range m {
+		out = append(out, k)
 	}
-	panic("x")
+	if len(out) == 0 {
+		panic("x")
+	}
+	return out
 }
 `,
 		"internal/alpha/a.go": `package alpha
 
-func B(m map[int]int) {
-	for range m {
+func B(m map[int]int) []int {
+	var out []int
+	for k := range m {
+		out = append(out, k)
 	}
+	return out
 }
 `,
 	})
@@ -371,7 +387,7 @@ func B(m map[int]int) {
 }
 
 func TestAnalyzerNames(t *testing.T) {
-	want := []string{"maprange", "randsrc", "sigpurity", "guardedby", "droppederr", "nakedpanic"}
+	want := []string{"maprange", "randsrc", "sigpurity", "guardedby", "droppederr", "nakedpanic", "noalloc", "stalewaiver"}
 	got := AnalyzerNames()
 	if len(got) != len(want) {
 		t.Fatalf("AnalyzerNames() = %v, want %v", got, want)

@@ -30,14 +30,19 @@ type Package struct {
 
 	// directives maps file name -> line -> bulklint directives whose
 	// comment ends on that line.
-	directives map[string]map[int][]directive
+	directives map[string]map[int][]*directive
 }
 
-// directive is one `//bulklint:<name> <arg...>` comment.
+// directive is one `//bulklint:<name> <arg...>` comment. used records
+// whether the directive suppressed a live finding (or, for annotations,
+// attached to a real declaration); the stalewaiver audit reports every
+// directive that ends a run unused.
 type directive struct {
 	name string
 	arg  string
 	line int
+	col  int
+	used bool
 }
 
 // The shared fset and stdlib importer: the source importer type-checks
@@ -152,7 +157,7 @@ func loadPackages(modPath string, dirs map[string][]srcFile) ([]*Package, error)
 	var order []string
 
 	var dirNames []string
-	for d := range dirs { //bulklint:ordered sorted below
+	for d := range dirs {
 		dirNames = append(dirNames, d)
 	}
 	sort.Strings(dirNames)
@@ -163,7 +168,7 @@ func loadPackages(modPath string, dirs map[string][]srcFile) ([]*Package, error)
 		p := &Package{
 			Dir:        dir,
 			Path:       path.Join(modPath, dir),
-			directives: map[string]map[int][]directive{},
+			directives: map[string]map[int][]*directive{},
 		}
 		pp := &parsed{pkg: p}
 		pkgName := ""
@@ -283,39 +288,56 @@ func collectDirectives(p *Package, f *ast.File) {
 			pos := sharedFset.Position(c.Pos())
 			byLine := p.directives[pos.Filename]
 			if byLine == nil {
-				byLine = map[int][]directive{}
+				byLine = map[int][]*directive{}
 				p.directives[pos.Filename] = byLine
 			}
 			byLine[pos.Line] = append(byLine[pos.Line],
-				directive{name: name, arg: strings.TrimSpace(arg), line: pos.Line})
+				&directive{name: name, arg: strings.TrimSpace(arg), line: pos.Line, col: pos.Column})
 		}
 	}
 }
 
-// waivedAt reports whether a finding of rule at file:line is waived by a
-// directive on the same line or the line directly above.
-func (p *Package) waivedAt(file string, line int, rule string) bool {
+// waiverAt returns the directive that waives a finding of rule at
+// file:line (same line or the line directly above), or nil.
+func (p *Package) waiverAt(file string, line int, rule string) *directive {
 	byLine := p.directives[file]
 	if byLine == nil {
-		return false
+		return nil
 	}
 	for _, l := range []int{line, line - 1} {
 		for _, d := range byLine[l] {
 			if directiveWaives(d, rule) {
-				return true
+				return d
 			}
+		}
+	}
+	return nil
+}
+
+// useWaiverOnLine marks the waiver for rule on exactly file:line used
+// without reporting anything, and reports whether one exists. The noalloc
+// analysis uses it to prune traversal into waived call sites; unlike
+// finding suppression it does not look at the line above, so a waiver
+// there cannot accidentally swallow the next line's call.
+func (p *Package) useWaiverOnLine(file string, line int, rule string) bool {
+	for _, d := range p.directives[file][line] {
+		if directiveWaives(d, rule) {
+			d.used = true
+			return true
 		}
 	}
 	return false
 }
 
 // directiveWaives reports whether directive d waives rule.
-func directiveWaives(d directive, rule string) bool {
+func directiveWaives(d *directive, rule string) bool {
 	switch d.name {
 	case "ordered":
 		return rule == "maprange"
 	case "invariant":
 		return rule == "nakedpanic"
+	case "locked":
+		return rule == "guardedby"
 	case "allow":
 		first, _, _ := strings.Cut(d.arg, " ")
 		return first == rule
@@ -323,13 +345,13 @@ func directiveWaives(d directive, rule string) bool {
 	return false
 }
 
-// funcHasDirective reports whether a directive with the given name appears
-// in the function's doc comment or anywhere within its body span.
-func (p *Package) funcHasDirective(fset *token.FileSet, fd *ast.FuncDecl, name string) bool {
+// funcDirective returns the first directive with the given name in the
+// function's doc comment or anywhere within its body span, or nil.
+func (p *Package) funcDirective(fset *token.FileSet, fd *ast.FuncDecl, name string) *directive {
 	file := fset.Position(fd.Pos()).Filename
 	byLine := p.directives[file]
 	if byLine == nil {
-		return false
+		return nil
 	}
 	start := fset.Position(fd.Pos()).Line
 	if fd.Doc != nil {
@@ -339,9 +361,32 @@ func (p *Package) funcHasDirective(fset *token.FileSet, fd *ast.FuncDecl, name s
 	for line := start; line <= end; line++ {
 		for _, d := range byLine[line] {
 			if d.name == name {
-				return true
+				return d
 			}
 		}
 	}
-	return false
+	return nil
+}
+
+// funcAnnotation returns a directive with the given name attached to the
+// function declaration itself: on a doc-comment line or the `func` line,
+// not inside the body. Used for //bulklint:noalloc.
+func (p *Package) funcAnnotation(fset *token.FileSet, fd *ast.FuncDecl, name string) *directive {
+	file := fset.Position(fd.Pos()).Filename
+	byLine := p.directives[file]
+	if byLine == nil {
+		return nil
+	}
+	start := fset.Position(fd.Pos()).Line
+	if fd.Doc != nil {
+		start = fset.Position(fd.Doc.Pos()).Line
+	}
+	for line := start; line <= fset.Position(fd.Pos()).Line; line++ {
+		for _, d := range byLine[line] {
+			if d.name == name {
+				return d
+			}
+		}
+	}
+	return nil
 }

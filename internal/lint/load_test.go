@@ -1,0 +1,92 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// Error-path coverage for the module/fixture loader.
+
+func wantLoadError(t *testing.T, files map[string]string, frag string) {
+	t.Helper()
+	_, _, err := LoadFixture("bulk", files)
+	if err == nil {
+		t.Fatalf("LoadFixture succeeded, want error containing %q", frag)
+	}
+	if !strings.Contains(err.Error(), frag) {
+		t.Errorf("error = %v, want mention of %q", err, frag)
+	}
+}
+
+func TestLoadParseError(t *testing.T) {
+	wantLoadError(t, map[string]string{
+		"internal/x/x.go": "package x\n\nfunc Broken( {\n",
+	}, "x.go")
+}
+
+func TestLoadMixedPackageNames(t *testing.T) {
+	wantLoadError(t, map[string]string{
+		"internal/x/a.go": "package x\n",
+		"internal/x/b.go": "package y\n",
+	}, "mixed package names")
+}
+
+func TestLoadTypeError(t *testing.T) {
+	wantLoadError(t, map[string]string{
+		"internal/x/x.go": "package x\n\nvar V int = \"not an int\"\n",
+	}, "type-checking")
+}
+
+func TestLoadImportCycle(t *testing.T) {
+	wantLoadError(t, map[string]string{
+		"internal/a/a.go": "package a\n\nimport _ \"bulk/internal/b\"\n",
+		"internal/b/b.go": "package b\n\nimport _ \"bulk/internal/a\"\n",
+	}, "import cycle")
+}
+
+func TestLoadMissingIntraModuleImport(t *testing.T) {
+	wantLoadError(t, map[string]string{
+		"internal/a/a.go": "package a\n\nimport _ \"bulk/internal/ghost\"\n",
+	}, "not in the module")
+}
+
+func TestLoadModuleMissingGoMod(t *testing.T) {
+	dir := t.TempDir()
+	if _, _, err := LoadModule(dir); err == nil {
+		t.Fatal("LoadModule on a directory without go.mod succeeded, want error")
+	}
+}
+
+func TestLoadModuleSkipsHiddenAndTestdata(t *testing.T) {
+	dir := t.TempDir()
+	write := func(rel, src string) {
+		t.Helper()
+		p := filepath.Join(dir, rel)
+		if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module example.test\n\ngo 1.22\n")
+	write("a/a.go", "package a\n")
+	write("a/a_test.go", "package a\n\nimport \"testing\"\n\nfunc TestX(t *testing.T) { t.Fatal(\"never loaded\") }\n")
+	write(".hidden/h.go", "package broken(\n")
+	write("_skip/s.go", "package broken(\n")
+	write("a/testdata/t.go", "package broken(\n")
+	write("vendor/v.go", "package broken(\n")
+
+	pkgs, _, err := LoadModule(dir)
+	if err != nil {
+		t.Fatalf("LoadModule: %v", err)
+	}
+	if len(pkgs) != 1 || pkgs[0].Path != "example.test/a" {
+		t.Errorf("loaded %v, want just example.test/a", pkgs)
+	}
+	if got := len(pkgs[0].Files); got != 1 {
+		t.Errorf("package a has %d files, want 1 (tests skipped)", got)
+	}
+}

@@ -1,0 +1,255 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+// The noalloc tests exercise the static zero-allocation analysis: every
+// allocation-introducing construct reachable from a //bulklint:noalloc
+// kernel through static calls is a finding.
+
+// noallocFindings returns the noalloc findings' line numbers for one fixture.
+func noallocFindings(t *testing.T, src string) map[int]string {
+	t.Helper()
+	out := map[int]string{}
+	for _, f := range lintFixture(t, map[string]string{"internal/scratch/s.go": src}) {
+		if f.Rule == "noalloc" {
+			out[f.Line] = f.Msg
+		}
+	}
+	return out
+}
+
+func TestNoallocConstructs(t *testing.T) {
+	got := noallocFindings(t, `package scratch
+
+//bulklint:noalloc
+func Kernel(n int, s string, m map[int]int) any {
+	a := make([]int, n)    // line 5: make
+	b := new(int)          // line 6: new
+	a = append(a, *b)      // line 7: append
+	m[n] = n               // line 8: map write
+	c := []int{1, 2}       // line 9: slice literal
+	p := &struct{ x int }{n} // line 10: &literal
+	f := func() int { return n } // line 11: closure
+	s2 := s + "x"          // line 12: string concat
+	bs := []byte(s2)       // line 13: string conversion
+	_ = c
+	_ = p
+	_ = f()
+	_ = bs
+	return a
+}
+`)
+	for _, want := range []struct {
+		line int
+		frag string
+	}{
+		{5, "make"},
+		{6, "new"},
+		{7, "append"},
+		{8, "map write"},
+		{9, "literal"},
+		{10, "literal"},
+		{11, "closure"},
+		{12, "concatenation"},
+		{13, "conversion"},
+	} {
+		msg, ok := got[want.line]
+		if !ok {
+			t.Errorf("no noalloc finding at line %d (want %q); got %v", want.line, want.frag, got)
+			continue
+		}
+		if !strings.Contains(msg, want.frag) {
+			t.Errorf("line %d finding = %q, want mention of %q", want.line, msg, want.frag)
+		}
+	}
+}
+
+func TestNoallocCalleeTraversal(t *testing.T) {
+	// The allocation sits two static calls below the annotated kernel.
+	got := noallocFindings(t, `package scratch
+
+//bulklint:noalloc
+func Kernel(n int) int {
+	return helper(n)
+}
+
+func helper(n int) int {
+	return leaf(n)
+}
+
+func leaf(n int) int {
+	buf := make([]int, n)
+	return len(buf)
+}
+`)
+	if _, ok := got[13]; !ok {
+		t.Errorf("want finding at line 13 (make in leaf), got %v", got)
+	}
+}
+
+func TestNoallocUnannotatedClean(t *testing.T) {
+	// Without the annotation nothing is checked.
+	got := noallocFindings(t, `package scratch
+
+func Builder(n int) []int {
+	return make([]int, n)
+}
+`)
+	if len(got) != 0 {
+		t.Errorf("unexpected noalloc findings: %v", got)
+	}
+}
+
+func TestNoallocPanicExempt(t *testing.T) {
+	got := noallocFindings(t, `package scratch
+
+//bulklint:noalloc
+func Kernel(n int) int {
+	if n < 0 {
+		panic("negative")
+	}
+	return n * 2
+}
+`)
+	if len(got) != 0 {
+		t.Errorf("panic should be exempt, got %v", got)
+	}
+}
+
+func TestNoallocWaiverPrunesCallee(t *testing.T) {
+	// The waived grow() call is a cold path: neither the call nor the
+	// allocations inside grow are findings, and the waiver is not stale.
+	findings := lintFixture(t, map[string]string{
+		"internal/scratch/s.go": `package scratch
+
+type Table struct {
+	keys []uint64
+	n    int
+}
+
+//bulklint:noalloc
+func (t *Table) Put(k uint64) {
+	if t.n == len(t.keys) {
+		t.grow() //bulklint:allow noalloc amortized growth
+	}
+	t.keys[t.n] = k
+	t.n++
+}
+
+func (t *Table) grow() {
+	nk := make([]uint64, 2*len(t.keys)+1)
+	copy(nk, t.keys)
+	t.keys = nk
+}
+`,
+	})
+	wantNoFinding(t, findings, "noalloc")
+	wantNoFinding(t, findings, "stalewaiver")
+}
+
+func TestNoallocExternalCalls(t *testing.T) {
+	got := noallocFindings(t, `package scratch
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+)
+
+//bulklint:noalloc
+func Kernel(n uint64) error {
+	if bits.OnesCount64(n) == 0 {
+		return errors.New("empty") // line 12: errors.New
+	}
+	fmt.Println(n) // line 14: fmt
+	return nil
+}
+`)
+	if msg := got[12]; !strings.Contains(msg, "errors.New") {
+		t.Errorf("line 12 = %q, want errors.New finding; all: %v", msg, got)
+	}
+	if msg := got[14]; !strings.Contains(msg, "fmt") {
+		t.Errorf("line 14 = %q, want fmt finding; all: %v", msg, got)
+	}
+	if _, ok := got[11]; ok {
+		t.Errorf("math/bits is allowlisted, got finding: %v", got)
+	}
+}
+
+func TestNoallocInterfaceBoxing(t *testing.T) {
+	got := noallocFindings(t, `package scratch
+
+type Sink interface{ Take(int) }
+
+func feed(s Sink, v any) { s.Take(0); _ = v }
+
+//bulklint:noalloc
+func Kernel(s Sink, n int, p *int) {
+	feed(s, n) // line 9: n boxes; s is already an interface
+	feed(s, p) // line 10: pointers do not box
+}
+`)
+	if msg := got[9]; !strings.Contains(msg, "interface conversion") {
+		t.Errorf("line 9 = %q, want boxing finding; all: %v", msg, got)
+	}
+	if _, ok := got[10]; ok {
+		t.Errorf("pointer argument should not box: %v", got)
+	}
+}
+
+func TestNoallocInterfaceMethodCall(t *testing.T) {
+	got := noallocFindings(t, `package scratch
+
+type Sink interface{ Take(int) }
+
+//bulklint:noalloc
+func Kernel(s Sink) {
+	s.Take(1) // line 7: unresolvable
+}
+`)
+	if msg := got[7]; !strings.Contains(msg, "interface method") {
+		t.Errorf("line 7 = %q, want interface-method finding; all: %v", msg, got)
+	}
+}
+
+func TestNoallocKernelsListing(t *testing.T) {
+	pkgs, _, err := LoadFixture("bulk", map[string]string{
+		"internal/scratch/s.go": `package scratch
+
+type Ring struct{ n int }
+
+//bulklint:noalloc
+func (r *Ring) Len() int { return r.n }
+
+type ring struct{ n int }
+
+//bulklint:noalloc
+func (r *ring) len2() int { return r.n }
+
+//bulklint:noalloc
+func Free() {}
+
+func Plain() {}
+`,
+	})
+	if err != nil {
+		t.Fatalf("LoadFixture: %v", err)
+	}
+	got := NoallocKernels(pkgs)
+	want := []NoallocKernel{
+		{Pkg: "bulk/internal/scratch", Name: "Ring.Len", Exported: true},
+		{Pkg: "bulk/internal/scratch", Name: "ring.len2", Exported: false},
+		{Pkg: "bulk/internal/scratch", Name: "Free", Exported: true},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("NoallocKernels = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("kernel[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,734 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// This file implements the order-escape analysis behind the maprange rule.
+// PR 1's rule was syntactic: every `for … range` over a builtin map was a
+// finding. That conflates two very different loops — a reduction like
+// `for _, v := range m { total += v }` is order-independent and harmless,
+// while `for k := range m { emit(k) }` leaks Go's randomized iteration
+// order straight into output. The analysis here taints the loop's
+// key/value variables, propagates the taint forward through assignments
+// with a small dataflow walk, and reports the range statement only when a
+// tainted value can actually escape into order-sensitive state:
+//
+//   - returned from the function, stored to package-level state, stored
+//     through a pointer parameter/receiver, or sent on a channel;
+//   - passed to a sink (fmt printing, log, io/bufio/os writes, the
+//     module's stats/trace/bus/sim packages, builtin print/println);
+//   - used as an argument in an order-dependent sequence of effectful
+//     calls (a call in statement position whose callee is not known
+//     pure).
+//
+// Downgraded to clean:
+//
+//   - commutative integer reductions (`+= -= *= |= &= ^=`, ++/--);
+//   - building another keyed structure (`out[k] = v` — except genuine
+//     accumulation `m2[k] = append(m2[k], …)`, which reorders the slice);
+//   - values laundered through sort.* / slices.Sort* before escaping;
+//   - calls in expression position with tainted arguments whose results
+//     never escape (covered transitively by tracking the results).
+//
+// The analysis is intraprocedural; closures are analyzed as independent
+// function bodies. That is sound for the discipline the module enforces
+// because every cross-function order transfer happens through returned or
+// stored values, which are escapes at the source loop.
+
+// taintState maps an object to the bitmask of map-range origins whose
+// iteration order it may carry.
+type taintState map[types.Object]uint64
+
+// maxEscapeOrigins bounds the per-function origin bitmask.
+const maxEscapeOrigins = 64
+
+func analyzerMapRange() *Analyzer {
+	return &Analyzer{
+		Name: "maprange",
+		Doc:  "map iteration whose order can escape into simulator state or output",
+		Run: func(pkgs []*Package, r *Reporter) {
+			for _, pkg := range pkgs {
+				for _, f := range pkg.Files {
+					for _, decl := range f.Decls {
+						fd, ok := decl.(*ast.FuncDecl)
+						if !ok || fd.Body == nil {
+							continue
+						}
+						runEscapeScan(pkg, fd.Body, fd, r)
+					}
+				}
+			}
+		},
+	}
+}
+
+// runEscapeScan analyzes one function (or closure) body, then recurses
+// into every closure literal it contains as an independent body.
+func runEscapeScan(pkg *Package, body *ast.BlockStmt, fd *ast.FuncDecl, r *Reporter) {
+	e := &escapeScan{pkg: pkg, r: r, boundary: map[types.Object]bool{}, results: map[types.Object]bool{}}
+	if fd != nil {
+		e.collectBoundary(fd.Recv, false)
+		e.collectBoundary(fd.Type.Params, false)
+		e.collectBoundary(fd.Type.Results, true)
+	}
+	st := taintState{}
+	flowWalk(st, body.List, flowHooks[taintState]{
+		fork:  forkTaint,
+		merge: mergeTaint,
+		stmt:  e.stmt,
+		pre:   e.pre,
+	})
+	e.flush()
+
+	// Closures get their own scan: their map ranges are analyzed in the
+	// closure's own frame, with the closure's parameters as the boundary.
+	// Inspect reaches every nesting depth, and each scan only walks its own
+	// body's statements, so each literal is analyzed exactly once.
+	ast.Inspect(body, func(n ast.Node) bool {
+		fl, ok := n.(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		sub := &escapeScan{pkg: pkg, r: r, boundary: map[types.Object]bool{}, results: map[types.Object]bool{}}
+		sub.collectBoundary(fl.Type.Params, false)
+		sub.collectBoundary(fl.Type.Results, true)
+		st := taintState{}
+		flowWalk(st, fl.Body.List, flowHooks[taintState]{
+			fork:  forkTaint,
+			merge: mergeTaint,
+			stmt:  sub.stmt,
+			pre:   sub.pre,
+		})
+		sub.flush()
+		return true
+	})
+}
+
+// escapeScan holds the per-body analysis context.
+type escapeScan struct {
+	pkg *Package
+	r   *Reporter
+	// boundary is the set of parameter/receiver/named-result objects:
+	// stores through them (and returns) are caller-visible.
+	boundary map[types.Object]bool
+	// results is the subset of boundary that are named results (a naked
+	// return escapes their taint).
+	results map[types.Object]bool
+	loops   []*ast.RangeStmt // map-range origins, in encounter order
+	escapes []string         // first escape description per origin ("" = clean)
+}
+
+func (e *escapeScan) collectBoundary(fields *ast.FieldList, isResult bool) {
+	if fields == nil {
+		return
+	}
+	for _, field := range fields.List {
+		for _, name := range field.Names {
+			if obj := e.pkg.Info.Defs[name]; obj != nil {
+				e.boundary[obj] = true
+				if isResult {
+					e.results[obj] = true
+				}
+			}
+		}
+	}
+}
+
+// flush reports every origin that recorded an escape.
+func (e *escapeScan) flush() {
+	for i, rs := range e.loops {
+		if e.escapes[i] == "" {
+			continue
+		}
+		e.r.Report(e.pkg, rs.For, "maprange",
+			"map iteration order %s; range det.SortedKeys(m) instead, or waive with //bulklint:ordered <why>",
+			e.escapes[i])
+	}
+}
+
+func forkTaint(st taintState) taintState {
+	out := make(taintState, len(st))
+	for obj, o := range st {
+		out[obj] = o
+	}
+	return out
+}
+
+// mergeTaint is the may-join: a value is order-tainted after a branch if
+// it is tainted on any path.
+func mergeTaint(base taintState, branches []taintState, mayFallThrough bool) taintState {
+	out := taintState{}
+	if mayFallThrough {
+		for obj, o := range base {
+			out[obj] |= o
+		}
+	}
+	for _, br := range branches {
+		for obj, o := range br {
+			out[obj] |= o
+		}
+	}
+	return out
+}
+
+// pre seeds taint at range statements before their bodies are walked.
+func (e *escapeScan) pre(st taintState, s ast.Stmt) {
+	rs, ok := s.(*ast.RangeStmt)
+	if !ok {
+		return
+	}
+	tv, ok := e.pkg.Info.Types[rs.X]
+	if ok && tv.Type != nil && coreMapType(tv.Type) != nil {
+		if len(e.loops) >= maxEscapeOrigins {
+			return
+		}
+		bit := uint64(1) << len(e.loops)
+		e.loops = append(e.loops, rs)
+		e.escapes = append(e.escapes, "")
+		e.seedVar(st, rs.Key, bit, rs)
+		e.seedVar(st, rs.Value, bit, rs)
+		return
+	}
+	// Ranging over an order-tainted sequence propagates its origins to the
+	// iteration variables.
+	if o := e.exprOrigins(st, rs.X); o != 0 {
+		e.seedVar(st, rs.Key, o, rs)
+		e.seedVar(st, rs.Value, o, rs)
+	}
+}
+
+func (e *escapeScan) seedVar(st taintState, lv ast.Expr, origins uint64, rs *ast.RangeStmt) {
+	if lv == nil {
+		return
+	}
+	lv = unparen(lv)
+	if id, ok := lv.(*ast.Ident); ok {
+		if id.Name == "_" {
+			return
+		}
+		obj := e.pkg.Info.Defs[id]
+		if obj == nil {
+			obj = e.pkg.Info.Uses[id]
+		}
+		if obj != nil {
+			st[obj] |= origins
+			return
+		}
+		return
+	}
+	// Iteration variable is not a plain identifier (m[k], s.f, …): the
+	// order lands directly in other state.
+	e.escape(origins, "is stored via a non-local iteration variable", rs.Pos())
+}
+
+// escape records the first escape for every origin in the mask.
+func (e *escapeScan) escape(origins uint64, what string, pos token.Pos) {
+	if origins == 0 {
+		return
+	}
+	line := sharedFset.Position(pos).Line
+	for i := range e.loops {
+		if origins&(1<<i) != 0 && e.escapes[i] == "" {
+			e.escapes[i] = what + lineSuffix(line)
+		}
+	}
+}
+
+func lineSuffix(line int) string {
+	return " (line " + strconv.Itoa(line) + ")"
+}
+
+// stmt is the transfer function for simple statements.
+func (e *escapeScan) stmt(st taintState, s ast.Stmt) {
+	e.scanCalls(st, s)
+	switch n := s.(type) {
+	case *ast.AssignStmt:
+		e.assign(st, n)
+	case *ast.DeclStmt:
+		gd, ok := n.Decl.(*ast.GenDecl)
+		if !ok {
+			return
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for i, name := range vs.Names {
+				var o uint64
+				if i < len(vs.Values) {
+					o = e.exprOrigins(st, vs.Values[i])
+				} else if len(vs.Values) == 1 {
+					o = e.exprOrigins(st, vs.Values[0])
+				}
+				e.setIdentTaint(st, name, o)
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, res := range n.Results {
+			e.escape(e.exprOrigins(st, res), "escapes via return", n.Pos())
+		}
+		if len(n.Results) == 0 {
+			// Naked return: named results carry their current taint out.
+			var o uint64
+			for obj := range e.results {
+				o |= st[obj]
+			}
+			e.escape(o, "escapes via return", n.Pos())
+		}
+	case *ast.SendStmt:
+		e.escape(e.exprOrigins(st, n.Value), "is sent on a channel", n.Pos())
+	case *ast.ExprStmt:
+		if call, ok := unparen(n.X).(*ast.CallExpr); ok {
+			e.effectCall(st, call)
+		}
+	case *ast.DeferStmt:
+		e.effectCall(st, n.Call)
+	case *ast.GoStmt:
+		e.effectCall(st, n.Call)
+	}
+}
+
+// assign handles = := and the compound assignment operators.
+func (e *escapeScan) assign(st taintState, n *ast.AssignStmt) {
+	if n.Tok == token.ASSIGN || n.Tok == token.DEFINE {
+		if len(n.Rhs) == 1 && len(n.Lhs) > 1 {
+			// x, ok := m[k] — every lvalue gets the rhs origins.
+			o := e.exprOrigins(st, n.Rhs[0])
+			for _, l := range n.Lhs {
+				e.assignOne(st, l, o, n.Rhs)
+			}
+			return
+		}
+		for i, l := range n.Lhs {
+			if i < len(n.Rhs) {
+				e.assignOne(st, l, e.exprOrigins(st, n.Rhs[i]), n.Rhs)
+			}
+		}
+		return
+	}
+	if n.Tok == token.INC || n.Tok == token.DEC {
+		return
+	}
+	// Compound assignment. Commutative integer reductions are
+	// order-independent: the final value does not depend on iteration
+	// order. Everything else (string +=, float accumulation, shifts)
+	// keeps the taint.
+	for i, l := range n.Lhs {
+		if i >= len(n.Rhs) {
+			break
+		}
+		o := e.exprOrigins(st, n.Rhs[i])
+		if o == 0 {
+			continue
+		}
+		if commutativeReduction(n.Tok) && e.isIntegerExpr(l) {
+			continue
+		}
+		l = unparen(l)
+		if id, ok := l.(*ast.Ident); ok {
+			obj := identObj(e.pkg, id)
+			if obj != nil && !e.boundary[obj] && !isPkgLevel(obj) {
+				st[obj] |= o
+				continue
+			}
+		}
+		e.assignOne(st, l, o, n.Rhs)
+	}
+}
+
+func commutativeReduction(tok token.Token) bool {
+	switch tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN,
+		token.OR_ASSIGN, token.AND_ASSIGN, token.XOR_ASSIGN:
+		return true
+	}
+	return false
+}
+
+func (e *escapeScan) isIntegerExpr(x ast.Expr) bool {
+	tv, ok := e.pkg.Info.Types[x]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+// assignOne transfers origins o into the lvalue l.
+func (e *escapeScan) assignOne(st taintState, l ast.Expr, o uint64, rhs []ast.Expr) {
+	l = unparen(l)
+	switch lv := l.(type) {
+	case *ast.Ident:
+		if lv.Name == "_" {
+			return
+		}
+		e.setIdentTaint(st, lv, o)
+	case *ast.IndexExpr:
+		baseTV, ok := e.pkg.Info.Types[lv.X]
+		if ok && baseTV.Type != nil && coreMapType(baseTV.Type) != nil {
+			// Storing under a tainted key into another builtin map builds a
+			// keyed structure — order-independent — unless the rhs reads the
+			// map being written (accumulation: m2[k] = append(m2[k], v)
+			// reorders the accumulated slice).
+			root, _ := rootIdent(e.pkg, lv.X)
+			if root != nil && o != 0 && anyExprReadsObj(e.pkg, rhs, root) {
+				e.taintRoot(st, root, o, lv.Pos())
+			}
+			return
+		}
+		e.lvaluePath(st, l, o)
+	default:
+		e.lvaluePath(st, l, o)
+	}
+}
+
+// setIdentTaint is a strong update: assigning an untainted value clears
+// the variable (laundering by reassignment). Stores to package-level vars
+// escape; parameter and named-result rebinding stays local (named-result
+// taint is collected at return statements).
+func (e *escapeScan) setIdentTaint(st taintState, id *ast.Ident, o uint64) {
+	obj := identObj(e.pkg, id)
+	if obj == nil {
+		return
+	}
+	if isPkgLevel(obj) {
+		e.escape(o, "is stored to package-level state", id.Pos())
+		return
+	}
+	if o == 0 {
+		delete(st, obj)
+	} else {
+		st[obj] = o
+	}
+}
+
+// lvaluePath handles stores through selector/index/deref chains.
+func (e *escapeScan) lvaluePath(st taintState, l ast.Expr, o uint64) {
+	if o == 0 {
+		return
+	}
+	root, viaShared := rootIdent(e.pkg, l)
+	if root == nil {
+		return
+	}
+	switch {
+	case isPkgLevel(root):
+		e.escape(o, "is stored to package-level state", l.Pos())
+	case e.boundary[root]:
+		// A store through a parameter or receiver escapes when it can reach
+		// the caller's data: any path through an index/deref, or any path
+		// rooted at a pointer-typed parameter/receiver.
+		if viaShared || isPointerish(root.Type()) {
+			e.escape(o, "is stored through a parameter or receiver", l.Pos())
+		}
+		// Plain field store on a value parameter mutates the local copy.
+	default:
+		// Store into a local composite: the local now carries the order.
+		e.taintRoot(st, root, o, l.Pos())
+	}
+}
+
+func (e *escapeScan) taintRoot(st taintState, root types.Object, o uint64, pos token.Pos) {
+	if isPkgLevel(root) {
+		e.escape(o, "is stored to package-level state", pos)
+		return
+	}
+	if e.boundary[root] && isPointerish(root.Type()) {
+		e.escape(o, "is stored through a parameter or receiver", pos)
+		return
+	}
+	st[root] |= o
+}
+
+// exprOrigins returns the union of origins of every tainted object the
+// expression reads. Closure literals are skipped: their bodies execute in
+// their own frame and are analyzed separately.
+func (e *escapeScan) exprOrigins(st taintState, x ast.Expr) uint64 {
+	if x == nil {
+		return 0
+	}
+	var o uint64
+	ast.Inspect(x, func(n ast.Node) bool {
+		switch id := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.Ident:
+			if obj := identObj(e.pkg, id); obj != nil {
+				o |= st[obj]
+			}
+		}
+		return true
+	})
+	return o
+}
+
+// scanCalls handles sinks and sort-laundering in every expression position
+// of the statement.
+func (e *escapeScan) scanCalls(st taintState, s ast.Stmt) {
+	ast.Inspect(s, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if isSortCall(e.pkg, call) && len(call.Args) > 0 {
+			// Sorting launders iteration order: the result is key order.
+			if root, _ := rootIdent(e.pkg, call.Args[0]); root != nil {
+				delete(st, root)
+			}
+			return true
+		}
+		if sinkName := sinkCallee(e.pkg, call); sinkName != "" {
+			var o uint64
+			for _, arg := range call.Args {
+				o |= e.exprOrigins(st, arg)
+			}
+			if sel, ok := unparen(call.Fun).(*ast.SelectorExpr); ok {
+				o |= e.exprOrigins(st, sel.X)
+			}
+			e.escape(o, "reaches "+sinkName, call.Pos())
+		}
+		return true
+	})
+}
+
+// effectCall handles a call in statement position (including go/defer):
+// the call runs for effect, so a tainted argument means the sequence of
+// effects depends on iteration order.
+func (e *escapeScan) effectCall(st taintState, call *ast.CallExpr) {
+	if id, ok := unparen(call.Fun).(*ast.Ident); ok && isBuiltin(e.pkg, id) {
+		switch id.Name {
+		case "copy":
+			if len(call.Args) == 2 {
+				o := e.exprOrigins(st, call.Args[1])
+				if root, _ := rootIdent(e.pkg, call.Args[0]); root != nil && o != 0 {
+					e.taintRoot(st, root, o, call.Pos())
+				}
+			}
+		case "print", "println":
+			var o uint64
+			for _, arg := range call.Args {
+				o |= e.exprOrigins(st, arg)
+			}
+			e.escape(o, "reaches builtin print", call.Pos())
+		}
+		return
+	}
+	if tv, ok := e.pkg.Info.Types[call.Fun]; ok && tv.IsType() {
+		return // conversion in statement position: no effect
+	}
+	if isSortCall(e.pkg, call) {
+		return // laundering, handled in scanCalls
+	}
+	if sinkCallee(e.pkg, call) != "" {
+		return // already escaped in scanCalls
+	}
+	var o uint64
+	for _, arg := range call.Args {
+		o |= e.exprOrigins(st, arg)
+	}
+	if sel, ok := unparen(call.Fun).(*ast.SelectorExpr); ok {
+		o |= e.exprOrigins(st, sel.X)
+	}
+	if o == 0 {
+		return
+	}
+	if calleePkgPure(e.pkg, call) {
+		return // pure call in statement position has no observable effect
+	}
+	// A method call on a local object confines the effect to that object:
+	// taint the receiver instead of escaping (dst.Add(k) builds a keyed
+	// structure; the order matters only if dst later escapes).
+	if sel, ok := unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if root, _ := rootIdent(e.pkg, sel.X); root != nil {
+			if _, isVar := root.(*types.Var); isVar && !isPkgLevel(root) &&
+				!(e.boundary[root] && isPointerish(root.Type())) {
+				st[root] |= o
+				return
+			}
+		}
+	}
+	e.escape(o, "drives an order-dependent sequence of calls", call.Pos())
+}
+
+// identObj resolves an identifier to its object (use or def).
+func identObj(pkg *Package, id *ast.Ident) types.Object {
+	if o := pkg.Info.Uses[id]; o != nil {
+		return o
+	}
+	return pkg.Info.Defs[id]
+}
+
+// isPkgLevel reports whether obj is a package-level variable.
+func isPkgLevel(obj types.Object) bool {
+	v, ok := obj.(*types.Var)
+	if !ok {
+		return false
+	}
+	return v.Pkg() != nil && v.Parent() == v.Pkg().Scope()
+}
+
+// isPointerish reports whether writes through a value of this type are
+// visible to other holders of the value.
+func isPointerish(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Slice, *types.Map, *types.Chan:
+		return true
+	}
+	return false
+}
+
+// coreMapType returns the builtin map type a value of type t ranges as, or
+// nil. For a type parameter the core type of its constraint is consulted,
+// so det.SortedKeys's `M ~map[K]V` loop is recognized.
+func coreMapType(t types.Type) *types.Map {
+	if m, ok := t.Underlying().(*types.Map); ok {
+		return m
+	}
+	tp, ok := t.(*types.TypeParam)
+	if !ok {
+		return nil
+	}
+	iface, ok := tp.Constraint().Underlying().(*types.Interface)
+	if !ok {
+		return nil
+	}
+	var core *types.Map
+	for i := 0; i < iface.NumEmbeddeds(); i++ {
+		switch emb := iface.EmbeddedType(i).(type) {
+		case *types.Union:
+			for j := 0; j < emb.Len(); j++ {
+				m, ok := emb.Term(j).Type().Underlying().(*types.Map)
+				if !ok {
+					return nil
+				}
+				if core == nil {
+					core = m
+				}
+			}
+		default:
+			m, ok := emb.Underlying().(*types.Map)
+			if !ok {
+				return nil
+			}
+			if core == nil {
+				core = m
+			}
+		}
+	}
+	return core
+}
+
+// anyExprReadsObj reports whether any of the expressions references obj.
+func anyExprReadsObj(pkg *Package, exprs []ast.Expr, obj types.Object) bool {
+	for _, x := range exprs {
+		found := false
+		ast.Inspect(x, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && identObj(pkg, id) == obj {
+				found = true
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// isSortCall reports whether the call is one of the sanctioned sorting
+// functions that launder iteration order into key order.
+func isSortCall(pkg *Package, call *ast.CallExpr) bool {
+	path, name := calleePkgFunc(pkg, call)
+	switch path {
+	case "sort":
+		switch name {
+		case "Sort", "Stable", "Slice", "SliceStable", "Strings", "Ints", "Float64s":
+			return true
+		}
+	case "slices":
+		switch name {
+		case "Sort", "SortFunc", "SortStableFunc":
+			return true
+		}
+	}
+	return false
+}
+
+// sinkCallee returns a human-readable sink description if the call targets
+// an order-sensitive sink package, else "".
+func sinkCallee(pkg *Package, call *ast.CallExpr) string {
+	path, name := calleePkgFunc(pkg, call)
+	if path == "" {
+		return ""
+	}
+	switch path {
+	case "fmt":
+		// The Sprint family is pure; the printing family writes output.
+		if strings.HasPrefix(name, "Print") || strings.HasPrefix(name, "Fprint") {
+			return "fmt output"
+		}
+		return ""
+	case "log", "io", "bufio", "os":
+		return path + " output"
+	}
+	for _, suffix := range []string{"/internal/stats", "/internal/trace", "/internal/bus", "/internal/sim"} {
+		if strings.HasSuffix(path, suffix) {
+			return "simulator state (" + strings.TrimPrefix(suffix, "/") + ")"
+		}
+	}
+	return ""
+}
+
+// calleePkgFunc returns the import path and name of the called package
+// function or method, or "", "".
+func calleePkgFunc(pkg *Package, call *ast.CallExpr) (string, string) {
+	if fn := staticCallee(pkg, call); fn != nil && fn.Pkg() != nil {
+		return fn.Pkg().Path(), fn.Name()
+	}
+	// Interface-method sinks (io.Writer.Write on a concrete type) resolve
+	// statically above; dynamic calls are not treated as sinks.
+	return "", ""
+}
+
+// calleePkgPure reports whether the callee belongs to a package whose
+// functions are pure (no observable effect beyond their results).
+func calleePkgPure(pkg *Package, call *ast.CallExpr) bool {
+	path, _ := calleePkgFunc(pkg, call)
+	switch path {
+	case "strings", "strconv", "path", "math", "math/bits", "cmp", "slices",
+		"unicode", "unicode/utf8", "sort":
+		return true
+	}
+	return false
+}
+
+// countSyntacticMapRanges is the PR 1 rule: every range over a builtin map
+// counts, escape or not. It exists so tests can demonstrate that the
+// escape analysis is strictly more precise on the same tree.
+func countSyntacticMapRanges(pkgs []*Package) int {
+	n := 0
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(node ast.Node) bool {
+				rs, ok := node.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				if tv, ok := pkg.Info.Types[rs.X]; ok && tv.Type != nil && coreMapType(tv.Type) != nil {
+					n++
+				}
+				return true
+			})
+		}
+	}
+	return n
+}

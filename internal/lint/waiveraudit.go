@@ -1,0 +1,97 @@
+package lint
+
+import (
+	"strings"
+
+	"bulk/internal/det"
+)
+
+// This file implements the stalewaiver audit, which runs after every
+// other analyzer. Each //bulklint: directive must earn its keep:
+//
+//   - a waiver (ordered / invariant / locked / allow <rule>) must have
+//     suppressed at least one live finding of its rule this run;
+//   - an annotation (guardedby, noalloc) must have attached to a real
+//     declaration (a struct field, a function);
+//   - the directive name — and, for allow, the waived rule — must be one
+//     the suite knows.
+//
+// A waiver whose rule was disabled for this run is skipped: its liveness
+// is unknown. Audit findings are filed without a package, so they cannot
+// themselves be waived — a stale waiver is fixed by deleting it, never by
+// waiving the audit.
+
+// directiveKind classifies each directive name the suite understands.
+// Rule-waivers map to the rule whose findings they suppress; annotations
+// map to "".
+var directiveKind = map[string]string{
+	"ordered":   "maprange",
+	"invariant": "nakedpanic",
+	"locked":    "guardedby",
+	"allow":     "", // rule named in the argument
+	"guardedby": "",
+	"noalloc":   "",
+}
+
+func analyzerStaleWaiver() *Analyzer {
+	return &Analyzer{
+		Name: "stalewaiver",
+		Doc:  "//bulklint: directive that suppresses no live finding or names an unknown rule",
+		Run: func(pkgs []*Package, r *Reporter) {
+			known := map[string]bool{}
+			for _, name := range AnalyzerNames() {
+				known[name] = true
+			}
+			for _, pkg := range pkgs {
+				for _, file := range det.SortedKeys(pkg.directives) {
+					byLine := pkg.directives[file]
+					for _, line := range det.SortedKeys(byLine) {
+						for _, d := range byLine[line] {
+							auditDirective(file, d, known, r)
+						}
+					}
+				}
+			}
+		},
+	}
+}
+
+func auditDirective(file string, d *directive, known map[string]bool, r *Reporter) {
+	kind, ok := directiveKind[d.name]
+	if !ok {
+		r.reportAt(file, d.line, d.col, "stalewaiver",
+			"unknown //bulklint:%s directive (known: allow, guardedby, invariant, locked, noalloc, ordered)", d.name)
+		return
+	}
+	rule := kind
+	if d.name == "allow" {
+		rule, _, _ = strings.Cut(d.arg, " ")
+		if !known[rule] {
+			r.reportAt(file, d.line, d.col, "stalewaiver",
+				"//bulklint:allow waives unknown rule %q", rule)
+			return
+		}
+	}
+	if d.used {
+		return
+	}
+	switch d.name {
+	case "guardedby":
+		// collectGuarded (part of the guardedby analyzer) marks attachment.
+		if r.ran["guardedby"] {
+			r.reportAt(file, d.line, d.col, "stalewaiver",
+				"//bulklint:guardedby annotation is not attached to a struct field")
+		}
+	case "noalloc":
+		if r.ran["noalloc"] {
+			r.reportAt(file, d.line, d.col, "stalewaiver",
+				"//bulklint:noalloc annotation is not attached to a function declaration")
+		}
+	default:
+		if !r.ran[rule] {
+			return // rule disabled this run: liveness unknown
+		}
+		r.reportAt(file, d.line, d.col, "stalewaiver",
+			"stale //bulklint:%s waiver: it suppresses no live %s finding; delete it", d.name, rule)
+	}
+}

@@ -37,12 +37,16 @@ func NewMemory() *Memory {
 }
 
 // Read returns the committed value at word address a (zero if never written).
+//
+//bulklint:noalloc
 func (m *Memory) Read(a uint64) Word {
 	v, _ := m.words.Get(a)
 	return v
 }
 
 // Write stores a committed value at word address a.
+//
+//bulklint:noalloc
 func (m *Memory) Write(a uint64, v Word) {
 	if v == 0 {
 		m.words.Delete(a) // keep the image sparse; zero is the default
@@ -176,6 +180,8 @@ func (o *OverflowArea) Spill(line uint64, mask uint64, words []Word) {
 // address passed the W-signature membership filter). Returns the validity
 // mask, the stored words (valid only where the mask is set; do not mutate),
 // and whether the line was present.
+//
+//bulklint:noalloc
 func (o *OverflowArea) Fetch(line uint64) (uint64, []Word, bool) {
 	o.stats.Fetches++
 	l, ok := o.lines.Get(line)
@@ -190,6 +196,8 @@ func (o *OverflowArea) Contains(line uint64) bool {
 // DisambiguationScan models a conventional scheme walking the area to
 // disambiguate remote traffic. It charges one access and reports whether
 // the given line is present. Bulk never calls this.
+//
+//bulklint:noalloc
 func (o *OverflowArea) DisambiguationScan(line uint64) bool {
 	o.stats.DisambiguationAccesses++
 	return o.lines.Has(line)

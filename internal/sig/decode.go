@@ -28,15 +28,23 @@ func NewSetMask(numSets int) SetMask {
 }
 
 // Set marks cache set i.
+//
+//bulklint:noalloc
 func (m SetMask) Set(i int) { m[i>>6] |= 1 << uint(i&63) }
 
 // ClearSet unmarks cache set i.
+//
+//bulklint:noalloc
 func (m SetMask) ClearSet(i int) { m[i>>6] &^= 1 << uint(i&63) }
 
 // Has reports whether cache set i is marked.
+//
+//bulklint:noalloc
 func (m SetMask) Has(i int) bool { return m[i>>6]&(1<<uint(i&63)) != 0 }
 
 // Clear zeroes the mask.
+//
+//bulklint:noalloc
 func (m SetMask) Clear() {
 	for i := range m {
 		m[i] = 0
@@ -44,6 +52,8 @@ func (m SetMask) Clear() {
 }
 
 // OrWith ORs other into m.
+//
+//bulklint:noalloc
 func (m SetMask) OrWith(other SetMask) {
 	for i := range m {
 		m[i] |= other[i]
@@ -51,9 +61,13 @@ func (m SetMask) OrWith(other SetMask) {
 }
 
 // CopyFrom overwrites m with other.
+//
+//bulklint:noalloc
 func (m SetMask) CopyFrom(other SetMask) { copy(m, other) }
 
 // Count returns the number of marked sets.
+//
+//bulklint:noalloc
 func (m SetMask) Count() int {
 	n := 0
 	for _, w := range m {
@@ -192,7 +206,10 @@ func (p *DecodePlan) Decode(s *Signature) SetMask {
 // Exact plans — the only kind the BDM accepts — run an allocation-free
 // fast path: every one bit of the single contributing field scatters
 // directly into the mask (SetMask.Set is idempotent, so no dedup pass is
-// needed). Inexact multi-field plans keep the allocating cross-product.
+// needed). Inexact multi-field plans take the allocating cross-product
+// path in decodeCross.
+//
+//bulklint:noalloc
 func (p *DecodePlan) DecodeInto(s *Signature, mask SetMask) {
 	if !s.cfg.Compatible(p.cfg) {
 		panic("sig: decode plan applied to signature with different configuration") //bulklint:invariant plans are built per-config at system setup
@@ -229,8 +246,12 @@ func (p *DecodePlan) DecodeInto(s *Signature, mask SetMask) {
 		}
 		return
 	}
-	// Per contributing field, compute the set of partial index patterns
-	// present, then cross-combine.
+	p.decodeCross(s, mask) //bulklint:allow noalloc inexact plans are rejected by the BDM; only offline tools take this path
+}
+
+// decodeCross is the inexact multi-field decode: per contributing field,
+// compute the set of partial index patterns present, then cross-combine.
+func (p *DecodePlan) decodeCross(s *Signature, mask SetMask) {
 	var scratch []uint32
 	partials := make([][]uint32, len(p.fields))
 	for i, fp := range p.fields {
@@ -252,7 +273,6 @@ func (p *DecodePlan) DecodeInto(s *Signature, mask SetMask) {
 		}
 		partials[i] = pats
 	}
-	// Cross product of partial patterns (single field in the exact case).
 	var combine func(i int, acc uint32)
 	combine = func(i int, acc uint32) {
 		if i == len(partials) {
@@ -288,6 +308,8 @@ func NewWordMaskPlan(cfg *Config, wordsPerLine int) (*WordMaskPlan, error) {
 // Mask returns the conservative per-word update bitmask for line (a line
 // address at line granularity): bit w is set iff word address
 // line*wordsPerLine + w may be in the signature.
+//
+//bulklint:noalloc
 func (p *WordMaskPlan) Mask(s *Signature, line Addr) uint64 {
 	var m uint64
 	base := uint64(line) * uint64(p.wordsPerLine)

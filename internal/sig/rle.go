@@ -25,7 +25,7 @@ type bitWriter struct {
 
 func (w *bitWriter) writeBit(b uint) {
 	if w.nbit%8 == 0 {
-		w.buf = append(w.buf, 0)
+		w.buf = append(w.buf, 0) //bulklint:allow noalloc amortized growth; hot paths pass a warmed reusable buffer
 	}
 	if b != 0 {
 		w.buf[len(w.buf)-1] |= 1 << uint(7-w.nbit%8)
@@ -55,7 +55,7 @@ type bitReader struct {
 
 func (r *bitReader) readBit() (uint, error) {
 	if r.nbit >= len(r.buf)*8 {
-		return 0, errors.New("sig: RLE stream truncated")
+		return 0, errors.New("sig: RLE stream truncated") //bulklint:allow noalloc failure path for malformed input
 	}
 	b := (r.buf[r.nbit/8] >> uint(7-r.nbit%8)) & 1
 	r.nbit++
@@ -74,7 +74,7 @@ func (r *bitReader) readGamma() (uint64, error) {
 		}
 		k++
 		if k > 63 {
-			return 0, errors.New("sig: malformed gamma code")
+			return 0, errors.New("sig: malformed gamma code") //bulklint:allow noalloc failure path for malformed input
 		}
 	}
 	n := uint64(1)
@@ -125,6 +125,8 @@ func encodeRuns(s *Signature, w *bitWriter) {
 // (before byte padding). This is the number Table 8 reports as the average
 // compressed size, and the commit-packet payload size used by the bandwidth
 // model (Figures 13 and 14).
+//
+//bulklint:noalloc
 func RLEncodedBits(s *Signature) int {
 	n := 0
 	prev := -1
@@ -145,8 +147,10 @@ func RLEncodedBits(s *Signature) int {
 // RLEncodeAppend appends RLEncode's stream to dst and returns the extended
 // slice. It is the zero-allocation form for hot commit paths: pass a
 // reusable buffer truncated to zero length.
+//
+//bulklint:noalloc
 func RLEncodeAppend(dst []byte, s *Signature) []byte {
-	w := &bitWriter{buf: dst}
+	w := &bitWriter{buf: dst} //bulklint:allow noalloc header stays on the stack (encodeRuns does not retain it)
 	encodeRuns(s, w)
 	return w.buf
 }
@@ -163,9 +167,11 @@ func RLDecode(cfg *Config, data []byte) (*Signature, error) {
 // RLDecodeInto reconstructs a signature from an RLEncode stream into dst,
 // overwriting its previous contents. The zero-allocation counterpart of
 // RLDecode for receivers that reuse a scratch signature.
+//
+//bulklint:noalloc
 func RLDecodeInto(dst *Signature, data []byte) error {
 	dst.Clear()
-	r := &bitReader{buf: data}
+	r := &bitReader{buf: data} //bulklint:allow noalloc header stays on the stack (readers do not retain it)
 	pos := 0
 	total := dst.cfg.totalBits
 	for pos < total {
@@ -176,7 +182,7 @@ func RLDecodeInto(dst *Signature, data []byte) error {
 		zeros := int(g - 1)
 		pos += zeros
 		if pos > total {
-			return errors.New("sig: RLE run overflows signature")
+			return errors.New("sig: RLE run overflows signature") //bulklint:allow noalloc failure path for malformed input
 		}
 		if pos == total {
 			break // trailing-zero run

@@ -40,10 +40,10 @@ type Config struct {
 	perm     []int // perm[i] = original bit index that lands at position i
 	addrBits int
 
-	totalBits int   // sum of 2^Ci
-	offsets   []int // bit offset of each Vi field within the signature
-	words     int   // number of uint64 words backing a signature
-	permPos   []int // for consumed positions 0..sum(Ci)-1: source bit index
+	totalBits int          // sum of 2^Ci
+	offsets   []int        // bit offset of each Vi field within the signature
+	words     int          // number of uint64 words backing a signature
+	permPos   []int        // for consumed positions 0..sum(Ci)-1: source bit index
 	gather    [][]gatherOp // per chunk: precomputed mask/shift extraction ops
 
 	// Hashed variant (see hashed.go): fields indexed by multiply-shift
@@ -288,6 +288,8 @@ func (s *Signature) Config() *Config { return s.cfg }
 
 // Add inserts an address into the signature (Figure 2: permute, split into
 // chunks, decode each chunk, OR into the fields).
+//
+//bulklint:noalloc
 func (s *Signature) Add(a Addr) {
 	var vals [MaxChunks]uint32
 	for i, v := range s.cfg.fieldIndices(a, &vals) {
@@ -299,6 +301,8 @@ func (s *Signature) Add(a Addr) {
 // Contains reports whether address a may be in the signature (the ∈
 // membership operation of Table 1). False means a was definitely never
 // added; true may be a false positive.
+//
+//bulklint:noalloc
 func (s *Signature) Contains(a Addr) bool {
 	var vals [MaxChunks]uint32
 	for i, v := range s.cfg.fieldIndices(a, &vals) {
@@ -313,6 +317,8 @@ func (s *Signature) Contains(a Addr) bool {
 // Empty reports whether the signature encodes the empty set: at least one
 // Vi bit-field is all zeros (paper, Section 3.2). A signature into which at
 // least one address was added is never empty.
+//
+//bulklint:noalloc
 func (s *Signature) Empty() bool {
 	for i, ch := range s.cfg.chunks {
 		if s.fieldZero(s.cfg.offsets[i], 1<<ch) {
@@ -349,6 +355,8 @@ func (s *Signature) fieldZero(off, n int) bool {
 // Zero reports whether every bit of the signature is zero (i.e. nothing was
 // ever added). Zero implies Empty; the converse does not hold for
 // intersections.
+//
+//bulklint:noalloc
 func (s *Signature) Zero() bool {
 	for _, w := range s.bits {
 		if w != 0 {
@@ -360,6 +368,8 @@ func (s *Signature) Zero() bool {
 
 // Clear resets the signature to the empty set. Committing a thread in Bulk
 // is exactly this operation (Table 2: "Commit by clearing a signature").
+//
+//bulklint:noalloc
 func (s *Signature) Clear() {
 	for i := range s.bits {
 		s.bits[i] = 0
@@ -374,6 +384,8 @@ func (s *Signature) Clone() *Signature {
 }
 
 // CopyFrom overwrites s with the contents of other (same config required).
+//
+//bulklint:noalloc
 func (s *Signature) CopyFrom(other *Signature) {
 	s.mustMatch(other)
 	copy(s.bits, other.bits)
@@ -432,6 +444,8 @@ func (s *Signature) Intersect(other *Signature) *Signature {
 }
 
 // IntersectWith ANDs other into s in place.
+//
+//bulklint:noalloc
 func (s *Signature) IntersectWith(other *Signature) {
 	s.mustMatch(other)
 	for i := range s.bits {
@@ -452,6 +466,8 @@ func (s *Signature) Union(other *Signature) *Signature {
 }
 
 // UnionWith ORs other into s in place.
+//
+//bulklint:noalloc
 func (s *Signature) UnionWith(other *Signature) {
 	s.mustMatch(other)
 	for i := range s.bits {
@@ -461,6 +477,8 @@ func (s *Signature) UnionWith(other *Signature) {
 
 // Intersects reports whether s ∩ other is non-empty, without allocating.
 // This is the core of bulk address disambiguation (Equation 1).
+//
+//bulklint:noalloc
 func (s *Signature) Intersects(other *Signature) bool {
 	s.mustMatch(other)
 	for i, ch := range s.cfg.chunks {

@@ -214,6 +214,8 @@ func (s *System) invalidateCommit(t *task) {
 // the line is fetched and the local speculative words (exact, from the
 // owner's write buffer) are overlaid; the merged line stays dirty in the
 // owner's cache.
+//
+//bulklint:noalloc
 func (s *System) mergeLine(q *proc, ownerIdx int, line uint64) {
 	owner := s.tasks[ownerIdx]
 	cl := q.cache.Lookup(cache.LineAddr(line))

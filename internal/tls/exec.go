@@ -7,6 +7,7 @@ import (
 	"bulk/internal/trace"
 )
 
+//bulklint:noalloc
 func (s *System) lineOf(word uint64) uint64 { return word / uint64(s.wordsPerLine) }
 
 // sigAddr maps a word address to the granularity the signatures encode.

@@ -228,6 +228,8 @@ func (s *System) invalidateCommitted(p, q *proc, wc *sig.Signature, writeLines *
 // mergeLine refreshes a locally-dirty, partially-remote-updated line: each
 // word takes the local transaction's buffered value if it wrote it, else
 // the just-committed memory value. The line stays dirty in q's cache.
+//
+//bulklint:noalloc
 func (s *System) mergeLine(q *proc, line uint64) {
 	cl := q.cache.Lookup(cache.LineAddr(line))
 	if cl == nil {

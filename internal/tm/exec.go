@@ -9,6 +9,7 @@ import (
 	"bulk/internal/workload"
 )
 
+//bulklint:noalloc
 func (s *System) lineOf(word uint64) uint64 { return word / uint64(s.wordsPerLine) }
 
 // sigAddrOf maps a word address to the granularity the signatures encode.

@@ -359,6 +359,8 @@ func (s *System) maybeEnterSection(p *proc, seg *workload.TMSegment) {
 func (p *proc) top() *section { return p.sections[len(p.sections)-1] }
 
 // readLines / writeLines iterate exact sets across sections.
+//
+//bulklint:noalloc
 func (p *proc) inReadSet(line uint64) bool {
 	for _, sec := range p.sections {
 		if sec.readL.Has(line) {
@@ -368,6 +370,7 @@ func (p *proc) inReadSet(line uint64) bool {
 	return false
 }
 
+//bulklint:noalloc
 func (p *proc) inWriteSet(line uint64) bool {
 	for _, sec := range p.sections {
 		if sec.writeL.Has(line) {
@@ -378,6 +381,8 @@ func (p *proc) inWriteSet(line uint64) bool {
 }
 
 // readWord/wroteWord are the word-granularity exact-set queries.
+//
+//bulklint:noalloc
 func (p *proc) readWord(w uint64) bool {
 	for _, sec := range p.sections {
 		if sec.readW.Has(w) {
@@ -387,6 +392,7 @@ func (p *proc) readWord(w uint64) bool {
 	return false
 }
 
+//bulklint:noalloc
 func (p *proc) wroteWord(w uint64) bool {
 	for _, sec := range p.sections {
 		if sec.wbuf.Has(w) {
@@ -397,6 +403,8 @@ func (p *proc) wroteWord(w uint64) bool {
 }
 
 // bufLookup searches the section write buffers innermost-first.
+//
+//bulklint:noalloc
 func (p *proc) bufLookup(word uint64) (uint64, bool) {
 	for i := len(p.sections) - 1; i >= 0; i-- {
 		if v, ok := p.sections[i].wbuf.Get(word); ok {
@@ -408,10 +416,12 @@ func (p *proc) bufLookup(word uint64) (uint64, bool) {
 
 // unionWriteLines rebuilds dst as the union of exact write lines across
 // sections. The caller supplies a reusable scratch set.
+//
+//bulklint:noalloc
 func (p *proc) unionWriteLines(dst *flatmap.Set) *flatmap.Set {
 	dst.Reset()
 	for _, sec := range p.sections {
-		sec.writeL.Range(func(l uint64) bool { // building a set union; order cannot escape
+		sec.writeL.Range(func(l uint64) bool { //bulklint:allow noalloc non-escaping closure; Range never retains fn
 			dst.Add(l)
 			return true
 		})
@@ -420,10 +430,12 @@ func (p *proc) unionWriteLines(dst *flatmap.Set) *flatmap.Set {
 }
 
 // unionReadLines rebuilds dst as the union of exact read lines.
+//
+//bulklint:noalloc
 func (p *proc) unionReadLines(dst *flatmap.Set) *flatmap.Set {
 	dst.Reset()
 	for _, sec := range p.sections {
-		sec.readL.Range(func(l uint64) bool { // building a set union; order cannot escape
+		sec.readL.Range(func(l uint64) bool { //bulklint:allow noalloc non-escaping closure; Range never retains fn
 			dst.Add(l)
 			return true
 		})

@@ -11,6 +11,8 @@ echo "== go vet =="
 go vet ./...
 
 echo "== bulklint =="
+# Runs all eight analyzers including the waiver audit: a stale
+# //bulklint: waiver (one that suppresses no live finding) fails the gate.
 go run ./cmd/bulklint ./...
 
 echo "== go test -race =="
