@@ -1,0 +1,228 @@
+// Command bulkcheck explores the schedule space of the tm, tls and ckpt
+// runtimes, judging every execution against two oracles: serializability
+// (final memory must match a conflict-free sequential reference) and
+// signature soundness (every real conflict must be caught by the signature
+// test, and bulk invalidation must never squash a line outside the
+// committer-visible write set).
+//
+// Usage:
+//
+//	bulkcheck                                # DFS sweep, all protocols
+//	bulkcheck -protocol tm -budget large     # deeper sweep of one runtime
+//	bulkcheck -mode walk -seed 7             # seeded random-walk fuzzing
+//	bulkcheck -mutations all                 # prove the oracles have teeth
+//	bulkcheck -target tm-sweep -replay 0,1,2 # re-execute one schedule
+//
+// A failing run prints the minimized schedule both as a canonical choice
+// list (feed it back via -replay) and as a human-readable step list; the
+// same schedule deterministically reproduces the same failure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"bulk/internal/check"
+	"bulk/internal/mutate"
+)
+
+func main() {
+	var (
+		protocol  = flag.String("protocol", "all", "runtime to check: tm, tls, ckpt, or all")
+		mode      = flag.String("mode", "dfs", "exploration mode: dfs (exhaustive) or walk (random)")
+		budget    = flag.String("budget", "medium", "exploration budget: small, medium, or large")
+		schedules = flag.Int("schedules", 0, "override max schedules per target (0 = budget default)")
+		depth     = flag.Int("depth", 0, "override decision depth (0 = budget default)")
+		seed      = flag.Uint64("seed", 2006, "random-walk seed")
+		deviate   = flag.Float64("deviate", 0.3, "random-walk per-decision deviation probability")
+		mutations = flag.String("mutations", "", "mutation audit: 'all' or comma-separated names (empty = sweep the unmutated tree)")
+		target    = flag.String("target", "", "single target by name (required with -replay)")
+		replay    = flag.String("replay", "", "replay one schedule (comma-separated choices) instead of exploring")
+		verbose   = flag.Bool("v", false, "print per-target exploration statistics")
+	)
+	flag.Parse()
+
+	b, ok := check.BudgetByName(*budget)
+	if !ok {
+		fatalf("unknown budget %q (want small, medium, or large)", *budget)
+	}
+	if *schedules > 0 {
+		b.MaxSchedules = *schedules
+	}
+	if *depth > 0 {
+		b.Depth = *depth
+	}
+
+	if *replay != "" {
+		var muts mutate.Set
+		if *mutations != "" && *mutations != "all" {
+			for _, n := range strings.Split(*mutations, ",") {
+				id, ok := mutate.ByName(strings.TrimSpace(n))
+				if !ok {
+					fatalf("unknown mutation %q", n)
+				}
+				muts |= mutate.Of(id)
+			}
+		}
+		runReplay(*target, *replay, b.Depth, muts)
+		return
+	}
+	if *mutations != "" {
+		runMutations(*mutations, *verbose)
+		return
+	}
+	runSweep(*protocol, *mode, b, *seed, *deviate, *target, *verbose)
+}
+
+// runSweep explores the unmutated tree and fails on any oracle rejection.
+func runSweep(protocol, mode string, b check.Budget, seed uint64, deviate float64, only string, verbose bool) {
+	targets, err := check.TargetsByProtocol(protocol)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if only != "" {
+		t, ok := targetByName(only)
+		if !ok {
+			fatalf("unknown target %q (try one of: %s)", only, targetNames())
+		}
+		targets = []check.Target{t}
+	}
+	failed := false
+	for _, t := range targets {
+		var rep *check.Report
+		switch mode {
+		case "dfs":
+			rep = check.Explore(t, 0, b)
+		case "walk":
+			rep = check.Walk(t, 0, b, seed, deviate)
+		default:
+			fatalf("unknown mode %q (want dfs or walk)", mode)
+		}
+		if rep.Failure != nil {
+			failed = true
+			fmt.Printf("FAIL %s after %d schedules\n", t.Name(), rep.Schedules)
+			printFailure(t.Name(), rep.Failure)
+			continue
+		}
+		if verbose {
+			fmt.Printf("ok   %s: %d schedules, %d distinct outcomes\n",
+				t.Name(), rep.Schedules, rep.Distinct)
+		} else {
+			fmt.Printf("ok   %s\n", t.Name())
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// runMutations proves the checker's teeth: every requested seeded mutation
+// must be killed — the explorer must find an oracle-rejected schedule —
+// within its catalog budget.
+func runMutations(names string, verbose bool) {
+	catalog := check.Catalog()
+	if names != "all" {
+		want := map[mutate.ID]bool{}
+		for _, n := range strings.Split(names, ",") {
+			id, ok := mutate.ByName(strings.TrimSpace(n))
+			if !ok {
+				fatalf("unknown mutation %q", n)
+			}
+			want[id] = true
+		}
+		kept := catalog[:0]
+		for _, m := range catalog {
+			if want[m.ID] {
+				kept = append(kept, m)
+			}
+		}
+		catalog = kept
+	}
+	survived := 0
+	for _, m := range catalog {
+		rep := check.Explore(m.Target, mutate.Of(m.ID), m.Budget)
+		if rep.Failure == nil {
+			survived++
+			fmt.Printf("SURVIVED %-26s %d schedules found no violation\n", m.ID, rep.Schedules)
+			continue
+		}
+		fmt.Printf("killed   %-26s schedule %s (%d schedules)\n",
+			m.ID, check.FormatSchedule(rep.Failure.Schedule), rep.Schedules)
+		if verbose {
+			fmt.Printf("         %s\n", rep.Failure.Reason)
+		}
+	}
+	if survived > 0 {
+		fmt.Printf("%d mutation(s) survived\n", survived)
+		os.Exit(1)
+	}
+}
+
+// runReplay re-executes one explicit schedule — optionally under seeded
+// mutations, so a mutation-audit kill reproduces too — and reports its
+// judgment.
+func runReplay(name, schedule string, depth int, muts mutate.Set) {
+	if name == "" {
+		fatalf("-replay requires -target (one of: %s)", targetNames())
+	}
+	t, ok := targetByName(name)
+	if !ok {
+		fatalf("unknown target %q (try one of: %s)", name, targetNames())
+	}
+	sched, err := check.ParseSchedule(schedule)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	out, steps := check.Replay(t, muts, sched, depth)
+	for _, st := range steps {
+		fmt.Printf("  %s\n", st)
+	}
+	if out.Failed() {
+		fmt.Printf("FAIL %s schedule %s: %s\n", name, check.FormatSchedule(sched), out.Failure())
+		os.Exit(1)
+	}
+	fmt.Printf("ok   %s schedule %s\n", name, check.FormatSchedule(sched))
+}
+
+func printFailure(name string, f *check.Failure) {
+	fmt.Printf("  reason:   %s\n", f.Reason)
+	fmt.Printf("  schedule: %s\n", check.FormatSchedule(f.Schedule))
+	fmt.Printf("  replay:   bulkcheck -target %s -replay %s\n", name, check.FormatSchedule(f.Schedule))
+	for _, st := range f.Steps {
+		fmt.Printf("    %s\n", st)
+	}
+}
+
+// targetByName resolves sweep and directed targets alike, so a failing
+// schedule printed by any mode can be replayed.
+func targetByName(name string) (check.Target, bool) {
+	for _, t := range allTargets() {
+		if t.Name() == name {
+			return t, true
+		}
+	}
+	return nil, false
+}
+
+func targetNames() string {
+	names := []string{}
+	for _, t := range allTargets() {
+		names = append(names, t.Name())
+	}
+	return strings.Join(names, ", ")
+}
+
+func allTargets() []check.Target {
+	ts := check.SweepTargets()
+	for _, m := range check.Catalog() {
+		ts = append(ts, m.Target)
+	}
+	return ts
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "bulkcheck: "+format+"\n", args...)
+	os.Exit(1)
+}

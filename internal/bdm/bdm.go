@@ -18,6 +18,7 @@ import (
 	"fmt"
 
 	"bulk/internal/cache"
+	"bulk/internal/mutate"
 	"bulk/internal/sig"
 )
 
@@ -35,6 +36,9 @@ type Config struct {
 	// MaxVersions is the number of R/W signature pairs the module holds
 	// (Figure 7, "# of Versions"). Must be >= 1.
 	MaxVersions int
+	// Mutate enables seeded protocol mutations (model-checker teeth;
+	// zero = correct protocol).
+	Mutate mutate.Set
 }
 
 // Stats counts BDM events for Tables 6 and 7.
@@ -282,6 +286,9 @@ func (m *Module) PrepareWrite(v *Version, a sig.Addr) WriteDecision {
 		return WriteDecision{OK: false, ConflictOwner: owner}
 	default:
 		// (0,0): flush any non-speculative dirty lines, then proceed.
+		if m.cfg.Mutate.Has(mutate.SkipSetRestriction) {
+			return WriteDecision{OK: true}
+		}
 		dirty := m.cache.DirtyLinesInSet(set, nil)
 		m.stats.SafeWritebacks += uint64(len(dirty))
 		return WriteDecision{OK: true, SafeWritebacks: dirty}
@@ -303,7 +310,7 @@ func (m *Module) setOwner(set int, exclude *Version) int {
 // writebacks performed).
 func (m *Module) CommitWrite(v *Version, a sig.Addr) {
 	v.W.Add(a)
-	if v.Wsh != nil {
+	if v.Wsh != nil && !m.cfg.Mutate.Has(mutate.DropShadowWrite) {
 		v.Wsh.Add(a)
 	}
 	v.mask.Set(m.plan.SetIndexOf(a))
@@ -335,6 +342,12 @@ func (m *Module) VersionOwningSet(set int) *Version {
 // wc ∩ R_v ≠ ∅ or wc ∩ W_v ≠ ∅.
 func (m *Module) Disambiguate(v *Version, wc *sig.Signature) bool {
 	m.stats.Disambiguations++
+	if m.cfg.Mutate.Has(mutate.DropWRTerm) {
+		return wc.Intersects(v.W)
+	}
+	if m.cfg.Mutate.Has(mutate.DropWWTerm) {
+		return wc.Intersects(v.R)
+	}
 	return wc.Intersects(v.R) || wc.Intersects(v.W)
 }
 
@@ -343,6 +356,12 @@ func (m *Module) Disambiguate(v *Version, wc *sig.Signature) bool {
 // a ∈ W_v.
 func (m *Module) DisambiguateAddr(v *Version, a sig.Addr) bool {
 	m.stats.Disambiguations++
+	if m.cfg.Mutate.Has(mutate.DropWRTerm) {
+		return v.W.Contains(a)
+	}
+	if m.cfg.Mutate.Has(mutate.DropWWTerm) {
+		return v.R.Contains(a)
+	}
 	return v.R.Contains(a) || v.W.Contains(a)
 }
 
@@ -469,6 +488,9 @@ func (m *Module) CommitInvalidate(wc *sig.Signature) (invalidated []cache.LineAd
 	m.expand(wc, false, func(l *cache.Line) {
 		switch l.State {
 		case cache.Clean:
+			if m.cfg.Mutate.Has(mutate.SkipCleanInvalidation) {
+				return
+			}
 			m.cache.Invalidate(l.Addr)
 			m.stats.CommitInvalidations++
 			invalidated = append(invalidated, l.Addr)
@@ -485,6 +507,9 @@ func (m *Module) CommitInvalidate(wc *sig.Signature) (invalidated []cache.LineAd
 				// means aliasing — leave it (treated like the
 				// non-speculative case; the owner's exact writes make the
 				// line's content its own).
+				return
+			}
+			if m.cfg.Mutate.Has(mutate.SkipWordMerge) {
 				return
 			}
 			m.stats.Merges++

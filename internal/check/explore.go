@@ -1,0 +1,201 @@
+package check
+
+import (
+	"fmt"
+	"strings"
+
+	"bulk/internal/mutate"
+	"bulk/internal/rng"
+)
+
+// Budget bounds one exploration: at most MaxSchedules executions, with
+// decisions beyond Depth pinned to the default choice (bounding the tree).
+type Budget struct {
+	MaxSchedules int
+	Depth        int
+}
+
+// SmallBudget is a smoke-test budget (sub-second per target).
+func SmallBudget() Budget { return Budget{MaxSchedules: 1_000, Depth: 10} }
+
+// MediumBudget is the default bulkcheck budget.
+func MediumBudget() Budget { return Budget{MaxSchedules: 20_000, Depth: 14} }
+
+// LargeBudget is the thorough sweep budget.
+func LargeBudget() Budget { return Budget{MaxSchedules: 120_000, Depth: 18} }
+
+// BudgetByName resolves small/medium/large.
+func BudgetByName(name string) (Budget, bool) {
+	switch name {
+	case "small":
+		return SmallBudget(), true
+	case "medium":
+		return MediumBudget(), true
+	case "large":
+		return LargeBudget(), true
+	default:
+		return Budget{}, false
+	}
+}
+
+// Failure is a minimized failing schedule.
+type Failure struct {
+	// Schedule replays the failure deterministically via NewReplay.
+	Schedule []int
+	// Reason is the first oracle rejection.
+	Reason string
+	// Outcome is the failing execution's full judgment.
+	Outcome *Outcome
+	// Steps is the human-readable decision list of the failing replay.
+	Steps []Step
+}
+
+// Report summarizes one exploration.
+type Report struct {
+	Target string
+	// Schedules is the number of distinct schedules executed.
+	Schedules int
+	// Distinct is the number of distinct outcome fingerprints reached —
+	// a measure of how much behavioral diversity the schedules exposed.
+	Distinct int
+	// Failure is the first (minimized) failing schedule, nil if none.
+	Failure *Failure
+}
+
+// Explore walks the schedule space of t depth-first: it executes the
+// default schedule, then systematically flips each recorded decision to
+// each alternative choice, extending failing-free prefixes until the
+// budget is exhausted or an oracle rejects an execution. Prefixes are
+// deduplicated by their canonical form, so Schedules counts distinct
+// schedules. On failure the schedule is minimized (greedily reverting
+// choices to the default while the failure reproduces) before reporting.
+func Explore(t Target, muts mutate.Set, b Budget) *Report {
+	rep := &Report{Target: t.Name()}
+	fps := map[uint64]bool{}
+	seen := map[string]bool{"": true}
+	stack := [][]int{{}}
+	for len(stack) > 0 && rep.Schedules < b.MaxSchedules {
+		prefix := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		sched := NewReplay(prefix, b.Depth)
+		out := t.Run(sched, muts)
+		rep.Schedules++
+		fps[out.Fingerprint] = true
+		if out.Failed() {
+			rep.Failure = minimize(t, muts, b, sched.Schedule(), out)
+			break
+		}
+		// Extend: flip each decision past the forced prefix to each
+		// alternative; the replayed choices before it pin the context.
+		tr := sched.Trace()
+		for i := len(prefix); i < len(tr); i++ {
+			for c := 1; c < tr[i].Arity; c++ {
+				child := make([]int, i+1)
+				for j := 0; j < i; j++ {
+					child[j] = tr[j].Choice
+				}
+				child[i] = c
+				key := scheduleKey(child)
+				if !seen[key] {
+					seen[key] = true
+					stack = append(stack, child)
+				}
+			}
+		}
+	}
+	rep.Distinct = len(fps)
+	return rep
+}
+
+// Walk runs random-walk schedules: each trial deviates from the default
+// with the given probability at every decision within the budget's depth.
+// Failures minimize and replay exactly like Explore's.
+func Walk(t Target, muts mutate.Set, b Budget, seed uint64, deviate float64) *Report {
+	rep := &Report{Target: t.Name()}
+	fps := map[uint64]bool{}
+	r := rng.New(seed)
+	for rep.Schedules < b.MaxSchedules {
+		sched := NewRandomWalk(b.Depth, r.Uint64(), deviate)
+		out := t.Run(sched, muts)
+		rep.Schedules++
+		fps[out.Fingerprint] = true
+		if out.Failed() {
+			rep.Failure = minimize(t, muts, b, sched.Schedule(), out)
+			break
+		}
+	}
+	rep.Distinct = len(fps)
+	return rep
+}
+
+// Replay executes one explicit schedule against t and returns its outcome
+// and recorded decision trace.
+func Replay(t Target, muts mutate.Set, schedule []int, depth int) (*Outcome, []Step) {
+	if d := len(schedule); d > depth {
+		depth = d
+	}
+	sched := NewReplay(schedule, depth)
+	out := t.Run(sched, muts)
+	return out, sched.Trace()
+}
+
+// minimize greedily reverts choices to the default, from the end of the
+// schedule backwards, keeping any revert that still fails.
+func minimize(t Target, muts mutate.Set, b Budget, schedule []int, out *Outcome) *Failure {
+	schedule = trimDefaults(schedule)
+	for i := len(schedule) - 1; i >= 0; i-- {
+		if i >= len(schedule) || schedule[i] == 0 {
+			continue
+		}
+		cand := make([]int, len(schedule))
+		copy(cand, schedule)
+		cand[i] = 0
+		cand = trimDefaults(cand)
+		if o := t.Run(NewReplay(cand, b.Depth), muts); o.Failed() {
+			schedule, out = cand, o
+		}
+	}
+	_, steps := Replay(t, muts, schedule, b.Depth)
+	return &Failure{
+		Schedule: schedule, Reason: out.Failure(), Outcome: out,
+		Steps: steps[:min(len(steps), len(schedule))],
+	}
+}
+
+// FormatSchedule renders a schedule as the comma-separated form bulkcheck
+// prints and accepts back via -replay.
+func FormatSchedule(s []int) string {
+	if len(s) == 0 {
+		return "(default)"
+	}
+	parts := make([]string, len(s))
+	for i, c := range s {
+		parts[i] = fmt.Sprintf("%d", c)
+	}
+	return strings.Join(parts, ",")
+}
+
+// ParseSchedule parses FormatSchedule's comma-separated form.
+func ParseSchedule(s string) ([]int, error) {
+	s = strings.TrimSpace(s)
+	if s == "" || s == "(default)" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]int, len(parts))
+	for i, p := range parts {
+		var c int
+		if _, err := fmt.Sscanf(strings.TrimSpace(p), "%d", &c); err != nil {
+			return nil, fmt.Errorf("check: bad schedule element %q", p)
+		}
+		if c < 0 {
+			return nil, fmt.Errorf("check: negative choice %d", c)
+		}
+		out[i] = c
+	}
+	return out, nil
+}
+
+func scheduleKey(s []int) string {
+	return FormatSchedule(trimDefaults(s))
+}

@@ -1,0 +1,54 @@
+package check
+
+import (
+	"testing"
+
+	"bulk/internal/mutate"
+)
+
+// TestMutationsKilled proves the checker has teeth: for every seeded
+// protocol mutation, the explorer finds an oracle-rejected schedule within
+// the catalog budget, the unmutated target explores clean, and the
+// minimized failing schedule reproduces deterministically.
+func TestMutationsKilled(t *testing.T) {
+	for _, m := range Catalog() {
+		m := m
+		t.Run(m.ID.String(), func(t *testing.T) {
+			clean := Explore(m.Target, 0, Budget{MaxSchedules: 500, Depth: m.Budget.Depth})
+			if clean.Failure != nil {
+				t.Fatalf("unmutated target failed: %s (schedule %s)",
+					clean.Failure.Reason, FormatSchedule(clean.Failure.Schedule))
+			}
+			rep := Explore(m.Target, mutate.Of(m.ID), m.Budget)
+			if rep.Failure == nil {
+				t.Fatalf("mutation survived %d schedules", rep.Schedules)
+			}
+			t.Logf("killed after %d schedules: %s (schedule %s)",
+				rep.Schedules, rep.Failure.Reason, FormatSchedule(rep.Failure.Schedule))
+			out, _ := Replay(m.Target, mutate.Of(m.ID), rep.Failure.Schedule, m.Budget.Depth)
+			if !out.Failed() {
+				t.Errorf("minimized schedule %s does not reproduce the failure",
+					FormatSchedule(rep.Failure.Schedule))
+			}
+		})
+	}
+}
+
+// TestMutationNamesResolve keeps the CLI's -mutations flag aligned with
+// the catalog.
+func TestMutationNamesResolve(t *testing.T) {
+	seen := map[mutate.ID]bool{}
+	for _, m := range Catalog() {
+		if seen[m.ID] {
+			t.Errorf("catalog lists %s twice", m.ID)
+		}
+		seen[m.ID] = true
+		id, ok := mutate.ByName(m.ID.String())
+		if !ok || id != m.ID {
+			t.Errorf("mutation %s does not round-trip through ByName", m.ID)
+		}
+	}
+	if len(seen) != int(mutate.NumIDs) {
+		t.Errorf("catalog covers %d of %d mutations", len(seen), mutate.NumIDs)
+	}
+}

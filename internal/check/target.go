@@ -1,0 +1,162 @@
+package check
+
+import (
+	"bulk/internal/ckpt"
+	"bulk/internal/det"
+	"bulk/internal/mem"
+	"bulk/internal/mutate"
+	"bulk/internal/sim"
+	"bulk/internal/tls"
+	"bulk/internal/tm"
+	"bulk/internal/workload"
+)
+
+// Target is one system the checker can drive: a fixed workload plus
+// options, executed under a caller-supplied schedule and mutation set,
+// judged by the target's oracles.
+type Target interface {
+	Name() string
+	Run(sched sim.Scheduler, muts mutate.Set) *Outcome
+}
+
+// TMTarget checks a TM workload.
+type TMTarget struct {
+	TargetName string
+	Workload   *workload.TMWorkload
+	Options    tm.Options
+	// Check, when non-nil, is an extra oracle applied after Verify.
+	Check func(*tm.Result) error
+}
+
+// Name implements Target.
+func (t *TMTarget) Name() string { return t.TargetName }
+
+// Run implements Target.
+func (t *TMTarget) Run(sched sim.Scheduler, muts mutate.Set) *Outcome {
+	opts := t.Options
+	opts.Scheduler = sched
+	opts.Mutate = muts
+	out := &Outcome{}
+	opts.Probe = soundnessProbe(&out.Soundness)
+	r, err := tm.Run(t.Workload, opts)
+	if err != nil {
+		out.Err = err
+		return out
+	}
+	if err := tm.Verify(t.Workload, r); err != nil {
+		out.OracleErr = err
+	} else if t.Check != nil {
+		out.OracleErr = t.Check(r)
+	}
+	h := newFP()
+	for _, u := range r.Log {
+		h.mix(uint64(u.Thread), uint64(u.Segment), uint64(u.OpLo), uint64(u.OpHi))
+	}
+	h.mixMem(r.Memory)
+	h.mix(r.Stats.Commits, r.Stats.Squashes, uint64(r.Stats.Cycles))
+	out.Fingerprint = h.sum()
+	return out
+}
+
+// TLSTarget checks a TLS workload.
+type TLSTarget struct {
+	TargetName string
+	Workload   *workload.TLSWorkload
+	Options    tls.Options
+	Check      func(*tls.Result) error
+}
+
+// Name implements Target.
+func (t *TLSTarget) Name() string { return t.TargetName }
+
+// Run implements Target.
+func (t *TLSTarget) Run(sched sim.Scheduler, muts mutate.Set) *Outcome {
+	opts := t.Options
+	opts.Scheduler = sched
+	opts.Mutate = muts
+	out := &Outcome{}
+	opts.Probe = soundnessProbe(&out.Soundness)
+	r, err := tls.Run(t.Workload, opts)
+	if err != nil {
+		out.Err = err
+		return out
+	}
+	if err := tls.Verify(t.Workload, r); err != nil {
+		out.OracleErr = err
+	} else if t.Check != nil {
+		out.OracleErr = t.Check(r)
+	}
+	h := newFP()
+	h.mixMem(r.Memory)
+	h.mix(r.Stats.Commits, r.Stats.Squashes, r.Stats.CascadeSquashes,
+		uint64(r.Stats.Cycles))
+	out.Fingerprint = h.sum()
+	return out
+}
+
+// CkptTarget checks a checkpointed-multiprocessor workload.
+type CkptTarget struct {
+	TargetName string
+	Workload   *ckpt.Workload
+	Options    ckpt.Options
+	Check      func(*ckpt.Result) error
+}
+
+// Name implements Target.
+func (t *CkptTarget) Name() string { return t.TargetName }
+
+// Run implements Target.
+func (t *CkptTarget) Run(sched sim.Scheduler, muts mutate.Set) *Outcome {
+	opts := t.Options
+	opts.Scheduler = sched
+	opts.Mutate = muts
+	out := &Outcome{}
+	opts.Probe = soundnessProbe(&out.Soundness)
+	r, err := ckpt.Run(t.Workload, opts)
+	if err != nil {
+		out.Err = err
+		return out
+	}
+	if err := ckpt.Verify(t.Workload, r); err != nil {
+		out.OracleErr = err
+	} else if t.Check != nil {
+		out.OracleErr = t.Check(r)
+	}
+	h := newFP()
+	for _, u := range r.Log {
+		h.mix(uint64(u.Proc), uint64(u.Unit), uint64(int64(u.Op)))
+	}
+	h.mixMem(r.Memory)
+	h.mix(r.Stats.Episodes, r.Stats.Rollbacks, uint64(r.Stats.Cycles))
+	out.Fingerprint = h.sum()
+	return out
+}
+
+// fp is an FNV-1a outcome fingerprint accumulator.
+type fp uint64
+
+func newFP() *fp {
+	f := fp(14695981039346656037)
+	return &f
+}
+
+func (f *fp) mix(vs ...uint64) {
+	x := uint64(*f)
+	for _, v := range vs {
+		for i := 0; i < 8; i++ {
+			x ^= v & 0xff
+			x *= 1099511628211
+			v >>= 8
+		}
+	}
+	*f = fp(x)
+}
+
+func (f *fp) mixMem(m *mem.Memory) {
+	snap := m.Snapshot()
+	for _, a := range det.SortedKeys(snap) {
+		f.mix(a, uint64(snap[a]))
+	}
+}
+
+func (f *fp) sum() uint64 { return uint64(*f) }

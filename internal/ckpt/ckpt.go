@@ -31,6 +31,7 @@ import (
 	"bulk/internal/cache"
 	"bulk/internal/flatmap"
 	"bulk/internal/mem"
+	"bulk/internal/mutate"
 	"bulk/internal/rng"
 	"bulk/internal/sig"
 	"bulk/internal/sim"
@@ -114,6 +115,14 @@ type Options struct {
 	CacheBytes, CacheWays, LineBytes int
 	// RetryLimit bounds episode re-executions (defensive).
 	RetryLimit int
+	// Scheduler, when non-nil, drives every scheduling decision. Nil keeps
+	// the default order byte-identically.
+	Scheduler sim.Scheduler
+	// Probe, when non-nil, receives conflict-decision events
+	// (model-checker oracles). Bulk mode only.
+	Probe *sim.Probe
+	// Mutate enables seeded protocol mutations (model-checker teeth).
+	Mutate mutate.Set
 }
 
 // NewOptions returns defaults for a mode.
@@ -228,6 +237,7 @@ func NewSystem(w *Workload, opts Options) (*System, error) {
 		engine: sim.NewEngine(len(w.Procs)),
 		wpl:    opts.LineBytes / 4,
 	}
+	s.engine.SetScheduler(opts.Scheduler)
 	for i := range w.Procs {
 		c, err := cache.New(opts.CacheBytes, opts.CacheWays, opts.LineBytes)
 		if err != nil {
@@ -239,6 +249,7 @@ func NewSystem(w *Workload, opts Options) (*System, error) {
 				Sig:         opts.SigConfig,
 				Index:       sig.IndexSpec{LowBit: 0, Bits: c.IndexBits()},
 				MaxVersions: 1,
+				Mutate:      opts.Mutate,
 			}, c)
 			if err != nil {
 				return nil, fmt.Errorf("ckpt: proc %d: %w", i, err)

@@ -6,7 +6,9 @@ import (
 	"bulk/internal/bus"
 	"bulk/internal/cache"
 	"bulk/internal/mem"
+	"bulk/internal/mutate"
 	"bulk/internal/sig"
+	"bulk/internal/sim"
 	"bulk/internal/trace"
 )
 
@@ -81,6 +83,9 @@ func (s *System) applyRemoteInvalidation(p *proc, line uint64) {
 		}
 		q.cache.Invalidate(cache.LineAddr(line))
 		if q.stalled && q.tracking {
+			if s.opts.Mutate.Has(mutate.SkipStalledRestart) {
+				continue
+			}
 			base := line * uint64(s.wpl)
 			for w := 0; w < s.wpl; w++ {
 				if q.readW.Has(base + uint64(w)) {
@@ -94,26 +99,26 @@ func (s *System) applyRemoteInvalidation(p *proc, line uint64) {
 			continue
 		}
 		hit := false
-		if q.module != nil {
-			hit = q.module.DisambiguateAddr(q.version, sig.Addr(line))
-		} else {
-			base := line * uint64(s.wpl)
-			for w := 0; w < s.wpl; w++ {
-				if q.readW.Has(base+uint64(w)) || q.writeW.Has(base+uint64(w)) {
-					hit = true
-					break
-				}
+		exact := false
+		base := line * uint64(s.wpl)
+		for w := 0; w < s.wpl; w++ {
+			if q.readW.Has(base+uint64(w)) || q.writeW.Has(base+uint64(w)) {
+				exact = true
+				break
 			}
 		}
-		if hit {
-			exact := false
-			base := line * uint64(s.wpl)
-			for w := 0; w < s.wpl; w++ {
-				if q.readW.Has(base+uint64(w)) || q.writeW.Has(base+uint64(w)) {
-					exact = true
-					break
-				}
+		if q.module != nil {
+			hit = q.module.DisambiguateAddr(q.version, sig.Addr(line))
+			if s.opts.Probe != nil {
+				s.opts.Probe.EmitConflict(sim.ConflictEvent{
+					Path: sim.PathInvalidation, Committer: p.id, Receiver: q.id,
+					SigHit: hit, ExactHit: exact,
+				})
 			}
+		} else {
+			hit = exact
+		}
+		if hit {
 			s.rollback(q, exact)
 		}
 	}
@@ -198,6 +203,12 @@ func (s *System) stepEpisode(p *proc, e *Episode) error {
 		if !e.PredictOK {
 			s.stats.MispredictRollbacks++
 			s.rollbackInternal(p)
+			return nil
+		}
+		// Commit-token decision: an explorer may defer the commit one
+		// quantum, letting other processors' traffic land first.
+		if s.engine.Branch(sim.BranchCommit, 2, 1) == 0 {
+			s.engine.Advance(p.id, 1)
 			return nil
 		}
 		s.commitEpisode(p, e)
@@ -301,30 +312,31 @@ func (s *System) commitEpisode(p *proc, e *Episode) {
 		}
 		switch {
 		case q.spec:
-			hit := false
+			exact := false
+			p.writeW.Range(func(wAddr uint64) bool { // order-independent boolean reduction
+				if q.readW.Has(wAddr) || q.writeW.Has(wAddr) {
+					exact = true
+					return false
+				}
+				return true
+			})
+			hit := exact
 			if q.module != nil && wc != nil {
 				hit = q.module.Disambiguate(q.version, wc)
-			} else {
-				p.writeW.Range(func(wAddr uint64) bool { // order-independent boolean reduction
-					if q.readW.Has(wAddr) || q.writeW.Has(wAddr) {
-						hit = true
-						return false
-					}
-					return true
-				})
+				if s.opts.Probe != nil {
+					s.opts.Probe.EmitConflict(sim.ConflictEvent{
+						Path: sim.PathCommit, Committer: p.id, Receiver: q.id,
+						SigHit: hit, ExactHit: exact,
+					})
+				}
 			}
 			if hit {
-				exact := false
-				p.writeW.Range(func(wAddr uint64) bool { // order-independent boolean reduction
-					if q.readW.Has(wAddr) || q.writeW.Has(wAddr) {
-						exact = true
-						return false
-					}
-					return true
-				})
 				s.rollback(q, exact)
 			}
 		case q.stalled && q.tracking:
+			if s.opts.Mutate.Has(mutate.SkipStalledRestart) {
+				break
+			}
 			p.writeW.Range(func(wAddr uint64) bool { // restart fires at most once, on any hit
 				if q.readW.Has(wAddr) {
 					s.restartStalled(q)
@@ -452,6 +464,12 @@ func (s *System) runEpisodeStalled(p *proc, e *Episode) error {
 		}
 		p.opIdx++
 		s.engine.Advance(p.id, int(op.Think)+cost)
+		return nil
+	}
+	// Commit-token decision mirroring the speculative path: an explorer may
+	// hold the atomic apply back one quantum.
+	if s.engine.Branch(sim.BranchCommit, 2, 1) == 0 {
+		s.engine.Advance(p.id, 1)
 		return nil
 	}
 	// Apply atomically, invalidate, and log one unit. The invalidation

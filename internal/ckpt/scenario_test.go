@@ -1,0 +1,166 @@
+package ckpt
+
+import (
+	"testing"
+
+	"bulk/internal/sig"
+	"bulk/internal/trace"
+)
+
+// Directed single-purpose scenarios, mirroring tls/scenario_test.go: each
+// builds the smallest workload that forces one protocol path and asserts
+// the path fired. Word addresses are line*16+word (64-byte lines).
+
+const (
+	scnShared  = uint64(0x100 * 16) // the long-latency miss target
+	scnShared2 = uint64(0x200 * 16) // the conflict target
+	scnPriv0   = uint64(0x300 * 16) // proc 0 private result line
+	scnPriv1   = uint64(0x400 * 16) // proc 1 private scratch line
+)
+
+func op(k trace.OpKind, addr uint64, think uint16) trace.Op {
+	return trace.Op{Kind: k, Addr: addr, Think: think}
+}
+
+// TestEpisodeCommitsCleanly: one processor, a correct prediction, no
+// remote traffic — the episode must commit speculatively with zero
+// rollbacks in both speculation modes.
+func TestEpisodeCommitsCleanly(t *testing.T) {
+	w := &Workload{Name: "clean", Procs: []ProcStream{{Units: []Unit{
+		{Episode: &Episode{MissAddr: scnShared, PredictOK: true, Ops: []trace.Op{
+			op(trace.Read, scnShared2, 0),
+			op(trace.WriteDep, scnPriv0, 0),
+		}}},
+	}}}}
+	for _, m := range []Mode{Exact, Bulk} {
+		r := runAndVerify(t, w, NewOptions(m))
+		if r.Stats.Episodes != 1 || r.Stats.Rollbacks != 0 {
+			t.Errorf("%v: episodes=%d rollbacks=%d, want 1 and 0",
+				m, r.Stats.Episodes, r.Stats.Rollbacks)
+		}
+	}
+}
+
+// TestMispredictRetryCommits: a failed validation must roll the episode
+// back exactly once and still commit it through the buffered retry path,
+// with the dependence register restored to the checkpointed value.
+func TestMispredictRetryCommits(t *testing.T) {
+	w := &Workload{Name: "mispredict", Procs: []ProcStream{{Units: []Unit{
+		{Plain: []trace.Op{op(trace.Read, scnShared2, 0)}},
+		{Episode: &Episode{MissAddr: scnShared, PredictOK: false, Ops: []trace.Op{
+			op(trace.WriteDep, scnPriv0, 0),
+			op(trace.WriteDep, scnPriv0+1, 0),
+		}}},
+	}}}}
+	for _, m := range []Mode{Exact, Bulk} {
+		r := runAndVerify(t, w, NewOptions(m))
+		if r.Stats.MispredictRollbacks != 1 {
+			t.Errorf("%v: mispredict rollbacks = %d, want 1", m, r.Stats.MispredictRollbacks)
+		}
+		if r.Stats.Episodes != 1 {
+			t.Errorf("%v: episodes = %d, want 1 (retry path must commit)", m, r.Stats.Episodes)
+		}
+	}
+}
+
+// TestConflictRollsBackEpisode: proc 1's plain write lands inside proc 0's
+// speculative window (the miss latency is 400 cycles; the write arrives at
+// ~150) and overlaps its read set, forcing a conflict rollback in both
+// speculation modes — and in Exact mode it must be a true conflict.
+func TestConflictRollsBackEpisode(t *testing.T) {
+	w := &Workload{Name: "conflict", Procs: []ProcStream{
+		{Units: []Unit{
+			{Episode: &Episode{MissAddr: scnShared, PredictOK: true, Ops: []trace.Op{
+				op(trace.Read, scnShared2, 0),
+				op(trace.WriteDep, scnPriv0, 0),
+			}}},
+		}},
+		{Units: []Unit{
+			{Plain: []trace.Op{
+				op(trace.Read, scnPriv1, 100),
+				op(trace.Write, scnShared2, 0),
+			}},
+		}},
+	}}
+	for _, m := range []Mode{Exact, Bulk} {
+		r := runAndVerify(t, w, NewOptions(m))
+		if r.Stats.ConflictRollbacks == 0 {
+			t.Errorf("%v: expected a conflict rollback from the mid-episode write", m)
+		}
+		if m == Exact && r.Stats.FalseRollbacks != 0 {
+			t.Errorf("Exact mode reported %d false rollbacks", r.Stats.FalseRollbacks)
+		}
+	}
+}
+
+// TestStalledRetryRestartsOnConflict: after a misprediction the episode
+// re-runs non-speculatively (stalled) with its reads tracked; a remote
+// write hitting that read set before the atomic apply must restart the
+// retry, not corrupt it. Timeline: speculation [0,400), stalled retry from
+// ~480, proc 1's write at ~550.
+func TestStalledRetryRestartsOnConflict(t *testing.T) {
+	w := &Workload{Name: "stalled-restart", Procs: []ProcStream{
+		{Units: []Unit{
+			{Episode: &Episode{MissAddr: scnShared, PredictOK: false, Ops: []trace.Op{
+				op(trace.Read, scnShared2, 100),
+				op(trace.WriteDep, scnPriv0, 100),
+			}}},
+		}},
+		{Units: []Unit{
+			{Plain: []trace.Op{
+				op(trace.Read, scnPriv1, 500),
+				op(trace.Write, scnShared2, 0),
+			}},
+		}},
+	}}
+	for _, m := range []Mode{Exact, Bulk} {
+		r := runAndVerify(t, w, NewOptions(m))
+		if r.Stats.MispredictRollbacks != 1 {
+			t.Errorf("%v: mispredict rollbacks = %d, want 1", m, r.Stats.MispredictRollbacks)
+		}
+		if r.Stats.ConflictRollbacks == 0 {
+			t.Errorf("%v: the stalled retry was not restarted by the conflicting write", m)
+		}
+		if r.Stats.Episodes != 1 {
+			t.Errorf("%v: episodes = %d, want 1", m, r.Stats.Episodes)
+		}
+	}
+}
+
+// TestTinySignatureAliasRollsBack: under a 9-bit signature two lines 512
+// apart are indistinguishable, so a remote write to a line the episode
+// never touched still rolls it back — a false rollback Bulk must count
+// and Exact must not suffer.
+func TestTinySignatureAliasRollsBack(t *testing.T) {
+	const lineRead = uint64(0x1040)
+	const lineAlias = lineRead + 512 // same low 9 bits: aliases in both chunks
+	w := &Workload{Name: "alias", Procs: []ProcStream{
+		{Units: []Unit{
+			{Episode: &Episode{MissAddr: scnShared, PredictOK: true, Ops: []trace.Op{
+				op(trace.Read, lineRead*16, 0),
+				op(trace.WriteDep, scnPriv0, 0),
+			}}},
+		}},
+		{Units: []Unit{
+			{Plain: []trace.Op{
+				op(trace.Read, scnPriv1, 100),
+				op(trace.Write, lineAlias*16, 0),
+			}},
+		}},
+	}}
+	tiny, err := sig.NewConfig("scn-tiny", []int{7, 2}, nil, sig.TMAddrBits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := NewOptions(Bulk)
+	o.SigConfig = tiny
+	bulk := runAndVerify(t, w, o)
+	if bulk.Stats.FalseRollbacks == 0 {
+		t.Error("aliasing write did not cause a false rollback under the tiny signature")
+	}
+	exact := runAndVerify(t, w, NewOptions(Exact))
+	if exact.Stats.ConflictRollbacks != 0 || exact.Stats.FalseRollbacks != 0 {
+		t.Errorf("Exact mode rolled back on a non-overlapping write (conflict=%d false=%d)",
+			exact.Stats.ConflictRollbacks, exact.Stats.FalseRollbacks)
+	}
+}

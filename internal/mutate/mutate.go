@@ -1,0 +1,105 @@
+// Package mutate defines the seeded protocol mutations the model checker
+// (internal/check) must kill. Each mutation disables one load-bearing
+// decision of the Bulk protocol — a term of Equation 1, a flavour of bulk
+// invalidation, a Set Restriction scan — while leaving the surrounding
+// bookkeeping intact, so an oracle that compares the mutated decision
+// against independently-maintained exact state can observe the lie.
+//
+// The package sits below bdm and the runtimes (it imports nothing), and a
+// zero Set means "unmutated": every gate compiles to a single branch that
+// default-predicts false.
+package mutate
+
+// ID names one protocol mutation.
+type ID uint
+
+const (
+	// DropWRTerm removes the W_C ∩ R_R term of Equation 1: commits no
+	// longer squash readers of the committed data.
+	DropWRTerm ID = iota
+	// DropWWTerm removes the W_C ∩ W_R term of Equation 1: commits no
+	// longer squash overlapping writers.
+	DropWWTerm
+	// SkipCleanInvalidation skips invalidating clean lines during bulk
+	// invalidation at a remote commit: stale clean copies survive and
+	// later hit in the cache.
+	SkipCleanInvalidation
+	// DropReadOnHit skips recording a speculative read in the R signature
+	// when the access hits in the write buffer or cache (an "optimized"
+	// miss-path-only R update).
+	DropReadOnHit
+	// SkipWordMerge skips the Updated Word Bitmask merge of Section 4.4:
+	// a dirty local line partially updated by a committer keeps its stale
+	// non-local words.
+	SkipWordMerge
+	// SkipSetRestriction skips the (0,0) Set Restriction scan: a
+	// speculative write claims a set without flushing the non-speculative
+	// dirty lines already there, so a later bulk invalidation can destroy
+	// committed data.
+	SkipSetRestriction
+	// SkipSpilledDisambiguation skips disambiguating commits and
+	// invalidations against signatures spilled to memory (Section 6.2.2):
+	// a preempted transaction resumes despite a conflicting commit.
+	SkipSpilledDisambiguation
+	// DropShadowWrite stops adding post-spawn writes to the Partial
+	// Overlap shadow signature Wsh (Section 6.3): the first child is no
+	// longer squashed for post-spawn conflicts.
+	DropShadowWrite
+	// SkipSquashCascade squashes only the direct violator, not its
+	// more-speculative successors (TLS).
+	SkipSquashCascade
+	// SkipStalledRestart skips restarting a stalled (non-speculative,
+	// buffered) episode whose read set a remote write invalidated (ckpt).
+	SkipStalledRestart
+
+	// NumIDs is the number of defined mutations.
+	NumIDs
+)
+
+var names = [NumIDs]string{
+	DropWRTerm:                "drop-wr-term",
+	DropWWTerm:                "drop-ww-term",
+	SkipCleanInvalidation:     "skip-clean-invalidation",
+	DropReadOnHit:             "drop-read-on-hit",
+	SkipWordMerge:             "skip-word-merge",
+	SkipSetRestriction:        "skip-set-restriction",
+	SkipSpilledDisambiguation: "skip-spilled-disambiguation",
+	DropShadowWrite:           "drop-shadow-write",
+	SkipSquashCascade:         "skip-squash-cascade",
+	SkipStalledRestart:        "skip-stalled-restart",
+}
+
+func (id ID) String() string {
+	if id < NumIDs {
+		return names[id]
+	}
+	return "mutate.ID(?)"
+}
+
+// ByName resolves a mutation name; ok is false for unknown names.
+func ByName(name string) (ID, bool) {
+	for i, n := range names {
+		if n == name {
+			return ID(i), true
+		}
+	}
+	return 0, false
+}
+
+// Set is a bitmask of enabled mutations. The zero Set is the unmutated
+// protocol.
+type Set uint32
+
+// Of builds a Set from ids.
+func Of(ids ...ID) Set {
+	var s Set
+	for _, id := range ids {
+		s |= 1 << id
+	}
+	return s
+}
+
+// Has reports whether id is enabled.
+//
+//bulklint:noalloc
+func (s Set) Has(id ID) bool { return s&(1<<id) != 0 }

@@ -76,6 +76,122 @@ func (p Params) TransferCycles(n int) int {
 	return c
 }
 
+// BranchKind classifies a non-processor-selection scheduling decision the
+// runtimes expose to a Scheduler.
+type BranchKind int
+
+const (
+	// BranchCommit is a commit-token decision: 1 grants the commit now
+	// (the default), 0 defers it one quantum.
+	BranchCommit BranchKind = iota
+	// BranchPreempt is a preemption decision: 1 fires the preemption at
+	// this op boundary, 0 skips it. The default follows the PreemptEvery
+	// policy; a scheduler may also inject preemptions at boundaries the
+	// policy would skip.
+	BranchPreempt
+)
+
+func (k BranchKind) String() string {
+	switch k {
+	case BranchCommit:
+		return "commit"
+	case BranchPreempt:
+		return "preempt"
+	default:
+		return "BranchKind(?)"
+	}
+}
+
+// Scheduler is the pluggable scheduling hook the model checker drives the
+// runtimes through. A nil Scheduler reproduces the default schedule
+// byte-identically.
+//
+// PickProc chooses which processor steps next. candidates holds the
+// non-parked processor ids in ascending order (never empty) and ready their
+// ready cycles, index-aligned; the default choice is the earliest-ready,
+// lowest-id candidate. The return value must be an element of candidates;
+// anything else falls back to the default. Picking a later-ready candidate
+// advances the clock to its ready time (the event model stays monotonic),
+// which is how an explorer delays the other processors' actions.
+//
+// PickBranch chooses among n alternatives [0,n) of a kind-classified
+// decision, def being the runtime's own choice. Out-of-range returns fall
+// back to def.
+type Scheduler interface {
+	PickProc(candidates []int, ready []int64) int
+	PickBranch(kind BranchKind, n, def int) int
+}
+
+// ConflictPath tells which protocol path a conflict decision was made on.
+type ConflictPath int
+
+const (
+	// PathCommit is bulk disambiguation of a commit broadcast.
+	PathCommit ConflictPath = iota
+	// PathInvalidation is per-address disambiguation of a plain-write
+	// invalidation (the membership path of Section 4.2).
+	PathInvalidation
+	// PathSpilled is disambiguation against signatures spilled to memory
+	// (Section 6.2.2).
+	PathSpilled
+)
+
+func (p ConflictPath) String() string {
+	switch p {
+	case PathCommit:
+		return "commit"
+	case PathInvalidation:
+		return "invalidation"
+	case PathSpilled:
+		return "spilled"
+	default:
+		return "ConflictPath(?)"
+	}
+}
+
+// ConflictEvent is one signature-level conflict decision, paired with the
+// exact ground truth the runtime computed independently. SigHit && !ExactHit
+// is an allowed false positive (aliasing); ExactHit && !SigHit is a
+// soundness violation — the signatures missed a real conflict.
+type ConflictEvent struct {
+	Path      ConflictPath
+	Committer int // committing/writing processor (or thread/task id)
+	Receiver  int
+	SigHit    bool
+	ExactHit  bool
+}
+
+// HygieneEvent reports a line destroyed by a squash's bulk invalidation.
+// InWriteSet false means the squash destroyed data the squashed thread
+// never wrote — a Set Restriction failure.
+type HygieneEvent struct {
+	Owner      int
+	Line       uint64
+	InWriteSet bool
+}
+
+// Probe receives protocol-decision events from a runtime. A nil *Probe is
+// valid and drops everything; the runtimes call the Emit methods
+// unconditionally.
+type Probe struct {
+	Conflict func(ConflictEvent)
+	Hygiene  func(HygieneEvent)
+}
+
+// EmitConflict forwards a conflict decision to the probe, if any.
+func (p *Probe) EmitConflict(ev ConflictEvent) {
+	if p != nil && p.Conflict != nil {
+		p.Conflict(ev)
+	}
+}
+
+// EmitHygiene forwards a squash-hygiene event to the probe, if any.
+func (p *Probe) EmitHygiene(ev HygieneEvent) {
+	if p != nil && p.Hygiene != nil {
+		p.Hygiene(ev)
+	}
+}
+
 // Engine schedules a fixed set of processors by ready time. Each processor
 // is either runnable at some cycle or parked (waiting on an event another
 // processor will trigger). The runtimes call Next to get the earliest
@@ -87,6 +203,12 @@ type Engine struct {
 	// BusFreeAt is when the shared bus next becomes free; commits and
 	// broadcasts serialize on it.
 	BusFreeAt int64
+
+	sched Scheduler
+	// candScratch/readyScratch are the reusable candidate buffers handed
+	// to the scheduler.
+	candScratch  []int
+	readyScratch []int64
 }
 
 // NewEngine creates an engine for n processors, all runnable at cycle 0.
@@ -100,10 +222,17 @@ func NewEngine(n int) *Engine {
 // Now returns the current simulated cycle.
 func (e *Engine) Now() int64 { return e.now }
 
+// SetScheduler installs the scheduling hook (nil keeps the default order).
+func (e *Engine) SetScheduler(s Scheduler) { e.sched = s }
+
 // Next returns the earliest runnable processor and advances the clock to
 // its ready time. It returns -1 if every processor is parked (deadlock or
-// completion; the runtime distinguishes).
+// completion; the runtime distinguishes). With a scheduler installed, the
+// scheduler picks among all runnable processors instead.
 func (e *Engine) Next() int {
+	if e.sched != nil {
+		return e.nextScheduled()
+	}
 	best := -1
 	for i := range e.readyAt {
 		if e.parked[i] {
@@ -120,6 +249,58 @@ func (e *Engine) Next() int {
 		e.now = e.readyAt[best]
 	}
 	return best
+}
+
+// nextScheduled is the scheduler-driven Next: every non-parked processor is
+// a candidate, and the clock advances to the chosen one's ready time.
+func (e *Engine) nextScheduled() int {
+	e.candScratch = e.candScratch[:0]
+	e.readyScratch = e.readyScratch[:0]
+	for i := range e.readyAt {
+		if e.parked[i] {
+			continue
+		}
+		e.candScratch = append(e.candScratch, i)
+		e.readyScratch = append(e.readyScratch, e.readyAt[i])
+	}
+	if len(e.candScratch) == 0 {
+		return -1
+	}
+	pick := e.sched.PickProc(e.candScratch, e.readyScratch)
+	valid := false
+	for _, c := range e.candScratch {
+		if c == pick {
+			valid = true
+			break
+		}
+	}
+	if !valid {
+		// Fall back to the default choice: earliest ready, lowest id.
+		pick = e.candScratch[0]
+		for _, c := range e.candScratch[1:] {
+			if e.readyAt[c] < e.readyAt[pick] {
+				pick = c
+			}
+		}
+	}
+	if e.readyAt[pick] > e.now {
+		e.now = e.readyAt[pick]
+	}
+	return pick
+}
+
+// Branch exposes a kind-classified n-way scheduling decision to the
+// scheduler; def is the runtime's default. Without a scheduler (or on an
+// out-of-range pick) the default wins, so default runs take no new path.
+func (e *Engine) Branch(kind BranchKind, n, def int) int {
+	if e.sched == nil {
+		return def
+	}
+	c := e.sched.PickBranch(kind, n, def)
+	if c < 0 || c >= n {
+		return def
+	}
+	return c
 }
 
 // Advance re-arms processor i to be runnable cost cycles from now.

@@ -4,13 +4,20 @@ import (
 	"bulk/internal/bus"
 	"bulk/internal/cache"
 	"bulk/internal/mem"
+	"bulk/internal/mutate"
 	"bulk/internal/sig"
+	"bulk/internal/sim"
 )
 
 // tryCommitChain commits every finished task at the head of the task order
 // (in-order commit: task i commits only after task i-1).
 func (s *System) tryCommitChain() {
 	for s.commitNext < len(s.tasks) && s.tasks[s.commitNext].state == tsFinished {
+		// Commit-token decision: an explorer may defer the grant, leaving
+		// the finished task at the head; step retries it next quantum.
+		if s.engine.Branch(sim.BranchCommit, 2, 1) == 0 {
+			return
+		}
 		s.commitTask(s.tasks[s.commitNext])
 	}
 }
@@ -138,6 +145,15 @@ func (s *System) disambiguateCommit(t *task) {
 				wc = t.version.Wsh
 			}
 			violated = s.procs[v.proc].module.Disambiguate(v.version, wc)
+			if s.opts.Probe != nil {
+				// realOverlap already honors the first-child Partial
+				// Overlap exemption (exactW is the post-spawn set there),
+				// so it is the exact truth wc must imply.
+				s.opts.Probe.EmitConflict(sim.ConflictEvent{
+					Path: sim.PathCommit, Committer: t.idx, Receiver: v.idx,
+					SigHit: violated, ExactHit: realOverlap,
+				})
+			}
 		}
 		if violated {
 			if !realOverlap {
@@ -239,6 +255,14 @@ func (s *System) mergeLine(q *proc, ownerIdx int, line uint64) {
 // active task (the cascade). The caller classifies the direct squash;
 // cascaded squashes are counted here.
 func (s *System) squashFrom(start int) {
+	if s.opts.Mutate.Has(mutate.SkipSquashCascade) {
+		// Mutation: squash only the direct violator, leaving its
+		// (dependent) successors running on forwarded data.
+		if t := s.tasks[start]; t.active() {
+			s.squashOne(t)
+		}
+		return
+	}
 	first := true
 	for k := start; k < len(s.tasks); k++ {
 		t := s.tasks[k]

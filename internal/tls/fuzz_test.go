@@ -68,6 +68,28 @@ func TestFuzzAllSchemesSequential(t *testing.T) {
 	}
 }
 
+// FuzzTLSSchemes is the native fuzz entry: any seed must generate a task
+// sequence with exact sequential semantics under every scheme.
+func FuzzTLSSchemes(f *testing.F) {
+	for seed := uint64(1); seed <= 4; seed++ {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed uint64) {
+		w := randomTLSWorkload(seed)
+		for _, sc := range []Scheme{Eager, Lazy, Bulk} {
+			opts := NewOptions(sc)
+			opts.RestartLimit = 10000
+			r, err := Run(w, opts)
+			if err != nil {
+				t.Fatalf("seed %d %v: %v", seed, sc, err)
+			}
+			if err := Verify(w, r); err != nil {
+				t.Fatalf("seed %d %v: %v", seed, sc, err)
+			}
+		}
+	})
+}
+
 // TestFuzzBulkVariants covers the Bulk configuration space: partial
 // overlap on/off, line granularity, single- and multi-version processors,
 // and a heavily aliasing signature.

@@ -143,6 +143,7 @@ func NewSystem(w *workload.TLSWorkload, opts Options) (*System, error) {
 		sigCfg:       opts.SigConfig,
 		wordsPerLine: opts.LineBytes / 4,
 	}
+	s.engine.SetScheduler(opts.Scheduler)
 	for i := 0; i < opts.Procs; i++ {
 		c, err := cache.New(opts.CacheBytes, opts.CacheWays, opts.LineBytes)
 		if err != nil {
@@ -153,6 +154,7 @@ func NewSystem(w *workload.TLSWorkload, opts Options) (*System, error) {
 			cfg := bdm.Config{
 				Sig:         opts.SigConfig,
 				MaxVersions: opts.MaxVersions,
+				Mutate:      opts.Mutate,
 			}
 			if opts.LineGranularity {
 				cfg.Index = sig.IndexSpec{LowBit: 0, Bits: c.IndexBits()}
@@ -198,6 +200,12 @@ func (s *System) run() (*Result, error) {
 		}
 		p := s.engine.Next()
 		if p < 0 {
+			// All processors parked. With a scheduler deferring commits,
+			// the only legitimate way here is a finished head task whose
+			// commit was deferred until nothing else could run — grant it.
+			if s.forceCommitHead() {
+				continue
+			}
 			return nil, fmt.Errorf("tls: deadlock at commitNext=%d", s.commitNext)
 		}
 		s.step(s.procs[p])
@@ -239,8 +247,25 @@ func (p *proc) liveVersions(s *System) int {
 	return n
 }
 
+// forceCommitHead commits the head task directly when it is finished but
+// its commit token was deferred by the scheduler and every processor has
+// since parked. Returns whether a commit happened.
+func (s *System) forceCommitHead() bool {
+	if s.commitNext >= len(s.tasks) || s.tasks[s.commitNext].state != tsFinished {
+		return false
+	}
+	s.commitTask(s.tasks[s.commitNext])
+	return true
+}
+
 // step advances processor p by one action.
 func (s *System) step(p *proc) {
+	// A deferred head commit is retried every quantum, so a scheduler's
+	// "defer" choice postpones the commit by exactly one decision.
+	if s.opts.Scheduler != nil &&
+		s.commitNext < len(s.tasks) && s.tasks[s.commitNext].state == tsFinished {
+		s.tryCommitChain()
+	}
 	t, blocked := p.currentTask(s)
 	if t == nil && !blocked {
 		t = s.claim(p)

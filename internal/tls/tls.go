@@ -23,6 +23,7 @@ package tls
 import (
 	"bulk/internal/bus"
 	"bulk/internal/mem"
+	"bulk/internal/mutate"
 	"bulk/internal/sig"
 	"bulk/internal/sim"
 )
@@ -85,6 +86,14 @@ type Options struct {
 	// Meter, when non-nil, receives this run's final bus.Bandwidth.
 	// It is safe to share one Meter across runs on separate goroutines.
 	Meter *bus.Meter
+	// Scheduler, when non-nil, drives every scheduling decision. Nil keeps
+	// the default order byte-identically.
+	Scheduler sim.Scheduler
+	// Probe, when non-nil, receives conflict-decision events
+	// (model-checker oracles). Bulk scheme only.
+	Probe *sim.Probe
+	// Mutate enables seeded protocol mutations (model-checker teeth).
+	Mutate mutate.Set
 }
 
 // NewOptions returns the paper's defaults for a scheme (Partial Overlap on

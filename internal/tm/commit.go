@@ -6,6 +6,7 @@ import (
 	"bulk/internal/flatmap"
 	"bulk/internal/mem"
 	"bulk/internal/sig"
+	"bulk/internal/sim"
 	"bulk/internal/workload"
 )
 
@@ -99,7 +100,7 @@ func (s *System) commit(p *proc, seg *workload.TMSegment) {
 			if q.preempt != nil && len(q.preempt.spilled) > 0 {
 				// The receiver's signatures are spilled to memory
 				// (Section 6.2.2): disambiguate against the saved copies.
-				s.disambiguateSpilled(q, wc, writeLines)
+				s.disambiguateSpilled(p, q, wc, writeLines)
 			} else {
 				s.disambiguateAtCommit(p, q, wc, writeLines)
 			}
@@ -182,14 +183,24 @@ func (s *System) disambiguateAtCommit(p, q *proc, wc *sig.Signature, writeLines 
 		// violating section and everything after it rolls back. A squash
 		// with no exact overlap at the signature's granularity is a false
 		// positive; the dependence-set stat stays line-based.
+		hitSec := -1
 		for si, sec := range q.sections {
 			if q.module.Disambiguate(sec.version, wc) {
-				if real == 0 {
-					s.squash(q, s.rollbackSection(q, si), 0)
-				} else {
-					s.squash(q, s.rollbackSection(q, si), dep)
-				}
-				return
+				hitSec = si
+				break
+			}
+		}
+		if s.opts.Probe != nil {
+			s.opts.Probe.EmitConflict(sim.ConflictEvent{
+				Path: sim.PathCommit, Committer: p.id, Receiver: q.id,
+				SigHit: hitSec >= 0, ExactHit: real > 0,
+			})
+		}
+		if hitSec >= 0 {
+			if real == 0 {
+				s.squash(q, s.rollbackSection(q, hitSec), 0)
+			} else {
+				s.squash(q, s.rollbackSection(q, hitSec), dep)
 			}
 		}
 	}
@@ -199,9 +210,12 @@ func (s *System) disambiguateAtCommit(p, q *proc, wc *sig.Signature, writeLines 
 // committer's written lines.
 func (s *System) invalidateCommitted(p, q *proc, wc *sig.Signature, writeLines *flatmap.Set) {
 	switch s.opts.Scheme {
-	case Eager:
-		// Copies were invalidated when ownership was acquired.
-	case Lazy:
+	case Eager, Lazy:
+		// Eager acquired ownership at write time, but a later miss by q is
+		// nacked against the spec-dirty owner and refetches the committed
+		// (pre-transaction) version from memory, so q can hold a clean copy
+		// that goes stale the moment this commit lands. The commit's
+		// coherence action knocks those out too.
 		s.keyScratch = writeLines.SortedKeys(s.keyScratch[:0])
 		for _, l := range s.keyScratch {
 			q.cache.Invalidate(cache.LineAddr(l))
@@ -274,7 +288,20 @@ func (s *System) squash(q *proc, fromSection int, dep uint64) {
 			if sec.version == nil {
 				continue // spilled while preempted; nothing in the BDM
 			}
-			q.module.SquashInvalidate(sec.version, false)
+			invalidated := q.module.SquashInvalidate(sec.version, false)
+			// Squash hygiene: with the Set Restriction intact, every dirty
+			// line a squash destroys belongs to the squashed transaction's
+			// own write set. (Interloper-dirtied lines during preemption
+			// pauses can legitimately alias, so the probe is only armed in
+			// preemption-free runs.)
+			if s.opts.Probe != nil && s.opts.PreemptEvery == 0 {
+				for _, line := range invalidated {
+					s.opts.Probe.EmitHygiene(sim.HygieneEvent{
+						Owner: q.id, Line: uint64(line),
+						InWriteSet: q.inWriteSet(uint64(line)),
+					})
+				}
+			}
 			q.module.FreeVersion(sec.version)
 		}
 	} else {

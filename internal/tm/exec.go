@@ -4,7 +4,9 @@ import (
 	"bulk/internal/bus"
 	"bulk/internal/cache"
 	"bulk/internal/mem"
+	"bulk/internal/mutate"
 	"bulk/internal/sig"
+	"bulk/internal/sim"
 	"bulk/internal/trace"
 	"bulk/internal/workload"
 )
@@ -60,6 +62,7 @@ func (s *System) specRead(p *proc, op trace.Op) (int, bool) {
 
 	cost := 0
 	var value uint64
+	hit := true
 	if v, ok := p.bufLookup(op.Addr); ok {
 		// Store-buffer hit: the value is p's own speculative write.
 		value = v
@@ -68,6 +71,7 @@ func (s *System) specRead(p *proc, op trace.Op) (int, bool) {
 		value = l.Data[int(op.Addr)%s.wordsPerLine]
 		cost = s.opts.Params.HitLatency
 	} else {
+		hit = false
 		var l *cache.Line
 		l, cost = s.fill(p, line, true)
 		value = l.Data[int(op.Addr)%s.wordsPerLine]
@@ -76,7 +80,7 @@ func (s *System) specRead(p *proc, op trace.Op) (int, bool) {
 	sec := p.top()
 	sec.readL.Add(line)
 	sec.readW.Add(op.Addr)
-	if p.module != nil {
+	if p.module != nil && !(hit && s.opts.Mutate.Has(mutate.DropReadOnHit)) {
 		p.module.OnRead(sec.version, s.sigAddrOf(op.Addr))
 	}
 	p.exec.SetLastRead(value)
@@ -224,25 +228,55 @@ func (s *System) plainWrite(p *proc, seg *workload.TMSegment, op trace.Op) int {
 		if q.inTxn {
 			if q.preempt != nil && len(q.preempt.spilled) > 0 {
 				// Signatures are spilled: membership-test the saved
-				// copies; a hit dooms the paused transaction.
+				// copies; a hit dooms the paused transaction. The test
+				// runs at the signatures' own granularity (words when
+				// WordGranularity, lines otherwise).
 				if !q.preempt.doomed {
-					for _, sp := range q.preempt.spilled {
-						if sp.sv.R.Contains(sig.Addr(line)) || sp.sv.W.Contains(sig.Addr(line)) {
-							q.preempt.doomed = true
-							s.stats.Squashes++
-							if sp.sec.readL.Has(line) || sp.sec.writeL.Has(line) {
-								s.real++
-								s.stats.DepSetLines++
-							} else {
-								s.stats.FalseSquashes++
-							}
-							break
+					sigAddr := s.sigAddrOf(op.Addr)
+					hitIdx := -1
+					exact := false
+					for i, sp := range q.preempt.spilled {
+						if hitIdx < 0 && (sp.sv.R.Contains(sigAddr) || sp.sv.W.Contains(sigAddr)) {
+							hitIdx = i
+						}
+						if s.opts.WordGranularity {
+							exact = exact || sp.sec.readW.Has(op.Addr) || sp.sec.wbuf.Has(op.Addr)
+						} else {
+							exact = exact || sp.sec.readL.Has(line) || sp.sec.writeL.Has(line)
+						}
+					}
+					if s.opts.Mutate.Has(mutate.SkipSpilledDisambiguation) {
+						hitIdx = -1
+					}
+					if s.opts.Probe != nil {
+						s.opts.Probe.EmitConflict(sim.ConflictEvent{
+							Path: sim.PathSpilled, Committer: p.id, Receiver: q.id,
+							SigHit: hitIdx >= 0, ExactHit: exact,
+						})
+					}
+					if hitIdx >= 0 {
+						sp := q.preempt.spilled[hitIdx]
+						q.preempt.doomed = true
+						s.stats.Squashes++
+						if sp.sec.readL.Has(line) || sp.sec.writeL.Has(line) {
+							s.real++
+							s.stats.DepSetLines++
+						} else {
+							s.stats.FalseSquashes++
 						}
 					}
 				}
 			} else if q.module != nil {
+				exact := false
+				if s.opts.WordGranularity {
+					exact = q.readWord(op.Addr) || q.wroteWord(op.Addr)
+				} else {
+					exact = q.inReadSet(line) || q.inWriteSet(line)
+				}
+				sigHit := false
 				for si, sec := range q.sections {
 					if q.module.DisambiguateAddr(sec.version, s.sigAddrOf(op.Addr)) {
+						sigHit = true
 						dep := 0
 						if s.opts.WordGranularity {
 							if sec.readW.Has(op.Addr) || sec.wbuf.Has(op.Addr) {
@@ -254,6 +288,12 @@ func (s *System) plainWrite(p *proc, seg *workload.TMSegment, op trace.Op) int {
 						s.squash(q, s.rollbackSection(q, si), uint64(dep))
 						break
 					}
+				}
+				if s.opts.Probe != nil {
+					s.opts.Probe.EmitConflict(sim.ConflictEvent{
+						Path: sim.PathInvalidation, Committer: p.id, Receiver: q.id,
+						SigHit: sigHit, ExactHit: exact,
+					})
 				}
 			} else if q.inReadSet(line) || q.inWriteSet(line) {
 				s.squash(q, 0, 1)

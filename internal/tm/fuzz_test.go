@@ -109,6 +109,28 @@ func TestFuzzBulkTinySignatures(t *testing.T) {
 	}
 }
 
+// FuzzTMSchemes is the native fuzz entry: any seed must generate a
+// workload that runs serializably under every scheme.
+func FuzzTMSchemes(f *testing.F) {
+	for seed := uint64(1); seed <= 4; seed++ {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed uint64) {
+		w := randomWorkload(seed)
+		for _, sc := range []Scheme{Eager, Lazy, Bulk} {
+			opts := NewOptions(sc)
+			opts.RestartLimit = 10000
+			r, err := Run(w, opts)
+			if err != nil {
+				t.Fatalf("seed %d %v: %v", seed, sc, err)
+			}
+			if err := Verify(w, r); err != nil {
+				t.Fatalf("seed %d %v: %v", seed, sc, err)
+			}
+		}
+	})
+}
+
 // TestFuzzPartialRollback runs random nested workloads with per-section
 // rollback enabled.
 func TestFuzzPartialRollback(t *testing.T) {

@@ -4,7 +4,9 @@ import (
 	"bulk/internal/bus"
 	"bulk/internal/cache"
 	"bulk/internal/flatmap"
+	"bulk/internal/mutate"
 	"bulk/internal/sig"
+	"bulk/internal/sim"
 )
 
 // Context-switch support (Section 6.2.2, second half): a running
@@ -42,14 +44,28 @@ type spilledSig struct {
 }
 
 // maybePreempt pauses p's transaction if the preemption policy triggers at
-// this op boundary. Returns whether a preemption started.
+// this op boundary. Returns whether a preemption started. A scheduler may
+// override the policy either way: suppress a due preemption or inject one
+// at a boundary the policy would skip.
 func (s *System) maybePreempt(p *proc) bool {
 	o := s.opts
-	if o.PreemptEvery <= 0 || !p.inTxn || p.opIdx == 0 || p.opIdx%o.PreemptEvery != 0 {
+	if o.PreemptEvery <= 0 || !p.inTxn || p.opIdx == 0 {
 		return false
 	}
 	if p.opIdx == p.lastPreemptOp {
 		return false // this boundary already fired; execution resumes
+	}
+	def := 0
+	if p.opIdx%o.PreemptEvery == 0 {
+		def = 1
+	}
+	if s.engine.Branch(sim.BranchPreempt, 2, def) == 0 {
+		if def == 1 {
+			// A suppressed policy boundary must not fire on a later pass
+			// over the same op (e.g. after a stall retry).
+			p.lastPreemptOp = p.opIdx
+		}
+		return false
 	}
 	p.lastPreemptOp = p.opIdx
 	pause := o.PreemptPause
@@ -129,34 +145,86 @@ func (s *System) runInterloper(p *proc) {
 	}
 }
 
-// disambiguateSpilled checks an incoming commit against p's spilled
+// disambiguateSpilled checks an incoming commit by c against p's spilled
 // signatures (the in-memory disambiguation of Section 6.2.2). A hit dooms
 // the paused transaction.
-func (s *System) disambiguateSpilled(p *proc, wc *sig.Signature, writeLines *flatmap.Set) {
+func (s *System) disambiguateSpilled(c, p *proc, wc *sig.Signature, writeLines *flatmap.Set) {
 	if p.preempt == nil || len(p.preempt.spilled) == 0 || p.preempt.doomed {
 		return
 	}
 	s.stats.Bandwidth.Record(bus.UB, bus.HeaderBytes+len(p.preempt.spilled)*bus.AddrBytes)
-	for _, sp := range p.preempt.spilled {
+	hitIdx := -1
+	for i, sp := range p.preempt.spilled {
 		if wc.Intersects(sp.sv.R) || wc.Intersects(sp.sv.W) {
-			p.preempt.doomed = true
-			dep := uint64(0)
-			writeLines.Range(func(l uint64) bool { // order-independent count
+			hitIdx = i
+			break
+		}
+	}
+	if s.opts.Mutate.Has(mutate.SkipSpilledDisambiguation) {
+		hitIdx = -1
+	}
+	if s.opts.Probe != nil {
+		s.opts.Probe.EmitConflict(sim.ConflictEvent{
+			Path: sim.PathSpilled, Committer: c.id, Receiver: p.id,
+			SigHit: hitIdx >= 0, ExactHit: s.spilledExactHit(c, p, writeLines),
+		})
+	}
+	if hitIdx < 0 {
+		return
+	}
+	sp := p.preempt.spilled[hitIdx]
+	p.preempt.doomed = true
+	dep := uint64(0)
+	writeLines.Range(func(l uint64) bool { // order-independent count
+		if sp.sec.readL.Has(l) || sp.sec.writeL.Has(l) {
+			dep++
+		}
+		return true
+	})
+	s.stats.Squashes++
+	if dep == 0 {
+		s.stats.FalseSquashes++
+	} else {
+		s.real++
+		s.stats.DepSetLines += dep
+	}
+}
+
+// spilledExactHit computes the exact ground truth for a commit-vs-spilled
+// disambiguation at the signatures' own granularity, so an unmutated run
+// can never look unsound (the signatures are supersets of these sets).
+func (s *System) spilledExactHit(c, p *proc, writeLines *flatmap.Set) bool {
+	for _, sp := range p.preempt.spilled {
+		hit := false
+		if s.opts.WordGranularity {
+			// Word signatures: compare the committer's written words
+			// against the spilled section's read words and buffered writes.
+			for _, csec := range c.sections {
+				csec.wbuf.Range(func(w, _ uint64) bool { // order-independent boolean reduction
+					if sp.sec.readW.Has(w) || sp.sec.wbuf.Has(w) {
+						hit = true
+						return false
+					}
+					return true
+				})
+				if hit {
+					break
+				}
+			}
+		} else {
+			writeLines.Range(func(l uint64) bool { // order-independent boolean reduction
 				if sp.sec.readL.Has(l) || sp.sec.writeL.Has(l) {
-					dep++
+					hit = true
+					return false
 				}
 				return true
 			})
-			s.stats.Squashes++
-			if dep == 0 {
-				s.stats.FalseSquashes++
-			} else {
-				s.real++
-				s.stats.DepSetLines += dep
-			}
-			return
+		}
+		if hit {
+			return true
 		}
 	}
+	return false
 }
 
 // resumePreempted reinstates a paused transaction: reload the spilled
@@ -197,6 +265,14 @@ func (s *System) resumePreempted(p *proc) {
 						p.module.CommitWrite(v, sig.Addr(l))
 						return true
 					})
+				}
+				// ClearVersion dropped the sticky O bit when the signatures
+				// left the BDM, and spillDirtyLines moved this section's
+				// dirty lines to the overflow area; without the bit the
+				// miss-path filter would refetch them as stale committed
+				// memory.
+				if !p.over.Empty() {
+					p.module.NoteOverflow(v)
 				}
 			}
 		}

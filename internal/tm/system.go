@@ -136,6 +136,7 @@ func NewSystem(w *workload.TMWorkload, opts Options) (*System, error) {
 		engine:       sim.NewEngine(len(w.Threads)),
 		wordsPerLine: opts.LineBytes / 4,
 	}
+	s.engine.SetScheduler(opts.Scheduler)
 	s.sigCfg = opts.SigConfig
 	for i := range w.Threads {
 		c, err := cache.New(opts.CacheBytes, opts.CacheWays, opts.LineBytes)
@@ -157,6 +158,7 @@ func NewSystem(w *workload.TMWorkload, opts Options) (*System, error) {
 				Sig:         opts.SigConfig,
 				Index:       sig.IndexSpec{LowBit: 0, Bits: indexBits(c)},
 				MaxVersions: 4,
+				Mutate:      opts.Mutate,
 			}
 			if opts.WordGranularity {
 				wordBits := 0
@@ -257,6 +259,12 @@ func (s *System) step(p *proc) {
 
 	if p.opIdx >= len(seg.Ops) {
 		if seg.Txn {
+			// Commit-token decision: an explorer may defer the commit one
+			// quantum, reordering it against other processors' actions.
+			if s.engine.Branch(sim.BranchCommit, 2, 1) == 0 {
+				s.engine.Advance(p.id, 1)
+				return
+			}
 			s.commit(p, seg)
 		} else {
 			p.segIdx++

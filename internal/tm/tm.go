@@ -19,6 +19,7 @@ package tm
 import (
 	"bulk/internal/bus"
 	"bulk/internal/mem"
+	"bulk/internal/mutate"
 	"bulk/internal/sig"
 	"bulk/internal/sim"
 )
@@ -91,6 +92,15 @@ type Options struct {
 	// Meter, when non-nil, receives this run's final bus.Bandwidth.
 	// It is safe to share one Meter across runs on separate goroutines.
 	Meter *bus.Meter
+	// Scheduler, when non-nil, drives every scheduling decision (which
+	// processor steps, commit-token grants, preemption firing). Nil keeps
+	// the default order byte-identically.
+	Scheduler sim.Scheduler
+	// Probe, when non-nil, receives conflict-decision and squash-hygiene
+	// events (model-checker oracles). Bulk scheme only.
+	Probe *sim.Probe
+	// Mutate enables seeded protocol mutations (model-checker teeth).
+	Mutate mutate.Set
 }
 
 // NewOptions returns Options with the paper's defaults for a scheme.

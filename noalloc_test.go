@@ -14,6 +14,7 @@ import (
 	"bulk/internal/flatmap"
 	"bulk/internal/lint"
 	"bulk/internal/mem"
+	"bulk/internal/mutate"
 	"bulk/internal/sig"
 )
 
@@ -76,7 +77,10 @@ func kernelHarnesses(t *testing.T) map[string]func() {
 
 	var bw bus.Bandwidth
 
+	muts := mutate.Of(mutate.DropWRTerm, mutate.SkipWordMerge)
+
 	return map[string]func(){
+		"bulk/internal/mutate.Set.Has": func() { _ = muts.Has(mutate.DropWRTerm) },
 		"bulk/internal/sig.Signature.Add":           func() { s1.Add(1234) },
 		"bulk/internal/sig.Signature.Contains":      func() { _ = s1.Contains(1234) },
 		"bulk/internal/sig.Signature.Empty":         func() { _ = s1.Empty() },

@@ -25,4 +25,41 @@ echo "== bench harness smoke (-benchtime=1x) =="
 # scripts/bench.sh depends on cannot silently rot.
 go test . -run '^$' -bench 'TMRun|TLSRun|CkptRun' -benchtime 1x
 
+echo "== coverage gate =="
+# Per-package statement-coverage floors for the runtimes and the model
+# checker, set just under their measured values so coverage can only
+# ratchet up. Raise a floor when you raise the coverage.
+check_cover() {
+  local pkg="$1" floor="$2"
+  local line pct
+  line=$(go test -cover "./internal/$pkg/" | tail -1)
+  pct=$(echo "$line" | sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p')
+  if [ -z "$pct" ]; then
+    echo "coverage gate: no coverage figure for $pkg: $line" >&2
+    exit 1
+  fi
+  if awk -v p="$pct" -v f="$floor" 'BEGIN { exit !(p < f) }'; then
+    echo "coverage gate: $pkg at ${pct}% is below the ${floor}% floor" >&2
+    exit 1
+  fi
+  echo "coverage $pkg: ${pct}% (floor ${floor}%)"
+}
+check_cover tm 88
+check_cover tls 88
+check_cover ckpt 90
+check_cover check 84
+
+echo "== bulkcheck smoke =="
+# A small exhaustive sweep of every protocol must stay oracle-clean, and
+# every seeded protocol mutation must still be killed by the explorer.
+go run ./cmd/bulkcheck -budget small -v
+go run ./cmd/bulkcheck -mutations all
+
+echo "== native fuzz smoke (5s per runtime) =="
+for target in internal/tm:FuzzTMSchemes internal/tls:FuzzTLSSchemes internal/ckpt:FuzzCkptModes; do
+  pkg="${target%%:*}"
+  fz="${target##*:}"
+  go test "./$pkg/" -run '^$' -fuzz "^${fz}\$" -fuzztime 5s
+done
+
 echo "check.sh: all stages passed"
