@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	bulklint [-json] [-rules rule1,rule2] [-disable rule1,rule2] [-list] [patterns]
+//	bulklint [-json] [-rules rule1,rule2] [-disable rule1,rule2] [-list] [-effects] [patterns]
 //
 // Patterns follow the usual Go tool shape: "./..." (the default) lints the
 // whole module; "./internal/sig" or "bulk/internal/sig" lints one package;
@@ -13,7 +13,13 @@
 // -rules runs only the named rules; -disable runs everything except the
 // named rules. The two are mutually exclusive. The stalewaiver audit only
 // fires for waivers of rules that actually ran, so filtered runs never
-// report false stale waivers.
+// report false stale waivers. Naming an unknown rule is a usage error:
+// exit status 2 with the sorted list of known rules.
+//
+// -effects prints the per-function effect report instead of findings, one
+// `pkg<TAB>func<TAB>effects` line per declared function (a JSON array with
+// -json). The report is deterministic: identical sources produce
+// byte-identical output.
 //
 // Exit status: 0 when clean, 1 when findings were reported, 2 on usage or
 // load errors.
@@ -25,6 +31,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 
 	"bulk/internal/lint"
@@ -39,8 +46,9 @@ func run() int {
 	rules := flag.String("rules", "", "comma-separated rule names to run (default: all)")
 	disable := flag.String("disable", "", "comma-separated rule names to skip")
 	list := flag.Bool("list", false, "list rules and exit")
+	effects := flag.Bool("effects", false, "print the per-function effect report instead of findings")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: bulklint [-json] [-rules rule1,rule2] [-disable rule1,rule2] [-list] [patterns]\n")
+		fmt.Fprintf(os.Stderr, "usage: bulklint [-json] [-rules rule1,rule2] [-disable rule1,rule2] [-list] [-effects] [patterns]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -65,8 +73,7 @@ func run() int {
 		for _, n := range strings.Split(*disable, ",") {
 			n = strings.TrimSpace(n)
 			if !known[n] {
-				fmt.Fprintf(os.Stderr, "bulklint: unknown rule %q (see -list)\n", n)
-				return 2
+				return unknownRule(n)
 			}
 			disabled[n] = true
 		}
@@ -76,8 +83,7 @@ func run() int {
 		for _, n := range strings.Split(*rules, ",") {
 			n = strings.TrimSpace(n)
 			if !known[n] {
-				fmt.Fprintf(os.Stderr, "bulklint: unknown rule %q (see -list)\n", n)
-				return 2
+				return unknownRule(n)
 			}
 			enabled[n] = true
 		}
@@ -111,6 +117,27 @@ func run() int {
 		}
 	}
 
+	if *effects {
+		report := lint.InferEffects(pkgs)
+		report = filterEffects(report, root, patterns)
+		if *jsonOut {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if report == nil {
+				report = []lint.FuncEffect{}
+			}
+			if err := enc.Encode(report); err != nil {
+				fmt.Fprintf(os.Stderr, "bulklint: %v\n", err)
+				return 2
+			}
+			return 0
+		}
+		for _, fe := range report {
+			fmt.Printf("%s\t%s\t%s\n", fe.Pkg, fe.Func, fe.Effects)
+		}
+		return 0
+	}
+
 	findings := lint.RunAnalyzers(pkgs, fset, disabled)
 	findings = filterByPatterns(findings, root, patterns)
 
@@ -133,6 +160,31 @@ func run() int {
 		return 1
 	}
 	return 0
+}
+
+// unknownRule rejects a -rules/-disable name the suite does not know,
+// listing the known rules so the fix is obvious.
+func unknownRule(name string) int {
+	names := lint.AnalyzerNames()
+	sort.Strings(names)
+	fmt.Fprintf(os.Stderr, "bulklint: unknown rule %q (known rules: %s)\n", name, strings.Join(names, ", "))
+	return 2
+}
+
+// filterEffects keeps effect-report rows whose file falls under one of the
+// package patterns, resolved relative to the module root.
+func filterEffects(report []lint.FuncEffect, root string, patterns []string) []lint.FuncEffect {
+	var out []lint.FuncEffect
+	for _, fe := range report {
+		dir := relDir(filepath.Dir(fe.File), root)
+		for _, pat := range patterns {
+			if matchPattern(dir, pat) {
+				out = append(out, fe)
+				break
+			}
+		}
+	}
+	return out
 }
 
 // moduleRoot walks up from the working directory to the nearest go.mod.

@@ -79,6 +79,8 @@ func (o *Outcome) Failure() string {
 
 // soundnessProbe builds a sim.Probe that records soundness and hygiene
 // violations into viol.
+//
+//bulklint:purehook
 func soundnessProbe(viol *[]string) *sim.Probe {
 	return &sim.Probe{
 		Conflict: func(ev sim.ConflictEvent) {

@@ -10,6 +10,8 @@ import (
 // Verify replays the commit log serially and compares the final memory —
 // the same oracle as the TM runtime: speculation (and its inexact
 // signature-based rollbacks) must never change architectural results.
+//
+//bulklint:purehook
 func Verify(w *Workload, r *Result) error {
 	ref := mem.NewMemory()
 	execs := make([]*trace.Executor, len(w.Procs))

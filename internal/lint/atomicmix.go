@@ -1,0 +1,136 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// This file implements the atomicmix rule: a memory location accessed
+// through the pointer-style sync/atomic API anywhere in the module must
+// never be accessed by a plain load or store elsewhere. Mixed access is
+// how torn reads and lost updates enter a codebase gradually — one
+// hot-path atomic.AddUint64 added next to an existing plain counter read —
+// and it is the specific precondition the planned parallel checker's
+// sharded fingerprint set must be able to rely on.
+//
+// Pass 1 collects every object (struct field or variable) whose address is
+// the first argument of a sync/atomic function call. Pass 2 reports every
+// other access to those objects that is not itself the address argument of
+// an atomic call. Typed atomics (atomic.Int64 and friends) encapsulate
+// their word and need no rule; their method calls are skipped by
+// construction. Waive a deliberately mixed site (an init path before the
+// value is shared) with `//bulklint:allow atomicmix <why>`.
+
+func analyzerAtomicMix() *Analyzer {
+	return &Analyzer{
+		Name: "atomicmix",
+		Doc:  "location accessed both through sync/atomic and by plain load/store",
+		Run: func(pkgs []*Package, r *Reporter) {
+			atomicObjs := map[types.Object]token.Pos{} // object -> first atomic site
+			atomicArgs := map[ast.Expr]bool{}          // the &x argument expressions
+			for _, pkg := range pkgs {
+				for _, f := range pkg.Files {
+					ast.Inspect(f, func(n ast.Node) bool {
+						call, ok := n.(*ast.CallExpr)
+						if !ok {
+							return true
+						}
+						obj, arg := atomicTarget(pkg, call)
+						if obj == nil {
+							return true
+						}
+						atomicArgs[arg] = true
+						if prev, seen := atomicObjs[obj]; !seen || call.Pos() < prev {
+							atomicObjs[obj] = call.Pos()
+						}
+						return true
+					})
+				}
+			}
+			if len(atomicObjs) == 0 {
+				return
+			}
+			for _, pkg := range pkgs {
+				for _, f := range pkg.Files {
+					ast.Inspect(f, func(n ast.Node) bool {
+						if e, ok := n.(ast.Expr); ok && atomicArgs[e] {
+							return false // the atomic access itself
+						}
+						obj, pos := plainAccess(pkg, n)
+						if obj == nil {
+							return true
+						}
+						site, tracked := atomicObjs[obj]
+						if !tracked {
+							return true
+						}
+						at := sharedFset.Position(site)
+						r.Report(pkg, pos, "atomicmix",
+							"%s is accessed with sync/atomic at %s:%d but by plain load/store here; every access to an atomic location must go through sync/atomic (or waive with //bulklint:allow atomicmix <why>)",
+							obj.Name(), at.Filename, at.Line)
+						return true
+					})
+				}
+			}
+		},
+	}
+}
+
+// atomicTarget resolves a call to the object whose address it atomically
+// accesses: a pointer-style sync/atomic function whose first argument is
+// &field or &var. Typed-atomic method calls return nil — the typed API
+// cannot mix with plain access.
+func atomicTarget(pkg *Package, call *ast.CallExpr) (types.Object, ast.Expr) {
+	fn := staticCallee(pkg, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return nil, nil
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return nil, nil // atomic.Int64 & friends: encapsulated
+	}
+	if len(call.Args) == 0 {
+		return nil, nil
+	}
+	ua, ok := unparen(call.Args[0]).(*ast.UnaryExpr)
+	if !ok || ua.Op != token.AND {
+		return nil, nil
+	}
+	switch t := unparen(ua.X).(type) {
+	case *ast.Ident:
+		if obj := identObj(pkg, t); obj != nil {
+			return obj, call.Args[0]
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := pkg.Info.Selections[t]; ok && sel.Kind() == types.FieldVal {
+			return sel.Obj(), call.Args[0]
+		}
+		if obj := pkg.Info.Uses[t.Sel]; obj != nil {
+			return obj, call.Args[0] // qualified package-level var
+		}
+	}
+	return nil, nil
+}
+
+// plainAccess resolves an AST node to the variable object it reads or
+// writes directly: a field selection, or a non-field identifier use.
+// Declarations (Defs) are not accesses; field names inside selectors are
+// reached via the SelectorExpr case, so the Ident case skips field
+// objects to avoid double counting.
+func plainAccess(pkg *Package, n ast.Node) (types.Object, token.Pos) {
+	switch n := n.(type) {
+	case *ast.SelectorExpr:
+		sel, ok := pkg.Info.Selections[n]
+		if !ok || sel.Kind() != types.FieldVal {
+			return nil, token.NoPos
+		}
+		return sel.Obj(), n.Sel.Pos()
+	case *ast.Ident:
+		v, ok := pkg.Info.Uses[n].(*types.Var)
+		if !ok || v.IsField() {
+			return nil, token.NoPos
+		}
+		return v, n.Pos()
+	}
+	return nil, token.NoPos
+}

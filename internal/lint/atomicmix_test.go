@@ -1,0 +1,140 @@
+package lint
+
+import "testing"
+
+func TestAtomicMixField(t *testing.T) {
+	findings := lintFixture(t, map[string]string{
+		"internal/scratch/s.go": `package scratch
+
+import "sync/atomic"
+
+type Counter struct {
+	n int64
+}
+
+func (c *Counter) Inc() {
+	atomic.AddInt64(&c.n, 1)
+}
+
+func (c *Counter) Snapshot() int64 {
+	return c.n
+}
+`,
+	})
+	wantFinding(t, findings, "atomicmix", "internal/scratch/s.go", 14)
+}
+
+func TestAtomicMixPackageVar(t *testing.T) {
+	findings := lintFixture(t, map[string]string{
+		"internal/scratch/s.go": `package scratch
+
+import "sync/atomic"
+
+var hits int64
+
+func Record() {
+	atomic.AddInt64(&hits, 1)
+}
+
+func Reset() {
+	hits = 0
+}
+`,
+	})
+	wantFinding(t, findings, "atomicmix", "internal/scratch/s.go", 12)
+}
+
+func TestAtomicMixCrossPackage(t *testing.T) {
+	// The atomic site and the plain access live in different packages: the
+	// object set is module-wide, not per-package.
+	findings := lintFixture(t, map[string]string{
+		"internal/a/a.go": `package a
+
+import "sync/atomic"
+
+var Hits int64
+
+func Record() {
+	atomic.AddInt64(&Hits, 1)
+}
+`,
+		"internal/b/b.go": `package b
+
+import "bulk/internal/a"
+
+func Peek() int64 {
+	return a.Hits
+}
+`,
+	})
+	wantFinding(t, findings, "atomicmix", "internal/b/b.go", 6)
+}
+
+func TestAtomicMixAllAtomicClean(t *testing.T) {
+	findings := lintFixture(t, map[string]string{
+		"internal/scratch/s.go": `package scratch
+
+import "sync/atomic"
+
+type Counter struct {
+	n int64
+}
+
+func (c *Counter) Inc() {
+	atomic.AddInt64(&c.n, 1)
+}
+
+func (c *Counter) Snapshot() int64 {
+	return atomic.LoadInt64(&c.n)
+}
+`,
+	})
+	wantNoFinding(t, findings, "atomicmix")
+}
+
+func TestAtomicMixTypedAtomicExempt(t *testing.T) {
+	// The typed API encapsulates its word; method calls are not pointer-style
+	// atomic accesses and fields of the same struct stay untracked.
+	findings := lintFixture(t, map[string]string{
+		"internal/scratch/s.go": `package scratch
+
+import "sync/atomic"
+
+type Counter struct {
+	n atomic.Int64
+	m int64
+}
+
+func (c *Counter) Inc() {
+	c.n.Add(1)
+}
+
+func (c *Counter) Plain() int64 {
+	c.m++
+	return c.m
+}
+`,
+	})
+	wantNoFinding(t, findings, "atomicmix")
+}
+
+func TestAtomicMixWaiver(t *testing.T) {
+	findings := lintFixture(t, map[string]string{
+		"internal/scratch/s.go": `package scratch
+
+import "sync/atomic"
+
+var hits int64
+
+func Record() {
+	atomic.AddInt64(&hits, 1)
+}
+
+func Reset() {
+	hits = 0 //bulklint:allow atomicmix init path before the counter is shared
+}
+`,
+	})
+	wantNoFinding(t, findings, "atomicmix")
+	wantNoFinding(t, findings, "stalewaiver")
+}

@@ -1,0 +1,35 @@
+package lint
+
+import "testing"
+
+// The benchmarks time the full suite over the real module — the number
+// scripts/check.sh smoke-checks against bench/baseline/lint.txt. Loading
+// (parse + type-check) is done once outside the timed loop: the interesting
+// costs are the analyzers and the effect fixpoint, not the parser.
+
+func BenchmarkLintModule(b *testing.B) {
+	pkgs, fset, err := LoadModule("../..")
+	if err != nil {
+		b.Fatalf("LoadModule: %v", err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		findings := RunAnalyzers(pkgs, fset, nil)
+		if len(findings) != 0 {
+			b.Fatalf("module is not lint-clean: %v", findings[0])
+		}
+	}
+}
+
+func BenchmarkInferEffects(b *testing.B) {
+	pkgs, _, err := LoadModule("../..")
+	if err != nil {
+		b.Fatalf("LoadModule: %v", err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(InferEffects(pkgs)) == 0 {
+			b.Fatal("empty effect report")
+		}
+	}
+}

@@ -1,0 +1,121 @@
+package lint
+
+import (
+	"go/types"
+	"testing"
+)
+
+// cgFixture loads a fixture and builds its call graph.
+func cgFixture(t *testing.T, files map[string]string) ([]*Package, *callGraph) {
+	t.Helper()
+	pkgs, _, err := LoadFixture("bulk", files)
+	if err != nil {
+		t.Fatalf("LoadFixture: %v", err)
+	}
+	return pkgs, buildCallGraph(pkgs)
+}
+
+// lookupFunc finds a package-scope function by name.
+func lookupFunc(t *testing.T, pkgs []*Package, pkg, name string) *types.Func {
+	t.Helper()
+	for _, p := range pkgs {
+		if p.Dir != pkg {
+			continue
+		}
+		if fn, ok := p.Types.Scope().Lookup(name).(*types.Func); ok {
+			return fn
+		}
+	}
+	t.Fatalf("function %s not found in %s", name, pkg)
+	return nil
+}
+
+func TestCallGraphGenericOriginDedup(t *testing.T) {
+	// A generic function instantiated at two types is ONE node, and both
+	// instantiated call sites resolve to the same origin *types.Func.
+	pkgs, cg := cgFixture(t, map[string]string{
+		"internal/scratch/s.go": `package scratch
+
+func id[T any](x T) T { return x }
+
+func Use() (int, string) {
+	a := id(1)
+	b := id("x")
+	return a, b
+}
+`,
+	})
+	id := lookupFunc(t, pkgs, "internal/scratch", "id")
+	if id.Origin() != id {
+		t.Fatalf("scope lookup did not return the origin")
+	}
+	if cg.nodes[id] == nil {
+		t.Fatalf("no node for generic origin id")
+	}
+	use := cg.nodes[lookupFunc(t, pkgs, "internal/scratch", "Use")]
+	if use == nil {
+		t.Fatal("no node for Use")
+	}
+	if len(use.calls) != 2 {
+		t.Fatalf("Use has %d static calls, want 2", len(use.calls))
+	}
+	for i, cs := range use.calls {
+		if cs.callee != id {
+			t.Errorf("call %d resolves to %v, want the origin of id", i, cs.callee)
+		}
+	}
+	// Exactly one node per declaration: instantiations add nothing.
+	if n := len(cg.nodes); n != 2 {
+		t.Errorf("call graph has %d nodes, want 2 (id, Use)", n)
+	}
+}
+
+func TestCallGraphGenericMethodDedup(t *testing.T) {
+	pkgs, cg := cgFixture(t, map[string]string{
+		"internal/scratch/s.go": `package scratch
+
+type Box[T any] struct{ v T }
+
+func (b *Box[T]) Get() T { return b.v }
+
+func Use(bi *Box[int], bs *Box[string]) (int, string) {
+	return bi.Get(), bs.Get()
+}
+`,
+	})
+	use := cg.nodes[lookupFunc(t, pkgs, "internal/scratch", "Use")]
+	if use == nil {
+		t.Fatal("no node for Use")
+	}
+	if len(use.calls) != 2 {
+		t.Fatalf("Use has %d static calls, want 2", len(use.calls))
+	}
+	if use.calls[0].callee != use.calls[1].callee {
+		t.Errorf("instantiated method calls resolve to distinct callees: %v vs %v",
+			use.calls[0].callee, use.calls[1].callee)
+	}
+	if cg.nodes[use.calls[0].callee] == nil {
+		t.Errorf("resolved method callee %v has no node; Origin folding broke", use.calls[0].callee)
+	}
+}
+
+func TestCallGraphDynamicCallsExcluded(t *testing.T) {
+	pkgs, cg := cgFixture(t, map[string]string{
+		"internal/scratch/s.go": `package scratch
+
+type doer interface{ Do() }
+
+func Use(d doer, f func()) {
+	d.Do()
+	f()
+}
+`,
+	})
+	use := cg.nodes[lookupFunc(t, pkgs, "internal/scratch", "Use")]
+	if use == nil {
+		t.Fatal("no node for Use")
+	}
+	if len(use.calls) != 0 {
+		t.Errorf("dynamic calls were recorded as static: %d", len(use.calls))
+	}
+}

@@ -1,0 +1,200 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// parseBody parses a function body for driving flowWalk directly.
+func parseBody(t *testing.T, body string) []ast.Stmt {
+	t.Helper()
+	src := "package p\n\nfunc f() {\n" + body + "\n}\n"
+	f, err := parser.ParseFile(token.NewFileSet(), "flow.go", src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return f.Decls[0].(*ast.FuncDecl).Body.List
+}
+
+// mergeCall records one merge-hook invocation.
+type mergeCall struct {
+	branches       int
+	mayFallThrough bool
+}
+
+// flowTrace runs flowWalk over a body with recording hooks and returns the
+// per-statement visit counts and the merge invocations in order.
+func flowTrace(t *testing.T, body string) (map[ast.Stmt]int, []mergeCall) {
+	t.Helper()
+	visits := map[ast.Stmt]int{}
+	var merges []mergeCall
+	flowWalk(0, parseBody(t, body), flowHooks[int]{
+		fork: func(s int) int { return s },
+		merge: func(base int, branches []int, mayFallThrough bool) int {
+			merges = append(merges, mergeCall{len(branches), mayFallThrough})
+			return base
+		},
+		stmt: func(_ int, s ast.Stmt) { visits[s]++ },
+	})
+	return visits, merges
+}
+
+// visitCounts collapses the per-pointer counts into a sorted multiset of
+// counts, which is enough to assert "walked once" vs "walked twice".
+func countOf(t *testing.T, visits map[ast.Stmt]int, match func(ast.Stmt) bool) int {
+	t.Helper()
+	total := -1
+	for s, n := range visits {
+		if !match(s) {
+			continue
+		}
+		if total >= 0 {
+			t.Fatalf("matcher is ambiguous")
+		}
+		total = n
+	}
+	if total < 0 {
+		t.Fatalf("no visited statement matched")
+	}
+	return total
+}
+
+func isIncDec(s ast.Stmt) bool { _, ok := s.(*ast.IncDecStmt); return ok }
+
+func TestFlowWalkForBodyWalkedTwice(t *testing.T) {
+	// Loop bodies are walked twice (bounded fixpoint): facts created in
+	// iteration k reach uses in iteration k+1.
+	visits, merges := flowTrace(t, `
+	x := 0
+	for i := 0; i < 10; i = i + 1 {
+		x++
+	}
+	_ = x`)
+	if n := countOf(t, visits, isIncDec); n != 2 {
+		t.Errorf("for-loop body statement visited %d times, want 2", n)
+	}
+	// Two merges — the iteration join feeding the second walk and the loop
+	// exit — and both may fall through (zero-iteration loops skip the body).
+	for i, m := range merges {
+		if m.branches != 1 || !m.mayFallThrough {
+			t.Errorf("merge %d = %+v, want {1 true}", i, m)
+		}
+	}
+	if len(merges) != 2 {
+		t.Errorf("got %d merges, want 2 (iteration join + exit join)", len(merges))
+	}
+}
+
+func TestFlowWalkRangeBodyWalkedTwice(t *testing.T) {
+	visits, _ := flowTrace(t, `
+	x := 0
+	for range []int{1, 2} {
+		x++
+	}
+	_ = x`)
+	if n := countOf(t, visits, isIncDec); n != 2 {
+		t.Errorf("range body statement visited %d times, want 2", n)
+	}
+}
+
+func TestFlowWalkIfElseMerge(t *testing.T) {
+	_, merges := flowTrace(t, `
+	x := 0
+	if x > 0 {
+		x++
+	} else {
+		x--
+	}`)
+	if len(merges) != 1 {
+		t.Fatalf("got %d merges, want 1", len(merges))
+	}
+	if m := merges[0]; m.branches != 2 || m.mayFallThrough {
+		t.Errorf("if/else merge = %+v, want {2 false}", m)
+	}
+}
+
+func TestFlowWalkIfWithoutElseMayFallThrough(t *testing.T) {
+	_, merges := flowTrace(t, `
+	x := 0
+	if x > 0 {
+		x++
+	}`)
+	if len(merges) != 1 {
+		t.Fatalf("got %d merges, want 1", len(merges))
+	}
+	if m := merges[0]; m.branches != 1 || !m.mayFallThrough {
+		t.Errorf("if merge = %+v, want {1 true}", m)
+	}
+}
+
+func TestFlowWalkSwitchDefault(t *testing.T) {
+	_, merges := flowTrace(t, `
+	x := 0
+	switch x {
+	case 1:
+		x++
+	case 2:
+		x--
+	default:
+		x = 3
+	}`)
+	if len(merges) != 1 {
+		t.Fatalf("got %d merges, want 1", len(merges))
+	}
+	// With a default, one clause always runs: no fall-through path.
+	if m := merges[0]; m.branches != 3 || m.mayFallThrough {
+		t.Errorf("switch merge = %+v, want {3 false}", m)
+	}
+}
+
+func TestFlowWalkSwitchNoDefault(t *testing.T) {
+	_, merges := flowTrace(t, `
+	x := 0
+	switch x {
+	case 1:
+		x++
+	}`)
+	if m := merges[0]; m.branches != 1 || !m.mayFallThrough {
+		t.Errorf("switch merge = %+v, want {1 true}", m)
+	}
+}
+
+func TestFlowWalkSelectCommStatementVisited(t *testing.T) {
+	// The comm statement of a select clause executes on that clause's path
+	// and must reach the stmt hook.
+	visits, merges := flowTrace(t, `
+	c := make(chan int, 1)
+	select {
+	case c <- 1:
+	default:
+	}`)
+	sends := 0
+	for s, n := range visits {
+		if _, ok := s.(*ast.SendStmt); ok {
+			sends += n
+		}
+	}
+	if sends != 1 {
+		t.Errorf("select comm send visited %d times, want 1", sends)
+	}
+	if m := merges[0]; m.branches != 2 || m.mayFallThrough {
+		t.Errorf("select merge = %+v, want {2 false}", m)
+	}
+}
+
+func TestFlowWalkNestedLoopInnerWalkedFourTimes(t *testing.T) {
+	// Twice per enclosing walk: the inner body runs 2×2 times.
+	visits, _ := flowTrace(t, `
+	x := 0
+	for range []int{1} {
+		for range []int{1} {
+			x++
+		}
+	}
+	_ = x`)
+	if n := countOf(t, visits, isIncDec); n != 4 {
+		t.Errorf("nested loop body visited %d times, want 4", n)
+	}
+}

@@ -1,0 +1,180 @@
+package lint
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// This file implements the layerdep rule: the package-layer DAG declared
+// in internal/lint/layers.txt is enforced against the actual import graph,
+// so the architecture (sig/flatmap/cache at the bottom, check/experiments
+// at the top) is machine-checked instead of a comment. The contract is
+// strict: an intra-module import must target a package in a strictly
+// lower layer — same-layer imports are violations too, which is what
+// keeps each layer internally flat and the planned protocol-core
+// extraction honest.
+//
+// Layer file format, one declaration per line:
+//
+//	# comment
+//	layer <name>        starts the next-higher layer (file order = layer
+//	                    order, lowest first)
+//	<dir>               assigns a module-relative package directory
+//	<dir>/...           assigns a whole subtree
+//	.                   assigns the module root package
+//
+// Every loaded package must be assigned to exactly one layer. A module
+// without a layers.txt declares no layering and the rule is inert.
+// Import findings are waived with `//bulklint:allow layerdep <why>` on the
+// import line; problems in the layer file itself (parse errors, double
+// assignment) are reported against the file and cannot be waived.
+
+func analyzerLayerDep() *Analyzer {
+	return &Analyzer{
+		Name: "layerdep",
+		Doc:  "intra-module import that violates the declared package-layer DAG",
+		Run: func(pkgs []*Package, r *Reporter) {
+			if len(pkgs) == 0 || pkgs[0].Mod == nil || pkgs[0].Mod.LayersSrc == "" {
+				return
+			}
+			meta := pkgs[0].Mod
+			layers, errs := parseLayers(meta.LayersSrc)
+			if len(errs) > 0 {
+				for _, e := range errs {
+					r.reportAt(meta.LayersPath, e.line, 1, "layerdep", "%s", e.msg)
+				}
+				return
+			}
+
+			layerOf := map[string]int{} // package Dir -> layer index
+			for _, pkg := range pkgs {
+				idx := -1
+				for i, l := range layers {
+					if !l.matches(pkg.Dir) {
+						continue
+					}
+					if idx >= 0 {
+						r.reportAt(meta.LayersPath, 1, 1, "layerdep",
+							"package %s is assigned to both layer %s and layer %s",
+							displayDir(pkg.Dir), layers[idx].name, l.name)
+						continue
+					}
+					idx = i
+				}
+				if idx < 0 {
+					r.Report(pkg, pkg.Files[0].Package, "layerdep",
+						"package %s is not assigned to any layer in %s",
+						displayDir(pkg.Dir), layersFile)
+					continue
+				}
+				layerOf[pkg.Dir] = idx
+			}
+
+			byPath := map[string]*Package{}
+			for _, pkg := range pkgs {
+				byPath[pkg.Path] = pkg
+			}
+			for _, pkg := range pkgs {
+				li, ok := layerOf[pkg.Dir]
+				if !ok {
+					continue // unassigned: already reported
+				}
+				for _, f := range pkg.Files {
+					for _, imp := range f.Imports {
+						ip, err := strconv.Unquote(imp.Path.Value)
+						if err != nil {
+							continue
+						}
+						dep, ok := byPath[ip]
+						if !ok {
+							continue // standard library
+						}
+						di, ok := layerOf[dep.Dir]
+						if !ok || di < li {
+							continue
+						}
+						r.Report(pkg, imp.Pos(), "layerdep",
+							"package %s (layer %s) imports %s (layer %s); imports must target a strictly lower layer of %s",
+							displayDir(pkg.Dir), layers[li].name, ip, layers[di].name, layersFile)
+					}
+				}
+			}
+		},
+	}
+}
+
+func displayDir(dir string) string {
+	if dir == "" {
+		return "."
+	}
+	return dir
+}
+
+// layerDecl is one declared layer, lowest first.
+type layerDecl struct {
+	name     string
+	patterns []string
+}
+
+func (l layerDecl) matches(dir string) bool {
+	for _, pat := range l.patterns {
+		if pat == "." {
+			if dir == "" {
+				return true
+			}
+			continue
+		}
+		if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+			if dir == rest || strings.HasPrefix(dir, rest+"/") {
+				return true
+			}
+			continue
+		}
+		if dir == pat {
+			return true
+		}
+	}
+	return false
+}
+
+type layerErr struct {
+	line int
+	msg  string
+}
+
+// parseLayers parses the layer declaration; errors carry 1-based lines
+// into the source file.
+func parseLayers(src string) ([]layerDecl, []layerErr) {
+	var layers []layerDecl
+	var errs []layerErr
+	for i, raw := range strings.Split(src, "\n") {
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if name, ok := strings.CutPrefix(line, "layer "); ok {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				errs = append(errs, layerErr{i + 1, "layer declaration is missing a name"})
+				continue
+			}
+			for _, l := range layers {
+				if l.name == name {
+					errs = append(errs, layerErr{i + 1, fmt.Sprintf("duplicate layer %s", name)})
+				}
+			}
+			layers = append(layers, layerDecl{name: name})
+			continue
+		}
+		if len(layers) == 0 {
+			errs = append(errs, layerErr{i + 1, fmt.Sprintf("entry %q appears before any layer declaration", line)})
+			continue
+		}
+		layers[len(layers)-1].patterns = append(layers[len(layers)-1].patterns, line)
+	}
+	if len(layers) == 0 && len(errs) == 0 {
+		errs = append(errs, layerErr{1, "layer file declares no layers"})
+	}
+	return layers, errs
+}

@@ -1,0 +1,174 @@
+package lint
+
+import "testing"
+
+func TestLayerDepUpwardImport(t *testing.T) {
+	findings := lintFixture(t, map[string]string{
+		"internal/lint/layers.txt": `layer low
+internal/a
+
+layer high
+internal/b
+`,
+		"internal/a/a.go": `package a
+
+import "bulk/internal/b"
+
+var X = b.Y
+`,
+		"internal/b/b.go": `package b
+
+var Y = 1
+`,
+	})
+	wantFinding(t, findings, "layerdep", "internal/a/a.go", 3)
+}
+
+func TestLayerDepSameLayerImport(t *testing.T) {
+	// Same-layer imports are violations too: the contract is strictly-lower.
+	findings := lintFixture(t, map[string]string{
+		"internal/lint/layers.txt": `layer low
+internal/a
+internal/b
+`,
+		"internal/a/a.go": `package a
+
+import "bulk/internal/b"
+
+var X = b.Y
+`,
+		"internal/b/b.go": `package b
+
+var Y = 1
+`,
+	})
+	wantFinding(t, findings, "layerdep", "internal/a/a.go", 3)
+}
+
+func TestLayerDepCleanDAG(t *testing.T) {
+	findings := lintFixture(t, map[string]string{
+		"internal/lint/layers.txt": `layer low
+internal/b
+
+layer high
+internal/a
+`,
+		"internal/a/a.go": `package a
+
+import "bulk/internal/b"
+
+var X = b.Y
+`,
+		"internal/b/b.go": `package b
+
+var Y = 1
+`,
+	})
+	wantNoFinding(t, findings, "layerdep")
+}
+
+func TestLayerDepUnassignedPackage(t *testing.T) {
+	findings := lintFixture(t, map[string]string{
+		"internal/lint/layers.txt": `layer low
+internal/a
+`,
+		"internal/a/a.go": `package a
+
+var X = 1
+`,
+		"internal/b/b.go": `package b
+
+var Y = 1
+`,
+	})
+	wantFinding(t, findings, "layerdep", "internal/b/b.go", 1)
+}
+
+func TestLayerDepSubtreeAndRootPatterns(t *testing.T) {
+	findings := lintFixture(t, map[string]string{
+		"internal/lint/layers.txt": `layer low
+internal/...
+
+layer app
+.
+`,
+		"root.go": `package bulk
+
+import "bulk/internal/a/deep"
+
+var X = deep.Y
+`,
+		"internal/a/deep/d.go": `package deep
+
+var Y = 1
+`,
+	})
+	wantNoFinding(t, findings, "layerdep")
+}
+
+func TestLayerDepWaiver(t *testing.T) {
+	findings := lintFixture(t, map[string]string{
+		"internal/lint/layers.txt": `layer low
+internal/a
+internal/b
+`,
+		"internal/a/a.go": `package a
+
+import "bulk/internal/b" //bulklint:allow layerdep transitional until the split lands
+
+var X = b.Y
+`,
+		"internal/b/b.go": `package b
+
+var Y = 1
+`,
+	})
+	wantNoFinding(t, findings, "layerdep")
+	wantNoFinding(t, findings, "stalewaiver")
+}
+
+func TestLayerDepParseErrors(t *testing.T) {
+	findings := lintFixture(t, map[string]string{
+		"internal/lint/layers.txt": `internal/a
+layer low
+internal/a
+layer low
+`,
+		"internal/a/a.go": `package a
+
+var X = 1
+`,
+	})
+	var got []string
+	for _, f := range findings {
+		if f.Rule == "layerdep" {
+			got = append(got, f.Msg)
+		}
+	}
+	if len(got) != 2 {
+		t.Fatalf("want 2 layerdep parse errors, got %d: %v", len(got), got)
+	}
+	if got[0] != `entry "internal/a" appears before any layer declaration` {
+		t.Errorf("first error = %q", got[0])
+	}
+	if got[1] != "duplicate layer low" {
+		t.Errorf("second error = %q", got[1])
+	}
+}
+
+func TestLayerDepInertWithoutLayersFile(t *testing.T) {
+	// Fixtures (and modules) without a layers.txt declare no layering.
+	findings := lintFixture(t, map[string]string{
+		"internal/a/a.go": `package a
+
+import "bulk/internal/b"
+
+var X = b.Y
+`,
+		"internal/b/b.go": `package b
+
+var Y = 1
+`,
+	})
+	wantNoFinding(t, findings, "layerdep")
+}

@@ -48,12 +48,31 @@
 //     it statically calls) must not contain allocation-introducing
 //     constructs: make/new, composite literals, append, closures, string
 //     concatenation or conversion, builtin-map writes, interface boxing,
-//     fmt, go statements, or calls into non-allowlisted packages. Waive a
-//     cold call site with `//bulklint:allow noalloc <why>`.
+//     fmt, go statements, or calls into non-allowlisted packages. Built on
+//     the effect engine (effects.go). Waive a cold call site with
+//     `//bulklint:allow noalloc <why>`.
+//   - purehook:   every sim.Scheduler implementation and every function
+//     annotated `//bulklint:purehook` (the replay oracles) must infer
+//     effect-free-except-reads on the effect lattice — alloc, panic and
+//     receiver mutation allowed; io, nondeterminism, global writes,
+//     locks, goroutines, channels and unverifiable calls forbidden.
+//     Schedule replay is a verified property, not a convention.
+//   - atomicmix:  a location accessed through the pointer-style
+//     sync/atomic API anywhere in the module must never be accessed by a
+//     plain load/store elsewhere. Typed atomics are exempt by
+//     construction.
+//   - layerdep:   the package-layer DAG declared in
+//     internal/lint/layers.txt is enforced against actual imports; an
+//     intra-module import must target a strictly lower layer.
 //   - stalewaiver: every //bulklint: directive must earn its keep — a
 //     waiver that suppresses no live finding of its rule, an annotation
 //     attached to nothing, or a directive naming an unknown rule is
 //     itself reported. Stale-waiver findings cannot be waived.
+//
+// The interprocedural effect-inference engine behind noalloc and purehook
+// (effects.go) is also exported directly: `bulklint -effects` prints every
+// function's inferred effect summary as a deterministic, byte-identical
+// report.
 package lint
 
 import (
@@ -95,6 +114,9 @@ func Analyzers() []*Analyzer {
 		analyzerDroppedErr(),
 		analyzerNakedPanic(),
 		analyzerNoalloc(),
+		analyzerPureHook(),
+		analyzerAtomicMix(),
+		analyzerLayerDep(),
 		analyzerStaleWaiver(),
 	}
 }
@@ -108,13 +130,36 @@ func AnalyzerNames() []string {
 	return names
 }
 
-// Reporter collects findings, applying waiver comments.
+// Reporter collects findings, applying waiver comments. It also caches
+// the per-run call graph and effect engine, which guardedby, noalloc and
+// purehook share.
 type Reporter struct {
 	fset     *token.FileSet
 	findings []Finding
 	// ran records which rules executed this run, so the stalewaiver audit
 	// skips waivers whose rule was disabled (their liveness is unknown).
 	ran map[string]bool
+
+	cg  *callGraph
+	eff *effectEngine
+}
+
+// callGraph returns the run's shared module call graph, building it on
+// first use.
+func (r *Reporter) callGraph(pkgs []*Package) *callGraph {
+	if r.cg == nil {
+		r.cg = buildCallGraph(pkgs)
+	}
+	return r.cg
+}
+
+// effectEngine returns the run's shared effect-inference result, building
+// it on first use.
+func (r *Reporter) effectEngine(pkgs []*Package) *effectEngine {
+	if r.eff == nil {
+		r.eff = inferEffects(pkgs, r.callGraph(pkgs))
+	}
+	return r.eff
 }
 
 // NewReporter returns a reporter resolving positions against fset.
@@ -155,8 +200,9 @@ func (r *Reporter) reportAt(file string, line, col int, rule, format string, arg
 	})
 }
 
-// Findings returns the collected findings sorted by file, line, column and
-// rule — a stable order regardless of analyzer scheduling.
+// Findings returns the collected findings sorted by file, line, column,
+// rule and message — a total order, so output is byte-deterministic
+// regardless of analyzer scheduling and package load order.
 func (r *Reporter) Findings() []Finding {
 	out := append([]Finding(nil), r.findings...)
 	sort.Slice(out, func(i, j int) bool {
@@ -170,7 +216,10 @@ func (r *Reporter) Findings() []Finding {
 		if a.Col != b.Col {
 			return a.Col < b.Col
 		}
-		return a.Rule < b.Rule
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		return a.Msg < b.Msg
 	})
 	return out
 }

@@ -27,10 +27,27 @@ type Package struct {
 	// Types and Info are the go/types results.
 	Types *types.Package
 	Info  *types.Info
+	// Mod is the module-level metadata, shared by every package of a load.
+	Mod *ModuleMeta
 
 	// directives maps file name -> line -> bulklint directives whose
 	// comment ends on that line.
 	directives map[string]map[int][]*directive
+}
+
+// ModuleMeta carries module-level inputs that are not Go source: the module
+// path, the on-disk root (empty for in-memory fixtures), and the layer
+// declaration the layerdep rule enforces.
+type ModuleMeta struct {
+	// Path is the module path from go.mod (or the fixture module path).
+	Path string
+	// Root is the absolute module root directory, "" for fixtures.
+	Root string
+	// LayersSrc is the contents of internal/lint/layers.txt, "" when the
+	// module declares no layering (the layerdep rule is then inert).
+	LayersSrc string
+	// LayersPath is the display path findings in the layer file point at.
+	LayersPath string
 }
 
 // directive is one `//bulklint:<name> <arg...>` comment. used records
@@ -87,11 +104,19 @@ type srcFile struct {
 	src  any    // nil, string or []byte
 }
 
+// layersFile is the module-relative path of the layer declaration.
+const layersFile = "internal/lint/layers.txt"
+
 // LoadModule loads every non-test package under the module rooted at root.
 func LoadModule(root string) ([]*Package, *token.FileSet, error) {
 	modPath, err := modulePath(filepath.Join(root, "go.mod"))
 	if err != nil {
 		return nil, nil, err
+	}
+	meta := &ModuleMeta{Path: modPath, Root: root}
+	if data, err := os.ReadFile(filepath.Join(root, filepath.FromSlash(layersFile))); err == nil {
+		meta.LayersSrc = string(data)
+		meta.LayersPath = filepath.Join(root, filepath.FromSlash(layersFile))
 	}
 	dirs := map[string][]srcFile{}
 	err = filepath.WalkDir(root, func(p string, d os.DirEntry, err error) error {
@@ -123,28 +148,36 @@ func LoadModule(root string) ([]*Package, *token.FileSet, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	pkgs, err := loadPackages(modPath, dirs)
+	pkgs, err := loadPackages(meta, dirs)
 	return pkgs, sharedFset, err
 }
 
 // LoadFixture type-checks in-memory sources for tests. Keys are paths
 // relative to a fictional module root (e.g. "internal/scratch/s.go"); the
-// module path is modPath.
+// module path is modPath. A "internal/lint/layers.txt" entry is not Go
+// source: it becomes the fixture module's layer declaration.
 func LoadFixture(modPath string, files map[string]string) ([]*Package, *token.FileSet, error) {
+	meta := &ModuleMeta{Path: modPath}
 	dirs := map[string][]srcFile{}
 	for name, src := range files { //bulklint:ordered loadPackages sorts every dir's file list
+		if name == layersFile {
+			meta.LayersSrc = src
+			meta.LayersPath = layersFile
+			continue
+		}
 		dir := path.Dir(name)
 		if dir == "." {
 			dir = ""
 		}
 		dirs[dir] = append(dirs[dir], srcFile{name: name, src: src})
 	}
-	pkgs, err := loadPackages(modPath, dirs)
+	pkgs, err := loadPackages(meta, dirs)
 	return pkgs, sharedFset, err
 }
 
 // loadPackages parses, orders and type-checks the given directories.
-func loadPackages(modPath string, dirs map[string][]srcFile) ([]*Package, error) {
+func loadPackages(meta *ModuleMeta, dirs map[string][]srcFile) ([]*Package, error) {
+	modPath := meta.Path
 	loadMu.Lock()
 	defer loadMu.Unlock()
 
@@ -168,6 +201,7 @@ func loadPackages(modPath string, dirs map[string][]srcFile) ([]*Package, error)
 		p := &Package{
 			Dir:        dir,
 			Path:       path.Join(modPath, dir),
+			Mod:        meta,
 			directives: map[string]map[int][]*directive{},
 		}
 		pp := &parsed{pkg: p}

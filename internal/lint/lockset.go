@@ -38,7 +38,7 @@ func analyzerGuardedBy() *Analyzer {
 			if len(guarded) == 0 {
 				return
 			}
-			cg := buildCallGraph(pkgs)
+			cg := r.callGraph(pkgs)
 			ls := &locksetPass{guarded: guarded, cg: cg, entry: map[*types.Func]lockState{}}
 
 			// Fixpoint over entry locksets: each round walks every body with

@@ -7,28 +7,27 @@ import (
 	"strings"
 )
 
-// This file implements the noalloc rule. A function annotated
-// `//bulklint:noalloc` (in its doc comment or on the `func` line) is a
-// hot kernel — signature gather/decode/RLE, flatmap probe/insert, cache
-// occupancy updates, commit inner loops — whose zero-allocation property
-// the performance claims of PRs 2–3 depend on. The analyzer walks the
-// kernel and everything it statically calls (via the module call graph)
-// and reports every allocation-introducing construct:
+// This file implements the noalloc rule as a thin client of the effect
+// engine (effects.go). A function annotated `//bulklint:noalloc` (in its
+// doc comment or on the `func` line) is a hot kernel — signature
+// gather/decode/RLE, flatmap probe/insert, cache occupancy updates, commit
+// inner loops — whose zero-allocation property the performance claims of
+// PRs 2–3 depend on.
 //
-//   - make / new / growing append / builtin-map writes;
-//   - composite literals (slice and map literals allocate; &T{…} and any
-//     other literal may escape);
-//   - closures (FuncLit) and go statements;
-//   - string concatenation and string<->[]byte/[]rune conversions;
-//   - interface boxing at static call sites (a concrete non-pointer
-//     argument passed to an interface parameter);
-//   - fmt calls, calls into packages outside a small pure allowlist, and
-//     interface-method calls (unresolvable, so unverifiable).
+// The rule walks the kernel and everything it statically calls over the
+// module call graph and reports every effect site carrying the alloc or
+// unknown bit: make/new/append, composite literals, closures and go
+// statements, string building, builtin-map writes, interface boxing at
+// static call sites, fmt calls, calls into non-allowlisted packages, and
+// interface-method calls (unresolvable, so unverifiable). The construct
+// scanning itself lives in the effect engine; this file only owns the
+// kernel discovery, the call-graph traversal, and the waiver pruning.
 //
-// Calls to panic are deliberately exempt: invariant-guard panics are
-// failure paths, and a failing run's allocation profile is irrelevant.
-// Calls through func-typed values are also exempt — the concrete closure
-// is scanned where it is written, on the annotated side.
+// Calls to panic are exempt (the engine marks them EffPanic, outside the
+// noalloc mask): invariant-guard panics are failure paths, and a failing
+// run's allocation profile is irrelevant. Calls through func-typed values
+// are also exempt — the concrete closure is scanned where it is written,
+// on the annotated side.
 //
 // A cold call site inside a kernel (amortized growth, error paths) is
 // waived with `//bulklint:allow noalloc <why>` on the call line; the
@@ -36,7 +35,8 @@ import (
 // the waived callee.
 
 // noallocAllowedPkgs are packages whose functions are known not to
-// allocate on any path the kernels use.
+// allocate on any path the kernels use (the effect engine's extern table
+// models them as effect-free).
 var noallocAllowedPkgs = map[string]bool{
 	"math":        true,
 	"math/bits":   true,
@@ -44,14 +44,17 @@ var noallocAllowedPkgs = map[string]bool{
 	"cmp":         true,
 }
 
+// noallocMask selects the effect sites the rule reports: allocating
+// constructs and unverifiable (interface-method) call sites.
+const noallocMask = EffAlloc | EffUnknown
+
 func analyzerNoalloc() *Analyzer {
 	return &Analyzer{
 		Name: "noalloc",
 		Doc:  "allocation-introducing construct reachable from a //bulklint:noalloc kernel",
 		Run: func(pkgs []*Package, r *Reporter) {
-			cg := buildCallGraph(pkgs)
 			na := &noallocPass{
-				cg:       cg,
+				eng:      r.effectEngine(pkgs),
 				r:        r,
 				visited:  map[*types.Func]bool{},
 				reported: map[token.Pos]bool{},
@@ -115,230 +118,44 @@ func NoallocKernels(pkgs []*Package) []NoallocKernel {
 }
 
 // noallocPass carries the traversal state. visited and reported are global
-// across kernels: a shared callee is scanned once, and a construct reached
+// across kernels: a shared callee is visited once, and a construct reached
 // from several kernels is reported once.
 type noallocPass struct {
-	cg       *callGraph
+	eng      *effectEngine
 	r        *Reporter
 	visited  map[*types.Func]bool
 	reported map[token.Pos]bool
 }
 
-// check scans fn's body and recurses into unwaived static callees.
+// check reports fn's masked effect sites and recurses into unwaived
+// static callees.
 func (na *noallocPass) check(fn *types.Func, root string) {
 	if na.visited[fn] {
 		return
 	}
 	na.visited[fn] = true
-	node := na.cg.nodes[fn]
-	if node == nil {
+	fe := na.eng.fns[fn]
+	if fe == nil {
 		return // no body in this module (external); handled at the call site
 	}
-	na.scanBody(node, root)
-	for _, cs := range node.calls {
-		if !inModule(na.cg, cs.callee) {
-			continue // external calls judged in scanBody
+	for _, s := range fe.sites {
+		if s.eff&noallocMask == 0 {
+			continue
+		}
+		if na.reported[s.pos] {
+			continue
+		}
+		na.reported[s.pos] = true
+		na.r.Report(fe.node.pkg, s.pos, "noalloc", "%s in noalloc kernel %s", s.msg, root)
+	}
+	for _, cs := range fe.node.calls {
+		if na.eng.fns[cs.callee] == nil {
+			continue // external calls judged by the extern table above
 		}
 		line := sharedFset.Position(cs.call.Pos())
-		if node.pkg.useWaiverOnLine(line.Filename, line.Line, "noalloc") {
+		if fe.node.pkg.useWaiverOnLine(line.Filename, line.Line, "noalloc") {
 			continue // cold path (growth, error construction): pruned
 		}
 		na.check(cs.callee, root)
 	}
-}
-
-func inModule(cg *callGraph, fn *types.Func) bool {
-	_, ok := cg.nodes[fn]
-	return ok
-}
-
-// scanBody reports every allocating construct in one function body.
-func (na *noallocPass) scanBody(node *funcNode, root string) {
-	pkg, body := node.pkg, node.decl.Body
-	report := func(pos token.Pos, format string, args ...any) {
-		if na.reported[pos] {
-			return
-		}
-		na.reported[pos] = true
-		args = append(args, root)
-		na.r.Report(pkg, pos, "noalloc", format+" in noalloc kernel %s", args...)
-	}
-	ast.Inspect(body, func(n ast.Node) bool {
-		switch n := n.(type) {
-		case *ast.CallExpr:
-			return na.scanCall(pkg, n, report)
-		case *ast.CompositeLit:
-			tv, ok := pkg.Info.Types[n]
-			if ok && tv.Type != nil {
-				switch tv.Type.Underlying().(type) {
-				case *types.Slice, *types.Map:
-					report(n.Pos(), "slice/map literal allocates")
-					return true
-				}
-			}
-		case *ast.UnaryExpr:
-			if n.Op == token.AND {
-				if _, ok := unparen(n.X).(*ast.CompositeLit); ok {
-					report(n.Pos(), "&composite literal escapes to the heap")
-				}
-			}
-		case *ast.FuncLit:
-			// Descend anyway: a waived closure's body is still scanned.
-			report(n.Pos(), "closure allocates")
-		case *ast.GoStmt:
-			report(n.Pos(), "go statement allocates")
-		case *ast.BinaryExpr:
-			if n.Op == token.ADD && isStringExpr(pkg, n.X) {
-				report(n.Pos(), "string concatenation allocates")
-			}
-		case *ast.AssignStmt:
-			if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 && isStringExpr(pkg, n.Lhs[0]) {
-				report(n.Pos(), "string concatenation allocates")
-			}
-			if n.Tok == token.ASSIGN || n.Tok == token.DEFINE {
-				for _, l := range n.Lhs {
-					if idx, ok := unparen(l).(*ast.IndexExpr); ok {
-						tv, ok := pkg.Info.Types[idx.X]
-						if ok && tv.Type != nil {
-							if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
-								report(l.Pos(), "builtin-map write may allocate")
-							}
-						}
-					}
-				}
-			}
-		}
-		return true
-	})
-}
-
-// scanCall judges one call expression; the return value tells ast.Inspect
-// whether to descend into the arguments (always true — argument
-// expressions can allocate regardless of the callee verdict).
-func (na *noallocPass) scanCall(pkg *Package, call *ast.CallExpr, report func(token.Pos, string, ...any)) bool {
-	if id, ok := unparen(call.Fun).(*ast.Ident); ok && isBuiltin(pkg, id) {
-		switch id.Name {
-		case "make":
-			report(call.Pos(), "make allocates")
-		case "new":
-			report(call.Pos(), "new allocates")
-		case "append":
-			report(call.Pos(), "append may grow its backing array")
-		case "panic":
-			return false // failure path: the panic argument is exempt too
-		}
-		return true
-	}
-	if tv, ok := pkg.Info.Types[call.Fun]; ok && tv.IsType() {
-		// Conversion. string <-> []byte/[]rune copies; everything else is free.
-		if len(call.Args) == 1 && stringSliceConversion(pkg, tv.Type, call.Args[0]) {
-			report(call.Pos(), "string conversion allocates")
-		}
-		return true
-	}
-	callee := staticCallee(pkg, call)
-	if callee == nil {
-		// Dynamic call: through a func value (the concrete closure is
-		// scanned where it is written) or an interface method (unverifiable).
-		if sel, ok := unparen(call.Fun).(*ast.SelectorExpr); ok {
-			if s, ok := pkg.Info.Selections[sel]; ok && s.Kind() == types.MethodVal {
-				report(call.Pos(), "interface method call cannot be verified")
-			}
-		}
-		return true
-	}
-	if callee.Pkg() != nil && !inModule(na.cg, callee) {
-		path := callee.Pkg().Path()
-		switch {
-		case path == "fmt":
-			report(call.Pos(), "fmt call allocates")
-		case path == "slices" && strings.HasPrefix(callee.Name(), "Sort"):
-			// In-place sorts; allowed.
-		case path == "errors" && callee.Name() == "New":
-			report(call.Pos(), "errors.New allocates")
-		case noallocAllowedPkgs[path]:
-			// Allowlisted pure package.
-		default:
-			report(call.Pos(), "call into %s.%s may allocate", path, callee.Name())
-		}
-		return true
-	}
-	// Module-local static call: traversal handles the body; here only the
-	// boxing of arguments at this call site is judged.
-	na.checkBoxing(pkg, call, callee, report)
-	return true
-}
-
-// checkBoxing reports concrete non-pointer arguments passed to interface
-// parameters of a static callee.
-func (na *noallocPass) checkBoxing(pkg *Package, call *ast.CallExpr, callee *types.Func, report func(token.Pos, string, ...any)) {
-	sig, ok := callee.Type().(*types.Signature)
-	if !ok {
-		return
-	}
-	params := sig.Params()
-	for i, arg := range call.Args {
-		if call.Ellipsis.IsValid() && i == len(call.Args)-1 {
-			continue // f(xs...) passes the slice through unboxed
-		}
-		var pt types.Type
-		if sig.Variadic() && i >= params.Len()-1 {
-			if s, ok := params.At(params.Len() - 1).Type().(*types.Slice); ok {
-				pt = s.Elem()
-			}
-		} else if i < params.Len() {
-			pt = params.At(i).Type()
-		}
-		if pt == nil {
-			continue
-		}
-		if _, isTP := pt.(*types.TypeParam); isTP {
-			continue // generic parameter: the argument is passed concretely, not boxed
-		}
-		if _, isIface := pt.Underlying().(*types.Interface); !isIface {
-			continue
-		}
-		at, ok := pkg.Info.Types[arg]
-		if !ok || at.Type == nil {
-			continue
-		}
-		if _, argIface := at.Type.Underlying().(*types.Interface); argIface {
-			continue // interface-to-interface: no boxing
-		}
-		if _, isPtr := at.Type.Underlying().(*types.Pointer); isPtr {
-			continue // pointers fit in the interface word
-		}
-		if at.Value != nil && at.IsNil() {
-			continue
-		}
-		report(arg.Pos(), "interface conversion may allocate")
-	}
-}
-
-func isStringExpr(pkg *Package, x ast.Expr) bool {
-	tv, ok := pkg.Info.Types[x]
-	if !ok || tv.Type == nil {
-		return false
-	}
-	b, ok := tv.Type.Underlying().(*types.Basic)
-	return ok && b.Info()&types.IsString != 0
-}
-
-// stringSliceConversion reports whether converting arg to target copies
-// string/slice contents.
-func stringSliceConversion(pkg *Package, target types.Type, arg ast.Expr) bool {
-	at, ok := pkg.Info.Types[arg]
-	if !ok || at.Type == nil {
-		return false
-	}
-	tStr := isStringType(target)
-	aStr := isStringType(at.Type)
-	_, tSlice := target.Underlying().(*types.Slice)
-	_, aSlice := at.Type.Underlying().(*types.Slice)
-	return (tStr && aSlice) || (tSlice && aStr)
-}
-
-func isStringType(t types.Type) bool {
-	b, ok := t.Underlying().(*types.Basic)
-	return ok && b.Info()&types.IsString != 0
 }

@@ -59,7 +59,14 @@ func analyzerMapRange() *Analyzer {
 						if !ok || fd.Body == nil {
 							continue
 						}
-						runEscapeScan(pkg, fd.Body, fd, r)
+						for _, re := range scanOrderEscapes(pkg, fd.Body, fd) {
+							if re.desc == "" {
+								continue
+							}
+							r.Report(pkg, re.rs.For, "maprange",
+								"map iteration order %s; range det.SortedKeys(m) instead, or waive with //bulklint:ordered <why>",
+								re.desc)
+						}
 					}
 				}
 			}
@@ -67,10 +74,21 @@ func analyzerMapRange() *Analyzer {
 	}
 }
 
-// runEscapeScan analyzes one function (or closure) body, then recurses
-// into every closure literal it contains as an independent body.
-func runEscapeScan(pkg *Package, body *ast.BlockStmt, fd *ast.FuncDecl, r *Reporter) {
-	e := &escapeScan{pkg: pkg, r: r, boundary: map[types.Object]bool{}, results: map[types.Object]bool{}}
+// rangeEscape is one builtin-map range found in a function body (closures
+// included), with the first escape description — "" when the iteration
+// order stays confined to the function.
+type rangeEscape struct {
+	rs   *ast.RangeStmt
+	desc string
+}
+
+// scanOrderEscapes analyzes one function body and every closure literal it
+// contains as independent frames, returning every map-range origin with
+// its escape verdict. Both the maprange rule and the effect engine (which
+// treats an escaping iteration order as a nondeterminism source) consume
+// the result.
+func scanOrderEscapes(pkg *Package, body *ast.BlockStmt, fd *ast.FuncDecl) []rangeEscape {
+	e := &escapeScan{pkg: pkg, boundary: map[types.Object]bool{}, results: map[types.Object]bool{}}
 	if fd != nil {
 		e.collectBoundary(fd.Recv, false)
 		e.collectBoundary(fd.Type.Params, false)
@@ -83,7 +101,7 @@ func runEscapeScan(pkg *Package, body *ast.BlockStmt, fd *ast.FuncDecl, r *Repor
 		stmt:  e.stmt,
 		pre:   e.pre,
 	})
-	e.flush()
+	out := e.collect(nil)
 
 	// Closures get their own scan: their map ranges are analyzed in the
 	// closure's own frame, with the closure's parameters as the boundary.
@@ -94,7 +112,7 @@ func runEscapeScan(pkg *Package, body *ast.BlockStmt, fd *ast.FuncDecl, r *Repor
 		if !ok {
 			return true
 		}
-		sub := &escapeScan{pkg: pkg, r: r, boundary: map[types.Object]bool{}, results: map[types.Object]bool{}}
+		sub := &escapeScan{pkg: pkg, boundary: map[types.Object]bool{}, results: map[types.Object]bool{}}
 		sub.collectBoundary(fl.Type.Params, false)
 		sub.collectBoundary(fl.Type.Results, true)
 		st := taintState{}
@@ -104,15 +122,15 @@ func runEscapeScan(pkg *Package, body *ast.BlockStmt, fd *ast.FuncDecl, r *Repor
 			stmt:  sub.stmt,
 			pre:   sub.pre,
 		})
-		sub.flush()
+		out = sub.collect(out)
 		return true
 	})
+	return out
 }
 
 // escapeScan holds the per-body analysis context.
 type escapeScan struct {
 	pkg *Package
-	r   *Reporter
 	// boundary is the set of parameter/receiver/named-result objects:
 	// stores through them (and returns) are caller-visible.
 	boundary map[types.Object]bool
@@ -139,16 +157,12 @@ func (e *escapeScan) collectBoundary(fields *ast.FieldList, isResult bool) {
 	}
 }
 
-// flush reports every origin that recorded an escape.
-func (e *escapeScan) flush() {
+// collect appends every origin of this frame with its verdict.
+func (e *escapeScan) collect(out []rangeEscape) []rangeEscape {
 	for i, rs := range e.loops {
-		if e.escapes[i] == "" {
-			continue
-		}
-		e.r.Report(e.pkg, rs.For, "maprange",
-			"map iteration order %s; range det.SortedKeys(m) instead, or waive with //bulklint:ordered <why>",
-			e.escapes[i])
+		out = append(out, rangeEscape{rs: rs, desc: e.escapes[i]})
 	}
+	return out
 }
 
 func forkTaint(st taintState) taintState {

@@ -1,0 +1,157 @@
+package lint
+
+import "testing"
+
+// simSchedulerFixture is the minimal internal/sim package the purehook rule
+// discovers implementations against.
+const simSchedulerFixture = `package sim
+
+type BranchKind int
+
+type Scheduler interface {
+	PickProc(candidates []int, ready []int64) int
+	PickBranch(kind BranchKind, n, def int) int
+}
+`
+
+func TestPureHookImpureScheduler(t *testing.T) {
+	findings := lintFixture(t, map[string]string{
+		"internal/sim/sim.go": simSchedulerFixture,
+		"internal/scratch/s.go": `package scratch
+
+import "bulk/internal/sim"
+
+var seen []int
+
+type Logging struct{}
+
+func (Logging) PickProc(candidates []int, ready []int64) int {
+	seen = append(seen, candidates[0])
+	return candidates[0]
+}
+
+func (Logging) PickBranch(kind sim.BranchKind, n, def int) int { return def }
+`,
+	})
+	wantFinding(t, findings, "purehook", "internal/scratch/s.go", 9)
+}
+
+func TestPureHookCleanScheduler(t *testing.T) {
+	// Receiver mutation and allocation are allowed; the hook stays replayable.
+	findings := lintFixture(t, map[string]string{
+		"internal/sim/sim.go": simSchedulerFixture,
+		"internal/scratch/s.go": `package scratch
+
+import "bulk/internal/sim"
+
+type Counting struct {
+	n     int
+	trace []int
+}
+
+func (c *Counting) PickProc(candidates []int, ready []int64) int {
+	c.n++
+	c.trace = append(c.trace, candidates[0])
+	return candidates[0]
+}
+
+func (c *Counting) PickBranch(kind sim.BranchKind, n, def int) int {
+	if n <= 0 {
+		panic("bad arity")
+	}
+	return def
+}
+`,
+	})
+	wantNoFinding(t, findings, "purehook")
+}
+
+func TestPureHookSchedulerWaiver(t *testing.T) {
+	findings := lintFixture(t, map[string]string{
+		"internal/sim/sim.go": simSchedulerFixture,
+		"internal/scratch/s.go": `package scratch
+
+import "bulk/internal/sim"
+
+var seen []int
+
+type Logging struct{}
+
+//bulklint:allow purehook deliberate instrumentation build
+func (Logging) PickProc(candidates []int, ready []int64) int {
+	seen = append(seen, candidates[0])
+	return candidates[0]
+}
+
+func (Logging) PickBranch(kind sim.BranchKind, n, def int) int { return def }
+`,
+	})
+	wantNoFinding(t, findings, "purehook")
+	wantNoFinding(t, findings, "stalewaiver")
+}
+
+func TestPureHookAnnotatedOracle(t *testing.T) {
+	findings := lintFixture(t, map[string]string{
+		"internal/scratch/s.go": `package scratch
+
+// Oracle replays a run against the reference.
+//
+//bulklint:purehook
+func Oracle(log []int) error {
+	println(len(log))
+	return nil
+}
+`,
+	})
+	wantFinding(t, findings, "purehook", "internal/scratch/s.go", 6)
+}
+
+func TestPureHookAnnotatedClean(t *testing.T) {
+	// A clean annotated oracle yields no finding, and the annotation
+	// attached, so it is not a stale directive either.
+	findings := lintFixture(t, map[string]string{
+		"internal/scratch/s.go": `package scratch
+
+//bulklint:purehook
+func Oracle(log []int) int {
+	sum := 0
+	for _, v := range log {
+		sum += v
+	}
+	return sum
+}
+`,
+	})
+	wantNoFinding(t, findings, "purehook")
+	wantNoFinding(t, findings, "stalewaiver")
+}
+
+func TestPureHookUnattachedAnnotation(t *testing.T) {
+	findings := lintFixture(t, map[string]string{
+		"internal/scratch/s.go": `package scratch
+
+//bulklint:purehook
+var notAFunction int
+`,
+	})
+	wantFinding(t, findings, "stalewaiver", "internal/scratch/s.go", 3)
+}
+
+func TestPureHookEffectPropagates(t *testing.T) {
+	// The forbidden effect is inferred through a helper call, not just
+	// spotted syntactically in the hook body.
+	findings := lintFixture(t, map[string]string{
+		"internal/scratch/s.go": `package scratch
+
+import "sync"
+
+var mu sync.Mutex
+
+func helper() { mu.Lock(); mu.Unlock() }
+
+//bulklint:purehook
+func Oracle() { helper() }
+`,
+	})
+	wantFinding(t, findings, "purehook", "internal/scratch/s.go", 10)
+}

@@ -31,6 +31,7 @@ var directiveKind = map[string]string{
 	"allow":     "", // rule named in the argument
 	"guardedby": "",
 	"noalloc":   "",
+	"purehook":  "",
 }
 
 func analyzerStaleWaiver() *Analyzer {
@@ -60,7 +61,7 @@ func auditDirective(file string, d *directive, known map[string]bool, r *Reporte
 	kind, ok := directiveKind[d.name]
 	if !ok {
 		r.reportAt(file, d.line, d.col, "stalewaiver",
-			"unknown //bulklint:%s directive (known: allow, guardedby, invariant, locked, noalloc, ordered)", d.name)
+			"unknown //bulklint:%s directive (known: allow, guardedby, invariant, locked, noalloc, ordered, purehook)", d.name)
 		return
 	}
 	rule := kind
@@ -86,6 +87,11 @@ func auditDirective(file string, d *directive, known map[string]bool, r *Reporte
 		if r.ran["noalloc"] {
 			r.reportAt(file, d.line, d.col, "stalewaiver",
 				"//bulklint:noalloc annotation is not attached to a function declaration")
+		}
+	case "purehook":
+		if r.ran["purehook"] {
+			r.reportAt(file, d.line, d.col, "stalewaiver",
+				"//bulklint:purehook annotation is not attached to a function declaration")
 		}
 	default:
 		if !r.ran[rule] {

@@ -1,0 +1,63 @@
+package sim
+
+// This file holds the reusable Scheduler implementations. They live in
+// non-test code so the purehook lint rule can see and verify them: every
+// sim.Scheduler implementation must infer effect-free-except-reads on the
+// effect lattice, because schedule replay depends on a scheduler answering
+// identically when the same decision sequence is replayed.
+
+// DefaultScheduler reproduces the nil-scheduler schedule explicitly: the
+// earliest-ready, lowest-id candidate steps next and every branch takes the
+// runtime's default. Running with &DefaultScheduler{} is byte-identical to
+// running with a nil Scheduler.
+type DefaultScheduler struct{}
+
+// PickProc returns the earliest-ready candidate, lowest id on ties.
+func (DefaultScheduler) PickProc(candidates []int, ready []int64) int {
+	best := 0
+	for i := 1; i < len(candidates); i++ {
+		if ready[i] < ready[best] {
+			best = i
+		}
+	}
+	return candidates[best]
+}
+
+// PickBranch takes the runtime's own choice.
+func (DefaultScheduler) PickBranch(kind BranchKind, n, def int) int {
+	return def
+}
+
+// ForcePreempt keeps the engine's default processor order but overrides the
+// FireAt-th preemption decision to fire, injecting a preemption at a
+// boundary the PreemptEvery policy would skip, and suppresses every other
+// preemption. It is the direct test of the contract that a scheduler may
+// override the preemption policy either way.
+type ForcePreempt struct {
+	// FireAt is the 0-based preemption-decision index to force.
+	FireAt int
+	// Seen counts the preemption decisions observed so far.
+	Seen int
+	// Fired reports whether the forced preemption was reached.
+	Fired bool
+}
+
+// PickProc returns the earliest-ready candidate, lowest id on ties.
+func (f *ForcePreempt) PickProc(candidates []int, ready []int64) int {
+	return DefaultScheduler{}.PickProc(candidates, ready)
+}
+
+// PickBranch fires the FireAt-th preemption decision and suppresses every
+// other one, including boundaries the policy itself would preempt at.
+func (f *ForcePreempt) PickBranch(kind BranchKind, n, def int) int {
+	if kind != BranchPreempt {
+		return def
+	}
+	i := f.Seen
+	f.Seen++
+	if i == f.FireAt {
+		f.Fired = true
+		return 1
+	}
+	return 0
+}

@@ -28,6 +28,8 @@ func SequentialReference(w *workload.TLSWorkload) *mem.Memory {
 }
 
 // Verify checks a TLS run against the sequential reference.
+//
+//bulklint:purehook
 func Verify(w *workload.TLSWorkload, r *Result) error {
 	if r.Stats.LivelockDetected {
 		return fmt.Errorf("tls: run aborted by restart limit; nothing to verify")

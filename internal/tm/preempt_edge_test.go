@@ -8,40 +8,6 @@ import (
 	"bulk/internal/workload"
 )
 
-// forcePreempt is a sim.Scheduler that keeps the engine's default order
-// but overrides the n-th preemption decision to fire (injecting a
-// preemption at a boundary the PreemptEvery policy would skip). It is the
-// direct test of maybePreempt's contract that a scheduler may override the
-// policy either way.
-type forcePreempt struct {
-	fireAt int // 0-based preemption-decision index to force
-	seen   int
-	fired  bool
-}
-
-func (f *forcePreempt) PickProc(candidates []int, ready []int64) int {
-	best := 0
-	for i := 1; i < len(candidates); i++ {
-		if ready[i] < ready[best] {
-			best = i
-		}
-	}
-	return candidates[best]
-}
-
-func (f *forcePreempt) PickBranch(kind sim.BranchKind, n, def int) int {
-	if kind != sim.BranchPreempt {
-		return def
-	}
-	i := f.seen
-	f.seen++
-	if i == f.fireAt {
-		f.fired = true
-		return 1
-	}
-	return 0 // suppress every other boundary, including policy-due ones
-}
-
 func preemptWorkload() *workload.TMWorkload {
 	// t0: a four-op transaction with think time, so every op boundary is a
 	// distinct preemption opportunity; t1 writes t0's read target with a
@@ -67,7 +33,7 @@ func TestPreemptAtEveryBoundary(t *testing.T) {
 	w := preemptWorkload()
 	for _, spill := range []bool{false, true} {
 		for at := 0; at < 8; at++ {
-			sched := &forcePreempt{fireAt: at}
+			sched := &sim.ForcePreempt{FireAt: at}
 			opts := NewOptions(Bulk)
 			opts.PreemptEvery = 1 << 20 // policy never fires; only injections do
 			opts.PreemptPause = 700
@@ -80,10 +46,10 @@ func TestPreemptAtEveryBoundary(t *testing.T) {
 			if err := Verify(w, r); err != nil {
 				t.Fatalf("spill=%v boundary %d: %v", spill, at, err)
 			}
-			if sched.fired && r.Stats.Preemptions == 0 {
+			if sched.Fired && r.Stats.Preemptions == 0 {
 				t.Fatalf("spill=%v boundary %d: scheduler fired but no preemption counted", spill, at)
 			}
-			if !sched.fired {
+			if !sched.Fired {
 				// The transaction ran out of boundaries before index at;
 				// later indices are redundant.
 				break

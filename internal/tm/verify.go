@@ -16,6 +16,8 @@ import (
 //
 // It also checks coverage: every transaction commits exactly once and every
 // non-transactional write appears exactly once.
+//
+//bulklint:purehook
 func Verify(w *workload.TMWorkload, r *Result) error {
 	if r.Stats.LivelockDetected {
 		return fmt.Errorf("tm: run aborted by livelock; nothing to verify")

@@ -54,4 +54,12 @@ emit_json "$tmp/core.txt" bench/baseline/core.txt \
   BENCH_core.json
 
 echo
-echo "bench.sh: wrote BENCH_sig.json, BENCH_exhibits.json and BENCH_core.json"
+echo "== static-analysis suite benchmarks (internal/lint) =="
+go test ./internal/lint/ -run '^$' -bench 'LintModule|InferEffects' \
+  -benchmem -count "$COUNT" | tee "$tmp/lint.txt"
+emit_json "$tmp/lint.txt" bench/baseline/lint.txt \
+  "full bulklint suite and effect-inference fixpoint over the module; baseline = capture at the effect-engine introduction" \
+  BENCH_lint.json
+
+echo
+echo "bench.sh: wrote BENCH_sig.json, BENCH_exhibits.json, BENCH_core.json and BENCH_lint.json"

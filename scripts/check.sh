@@ -11,9 +11,22 @@ echo "== go vet =="
 go vet ./...
 
 echo "== bulklint =="
-# Runs all eight analyzers including the waiver audit: a stale
+# Runs all eleven analyzers including the waiver audit: a stale
 # //bulklint: waiver (one that suppresses no live finding) fails the gate.
 go run ./cmd/bulklint ./...
+
+echo "== bulklint effect/layer rules (filtered run) =="
+# The three effect-engine rules also pass standalone: the -rules path and
+# its filtered stalewaiver semantics stay exercised.
+go run ./cmd/bulklint -rules purehook,atomicmix,layerdep ./...
+
+echo "== bulklint -effects determinism =="
+# The effect report is a published interface: two runs over the same tree
+# must be byte-identical, or schedule-replay auditing cannot trust it.
+if ! cmp -s <(go run ./cmd/bulklint -effects ./...) <(go run ./cmd/bulklint -effects ./...); then
+  echo "bulklint -effects is not deterministic across runs" >&2
+  exit 1
+fi
 
 echo "== go test -race =="
 # ./... includes internal/par and the parallel experiment engine, so the
@@ -24,6 +37,9 @@ echo "== bench harness smoke (-benchtime=1x) =="
 # One iteration of each end-to-end run benchmark, so the bench harness
 # scripts/bench.sh depends on cannot silently rot.
 go test . -run '^$' -bench 'TMRun|TLSRun|CkptRun' -benchtime 1x
+# The lint-suite benchmarks scripts/bench.sh records against
+# bench/baseline/lint.txt must keep running too.
+go test ./internal/lint/ -run '^$' -bench 'LintModule|InferEffects' -benchtime 1x
 
 echo "== coverage gate =="
 # Per-package statement-coverage floors for the runtimes and the model
