@@ -1,0 +1,40 @@
+// Schedule-exploration throughput benchmarks: one full medium-budget
+// exploration of each sweep target per iteration, swept across explorer
+// worker counts. Checker throughput — schedules judged per second — is the
+// binding constraint on how deep the model checker can look into a
+// protocol's schedule space, so it is a first-class performance metric
+// next to the core run benchmarks. The w1 case is the serial explorer;
+// w2/w4/w8 exercise the work-stealing pool (their reports are asserted
+// identical in internal/check's tests, so here only throughput differs).
+// scripts/bench.sh records these into BENCH_check.json against
+// bench/baseline/check.txt.
+package bulk_test
+
+import (
+	"fmt"
+	"testing"
+
+	"bulk/internal/check"
+)
+
+func BenchmarkCheckExplore(b *testing.B) {
+	for _, tgt := range check.SweepTargets() {
+		tgt := tgt
+		for _, workers := range []int{1, 2, 4, 8} {
+			workers := workers
+			b.Run(fmt.Sprintf("%s/w%d", tgt.Name(), workers), func(b *testing.B) {
+				budget := check.MediumBudget()
+				total := 0
+				for i := 0; i < b.N; i++ {
+					rep := check.ExploreParallel(tgt, 0, budget, workers)
+					if rep.Failure != nil {
+						b.Fatalf("oracle rejected schedule %s: %s",
+							check.FormatSchedule(rep.Failure.Schedule), rep.Failure.Reason)
+					}
+					total += rep.Schedules
+				}
+				b.ReportMetric(float64(total)/b.Elapsed().Seconds(), "sched/s")
+			})
+		}
+	}
+}

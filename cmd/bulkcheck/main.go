@@ -7,15 +7,22 @@
 //
 // Usage:
 //
-//	bulkcheck                                # DFS sweep, all protocols
+//	bulkcheck                                # best-first sweep, all protocols
+//	bulkcheck -workers 8                     # same sweep on 8 workers,
+//	                                         # byte-identical report
 //	bulkcheck -protocol tm -budget large     # deeper sweep of one runtime
 //	bulkcheck -mode walk -seed 7             # seeded random-walk fuzzing
 //	bulkcheck -mutations all                 # prove the oracles have teeth
 //	bulkcheck -target tm-sweep -replay 0,1,2 # re-execute one schedule
+//	bulkcheck -target tm-sweep -schedules 5000 -checkpoint cp.bin
+//	bulkcheck -resume cp.bin -schedules 20000 # continue where cp.bin stopped
 //
 // A failing run prints the minimized schedule both as a canonical choice
 // list (feed it back via -replay) and as a human-readable step list; the
-// same schedule deterministically reproduces the same failure.
+// same schedule deterministically reproduces the same failure — the
+// systematic explorer visits schedules in canonical best-first order, so
+// the report does not depend on -workers or on where a
+// checkpoint/resume boundary fell.
 package main
 
 import (
@@ -31,15 +38,18 @@ import (
 func main() {
 	var (
 		protocol  = flag.String("protocol", "all", "runtime to check: tm, tls, ckpt, or all")
-		mode      = flag.String("mode", "dfs", "exploration mode: dfs (exhaustive) or walk (random)")
+		mode      = flag.String("mode", "dfs", "exploration mode: dfs (systematic best-first) or walk (random)")
 		budget    = flag.String("budget", "medium", "exploration budget: small, medium, or large")
 		schedules = flag.Int("schedules", 0, "override max schedules per target (0 = budget default)")
 		depth     = flag.Int("depth", 0, "override decision depth (0 = budget default)")
+		workers   = flag.Int("workers", 0, "explorer worker goroutines (0 = GOMAXPROCS); the report is identical at every count")
 		seed      = flag.Uint64("seed", 2006, "random-walk seed")
 		deviate   = flag.Float64("deviate", 0.3, "random-walk per-decision deviation probability")
 		mutations = flag.String("mutations", "", "mutation audit: 'all' or comma-separated names (empty = sweep the unmutated tree)")
-		target    = flag.String("target", "", "single target by name (required with -replay)")
+		target    = flag.String("target", "", "single target by name (required with -replay and -checkpoint)")
 		replay    = flag.String("replay", "", "replay one schedule (comma-separated choices) instead of exploring")
+		ckptPath  = flag.String("checkpoint", "", "write a resumable frontier checkpoint to FILE on a clean budget stop (requires -target)")
+		resume    = flag.String("resume", "", "resume a sweep from a checkpoint FILE (target and depth come from the checkpoint)")
 		verbose   = flag.Bool("v", false, "print per-target exploration statistics")
 	)
 	flag.Parse()
@@ -69,15 +79,82 @@ func main() {
 		runReplay(*target, *replay, b.Depth, muts)
 		return
 	}
-	if *mutations != "" {
-		runMutations(*mutations, *verbose)
+	if *resume != "" || *ckptPath != "" {
+		runCheckpointed(*resume, *ckptPath, *target, b, *depth, *workers, *verbose)
 		return
 	}
-	runSweep(*protocol, *mode, b, *seed, *deviate, *target, *verbose)
+	if *mutations != "" {
+		runMutations(*mutations, *workers, *verbose)
+		return
+	}
+	runSweep(*protocol, *mode, b, *workers, *seed, *deviate, *target, *verbose)
+}
+
+// runCheckpointed handles the resumable single-target modes: -checkpoint
+// writes the frontier on a clean stop, -resume continues from one. Because
+// the explorer is deterministic, the combined report of a checkpointed and
+// resumed sweep is identical to one uninterrupted run with the full
+// budget.
+func runCheckpointed(resumePath, ckptPath, target string, b check.Budget, depthFlag, workers int, verbose bool) {
+	var from *check.Checkpoint
+	if resumePath != "" {
+		data, err := os.ReadFile(resumePath)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if from, err = check.DecodeCheckpoint(data); err != nil {
+			fatalf("%v", err)
+		}
+		if target != "" && target != from.Target {
+			fatalf("-target %s conflicts with checkpoint target %s", target, from.Target)
+		}
+		if depthFlag > 0 && depthFlag != from.Depth {
+			fatalf("-depth %d conflicts with checkpoint depth %d (depth is fixed at checkpoint time)", depthFlag, from.Depth)
+		}
+		target = from.Target
+		b.Depth = from.Depth
+		if from.Done() {
+			fmt.Printf("ok   %s: schedule space exhausted at checkpoint (%d schedules); nothing to resume\n",
+				target, from.Schedules)
+			return
+		}
+	}
+	if target == "" {
+		fatalf("-checkpoint requires -target (one of: %s)", targetNames())
+	}
+	t, ok := targetByName(target)
+	if !ok {
+		fatalf("unknown target %q (try one of: %s)", target, targetNames())
+	}
+	rep, cp, err := check.ExploreFrom(t, 0, b, workers, from)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if rep.Failure != nil {
+		fmt.Printf("FAIL %s after %d schedules\n", t.Name(), rep.Schedules)
+		printFailure(t.Name(), rep.Failure)
+		os.Exit(1)
+	}
+	if verbose {
+		fmt.Printf("ok   %s: %d schedules, %d distinct outcomes, %d pending prefixes\n",
+			t.Name(), rep.Schedules, rep.Distinct, len(cp.Frontier))
+	} else {
+		fmt.Printf("ok   %s\n", t.Name())
+	}
+	if ckptPath != "" {
+		if err := os.WriteFile(ckptPath, cp.Encode(), 0o644); err != nil {
+			fatalf("%v", err)
+		}
+		if cp.Done() {
+			fmt.Printf("checkpoint: %s (schedule space exhausted)\n", ckptPath)
+		} else {
+			fmt.Printf("checkpoint: %s (resume with -resume %s)\n", ckptPath, ckptPath)
+		}
+	}
 }
 
 // runSweep explores the unmutated tree and fails on any oracle rejection.
-func runSweep(protocol, mode string, b check.Budget, seed uint64, deviate float64, only string, verbose bool) {
+func runSweep(protocol, mode string, b check.Budget, workers int, seed uint64, deviate float64, only string, verbose bool) {
 	targets, err := check.TargetsByProtocol(protocol)
 	if err != nil {
 		fatalf("%v", err)
@@ -94,7 +171,7 @@ func runSweep(protocol, mode string, b check.Budget, seed uint64, deviate float6
 		var rep *check.Report
 		switch mode {
 		case "dfs":
-			rep = check.Explore(t, 0, b)
+			rep = check.ExploreParallel(t, 0, b, workers)
 		case "walk":
 			rep = check.Walk(t, 0, b, seed, deviate)
 		default:
@@ -121,7 +198,7 @@ func runSweep(protocol, mode string, b check.Budget, seed uint64, deviate float6
 // runMutations proves the checker's teeth: every requested seeded mutation
 // must be killed — the explorer must find an oracle-rejected schedule —
 // within its catalog budget.
-func runMutations(names string, verbose bool) {
+func runMutations(names string, workers int, verbose bool) {
 	catalog := check.Catalog()
 	if names != "all" {
 		want := map[mutate.ID]bool{}
@@ -142,7 +219,7 @@ func runMutations(names string, verbose bool) {
 	}
 	survived := 0
 	for _, m := range catalog {
-		rep := check.Explore(m.Target, mutate.Of(m.ID), m.Budget)
+		rep := check.ExploreParallel(m.Target, mutate.Of(m.ID), m.Budget, workers)
 		if rep.Failure == nil {
 			survived++
 			fmt.Printf("SURVIVED %-26s %d schedules found no violation\n", m.ID, rep.Schedules)

@@ -24,9 +24,14 @@
 //     checks that bulk invalidation only destroys the squashed thread's
 //     own dirty lines — the invariant the Set Restriction maintains.
 //
-// The explorer walks the schedule space depth-first with prefix dedup and
-// a depth/schedule budget; a random-walk fuzzer covers depths the DFS
-// budget cannot reach. Seeded protocol mutations (internal/mutate) give
+// The explorer walks the schedule space best-first — shortest prefixes
+// first, lexicographic within a length — with zero-alloc uint64 prefix
+// dedup and a depth/schedule budget. Each best-first wave (the prefixes
+// tied for minimum length) executes on a work-stealing worker pool and is
+// reduced serially in canonical order, so reports are byte-identical at
+// every worker count, and a clean budget stop emits a resumable frontier
+// checkpoint. A random-walk fuzzer covers depths the systematic budget
+// cannot reach. Seeded protocol mutations (internal/mutate) give
 // the checker teeth: each mutation disables one load-bearing protocol
 // decision, and the catalog in mutations.go pairs each with a directed
 // workload whose schedule space contains a killing interleaving.

@@ -4,7 +4,9 @@ import (
 	"fmt"
 	"strings"
 
+	"bulk/internal/flatmap"
 	"bulk/internal/mutate"
+	"bulk/internal/par"
 	"bulk/internal/rng"
 )
 
@@ -53,78 +55,231 @@ type Failure struct {
 // Report summarizes one exploration.
 type Report struct {
 	Target string
-	// Schedules is the number of distinct schedules executed.
+	// Schedules is the number of distinct schedules executed and counted.
 	Schedules int
 	// Distinct is the number of distinct outcome fingerprints reached —
 	// a measure of how much behavioral diversity the schedules exposed.
 	Distinct int
+	// Duplicates counts redundant re-executions of already-seen canonical
+	// schedules. Exploration never repeats a schedule, so it is always 0
+	// there; random walks report their repeat draws here instead of
+	// inflating Schedules, which keeps Walk and Explore reports
+	// comparable measures of distinct work.
+	Duplicates int
 	// Failure is the first (minimized) failing schedule, nil if none.
 	Failure *Failure
 }
 
-// Explore walks the schedule space of t depth-first: it executes the
-// default schedule, then systematically flips each recorded decision to
-// each alternative choice, extending failing-free prefixes until the
-// budget is exhausted or an oracle rejects an execution. Prefixes are
-// deduplicated by their canonical form, so Schedules counts distinct
-// schedules. On failure the schedule is minimized (greedily reverting
-// choices to the default while the failure reproduces) before reporting.
+// seenShards stripes the prefix dedup set. 64 shards keeps the expected
+// worker collision rate on a shard lock in the low percents at the worker
+// counts bulkcheck sweeps (1–16) while costing four cache lines of
+// headers.
+const seenShards = 64
+
+// Explore walks the schedule space of t in canonical best-first order: it
+// executes the default schedule, then systematically flips each recorded
+// decision to each alternative choice, extending failure-free prefixes —
+// shortest first, lexicographic within a length — until the budget is
+// exhausted or an oracle rejects an execution. Prefixes are deduplicated
+// by canonical sequence hash, so Schedules counts distinct schedules. On
+// failure the schedule is minimized (greedily reverting choices to the
+// default while the failure reproduces) before reporting.
+//
+// Explore is the serial form of ExploreParallel: the explored set, the
+// report, and the failing schedule are identical at every worker count.
 func Explore(t Target, muts mutate.Set, b Budget) *Report {
+	rep, _, _ := ExploreFrom(t, muts, b, 1, nil)
+	return rep
+}
+
+// ExploreParallel is Explore across workers goroutines (workers <= 0 means
+// GOMAXPROCS). Each best-first wave — the prefixes tied for minimum
+// length, in lexicographic order — is executed on a work-stealing pool of
+// per-worker deques with steal-half balancing; results land by wave index
+// and are reduced serially in canonical order, so the report is
+// byte-identical to the serial explorer's no matter the worker count or
+// steal schedule.
+func ExploreParallel(t Target, muts mutate.Set, b Budget, workers int) *Report {
+	rep, _, _ := ExploreFrom(t, muts, b, workers, nil)
+	return rep
+}
+
+// ExploreFrom is ExploreParallel with resumable state: a nil from starts a
+// fresh sweep; a Checkpoint from a previous run continues it. On a clean
+// stop (budget exhausted or space exhausted, no failure) the returned
+// Checkpoint resumes the sweep; on failure it is nil. Budget.MaxSchedules
+// is the total schedule count across the original run and every resume,
+// and the combined report of an interrupted-and-resumed sweep is
+// identical to an uninterrupted one, because best-first order makes the
+// executed sequence independent of where budget boundaries fall.
+func ExploreFrom(t Target, muts mutate.Set, b Budget, workers int, from *Checkpoint) (*Report, *Checkpoint, error) {
 	rep := &Report{Target: t.Name()}
-	fps := map[uint64]bool{}
-	seen := map[string]bool{"": true}
-	stack := [][]int{{}}
-	for len(stack) > 0 && rep.Schedules < b.MaxSchedules {
-		prefix := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		sched := NewReplay(prefix, b.Depth)
-		out := t.Run(sched, muts)
-		rep.Schedules++
-		fps[out.Fingerprint] = true
-		if out.Failed() {
-			rep.Failure = minimize(t, muts, b, sched.Schedule(), out)
-			break
+	seen := flatmap.NewSharded(seenShards)
+	var fps flatmap.Set
+	fr := newFrontier(b.Depth)
+	counted, distinct := 0, 0
+
+	if from != nil {
+		if from.Target != t.Name() {
+			return nil, nil, fmt.Errorf("check: checkpoint is for target %q, not %q", from.Target, t.Name())
 		}
-		// Extend: flip each decision past the forced prefix to each
-		// alternative; the replayed choices before it pin the context.
-		tr := sched.Trace()
-		for i := len(prefix); i < len(tr); i++ {
-			for c := 1; c < tr[i].Arity; c++ {
-				child := make([]int, i+1)
-				for j := 0; j < i; j++ {
-					child[j] = tr[j].Choice
-				}
-				child[i] = c
-				key := scheduleKey(child)
-				if !seen[key] {
-					seen[key] = true
-					stack = append(stack, child)
-				}
+		if from.Depth != b.Depth {
+			return nil, nil, fmt.Errorf("check: checkpoint depth %d does not match budget depth %d", from.Depth, b.Depth)
+		}
+		counted = from.Schedules
+		for _, f := range from.Fingerprints {
+			fps.Add(f)
+		}
+		distinct = fps.Len()
+		for _, k := range from.Seen {
+			seen.Add(k)
+		}
+		for _, p := range from.Frontier {
+			fr.add(p)
+		}
+	} else {
+		seen.Add(hashSchedule(nil))
+		fr.add(nil)
+	}
+
+	for counted < b.MaxSchedules && !fr.empty() {
+		length, rows, total := fr.takeMin()
+		n := total
+		if rem := b.MaxSchedules - counted; n > rem {
+			n = rem
+		}
+		// Execute the wave. Workers claim wave indices from the stealing
+		// pool, write their outcome and encoded children into their own
+		// index's slot, and race only on the sharded dedup set — whose
+		// final membership is order-independent.
+		results := make([]waveResult, n)
+		scratch := make([]workerScratch, par.StealWorkers(workers, n))
+		par.StealForEach(n, workers, func(w, i int) {
+			sc := &scratch[w]
+			sc.prefix = decodeRow(rows, length, i, sc.prefix)
+			sched := NewReplay(sc.prefix, b.Depth)
+			out := t.Run(sched, muts)
+			results[i] = waveResult{out: out, kids: expandChildren(sched.Trace(), length, seen, sc)}
+		})
+		// Reduce in canonical order. Everything order-sensitive — the
+		// schedule count, the Distinct tally, and the first failure —
+		// happens here, serially, exactly as a serial explorer would have
+		// done it.
+		for i := 0; i < n; i++ {
+			counted++
+			f := results[i].out.Fingerprint
+			if !fps.Has(f) {
+				fps.Add(f)
+				distinct++
+			}
+			if results[i].out.Failed() {
+				rep.Schedules, rep.Distinct = counted, distinct
+				failing := decodeRow(rows, length, i, nil)
+				rep.Failure = minimize(t, muts, b, failing, results[i].out)
+				return rep, nil, nil
+			}
+			fr.addRows(results[i].kids)
+		}
+		if n < total {
+			fr.putBack(rows, length, n, total)
+		}
+	}
+
+	rep.Schedules, rep.Distinct = counted, distinct
+	cp := &Checkpoint{
+		Target:       t.Name(),
+		Depth:        b.Depth,
+		Schedules:    counted,
+		Fingerprints: fps.SortedKeys(nil),
+		Seen:         seen.AppendAll(nil),
+		Frontier:     fr.appendAll(nil),
+	}
+	return rep, cp, nil
+}
+
+// waveResult is one wave execution's contribution, landed by index.
+type waveResult struct {
+	out  *Outcome
+	kids []byte // length-prefixed child rows for frontier.addRows
+}
+
+// workerScratch is the per-worker reusable state of a wave: the decoded
+// prefix, the rolling prefix hashes, and the choice bytes of the current
+// trace. Indexed by the stealing pool's worker id, so no synchronization.
+type workerScratch struct {
+	prefix  []int
+	hashes  []uint64
+	choices []byte
+}
+
+// expandChildren emits every undiscovered child of an executed prefix as
+// length-prefixed rows: for each recorded decision past the forced prefix,
+// each alternative choice, claimed through the sharded dedup set so
+// exactly one worker enqueues any given prefix. Children are hashed with
+// the rolling zero-alloc recurrence — no strings, no per-candidate
+// allocation; only rows that win the dedup claim are materialized.
+func expandChildren(tr []Step, from int, seen *flatmap.Sharded, sc *workerScratch) []byte {
+	sc.hashes = sc.hashes[:0]
+	sc.choices = sc.choices[:0]
+	h := uint64(fnvOffset)
+	for _, st := range tr {
+		if st.Arity > maxChoiceByte+1 {
+			panic("check: decision arity exceeds one-byte choice encoding") //bulklint:invariant arity is bounded by the workload's processor count
+		}
+		sc.hashes = append(sc.hashes, h) // hash of the first j choices
+		sc.choices = append(sc.choices, byte(st.Choice))
+		h = hashStep(h, st.Choice)
+	}
+	capBytes := 0
+	for i := from; i < len(tr); i++ {
+		capBytes += (tr[i].Arity - 1) * (i + 2) // row = len byte + i+1 choices
+	}
+	if capBytes == 0 {
+		return nil
+	}
+	kids := make([]byte, 0, capBytes)
+	for i := from; i < len(tr); i++ {
+		for c := 1; c < tr[i].Arity; c++ {
+			if seen.AddIfAbsent(hashStep(sc.hashes[i], c)) {
+				kids = append(kids, byte(i+1))
+				kids = append(kids, sc.choices[:i]...)
+				kids = append(kids, byte(c))
 			}
 		}
 	}
-	rep.Distinct = len(fps)
-	return rep
+	return kids
 }
 
 // Walk runs random-walk schedules: each trial deviates from the default
 // with the given probability at every decision within the budget's depth.
-// Failures minimize and replay exactly like Explore's.
+// Draws that land on an already-executed canonical schedule are counted as
+// Duplicates and not re-judged (replays are deterministic, so a repeat
+// draw can expose nothing new); MaxSchedules bounds total draws, so
+// Schedules reports the distinct schedules actually explored. Failures
+// minimize and replay exactly like Explore's.
 func Walk(t Target, muts mutate.Set, b Budget, seed uint64, deviate float64) *Report {
 	rep := &Report{Target: t.Name()}
-	fps := map[uint64]bool{}
+	var fps, seen flatmap.Set
 	r := rng.New(seed)
-	for rep.Schedules < b.MaxSchedules {
+	for rep.Schedules+rep.Duplicates < b.MaxSchedules {
 		sched := NewRandomWalk(b.Depth, r.Uint64(), deviate)
 		out := t.Run(sched, muts)
+		key := hashSchedule(sched.Schedule())
+		if seen.Has(key) {
+			rep.Duplicates++
+			continue
+		}
+		seen.Add(key)
 		rep.Schedules++
-		fps[out.Fingerprint] = true
+		if !fps.Has(out.Fingerprint) {
+			fps.Add(out.Fingerprint)
+			rep.Distinct++
+		}
 		if out.Failed() {
 			rep.Failure = minimize(t, muts, b, sched.Schedule(), out)
 			break
 		}
 	}
-	rep.Distinct = len(fps)
 	return rep
 }
 
@@ -194,8 +349,4 @@ func ParseSchedule(s string) ([]int, error) {
 		out[i] = c
 	}
 	return out, nil
-}
-
-func scheduleKey(s []int) string {
-	return FormatSchedule(trimDefaults(s))
 }

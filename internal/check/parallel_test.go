@@ -1,0 +1,284 @@
+package check
+
+import (
+	"bytes"
+	"slices"
+	"testing"
+
+	"bulk/internal/mutate"
+)
+
+// reportsEqual compares everything a Report promises to be deterministic:
+// the counts and, when present, the minimized failing schedule with its
+// reason and replayed steps.
+func reportsEqual(t *testing.T, label string, got, want *Report) {
+	t.Helper()
+	if got.Target != want.Target || got.Schedules != want.Schedules ||
+		got.Distinct != want.Distinct || got.Duplicates != want.Duplicates {
+		t.Errorf("%s: counts (target=%s sched=%d distinct=%d dup=%d), want (target=%s sched=%d distinct=%d dup=%d)",
+			label, got.Target, got.Schedules, got.Distinct, got.Duplicates,
+			want.Target, want.Schedules, want.Distinct, want.Duplicates)
+	}
+	if (got.Failure == nil) != (want.Failure == nil) {
+		t.Errorf("%s: failure presence %v, want %v", label, got.Failure != nil, want.Failure != nil)
+		return
+	}
+	if got.Failure == nil {
+		return
+	}
+	if !slices.Equal(got.Failure.Schedule, want.Failure.Schedule) {
+		t.Errorf("%s: failing schedule %s, want %s",
+			label, FormatSchedule(got.Failure.Schedule), FormatSchedule(want.Failure.Schedule))
+	}
+	if got.Failure.Reason != want.Failure.Reason {
+		t.Errorf("%s: failure reason %q, want %q", label, got.Failure.Reason, want.Failure.Reason)
+	}
+	if len(got.Failure.Steps) != len(want.Failure.Steps) {
+		t.Errorf("%s: %d failure steps, want %d", label, len(got.Failure.Steps), len(want.Failure.Steps))
+	}
+}
+
+// TestParallelMatchesSerialClean: on failure-free targets the parallel
+// explorer's report is identical to the serial one at every worker count —
+// same schedule count, same distinct-fingerprint count — even when the
+// budget clips the final wave.
+func TestParallelMatchesSerialClean(t *testing.T) {
+	b := Budget{MaxSchedules: 2_000, Depth: 12}
+	for _, tgt := range SweepTargets() {
+		serial := Explore(tgt, 0, b)
+		if serial.Failure != nil {
+			t.Fatalf("%s: unmutated target failed: %s", tgt.Name(), serial.Failure.Reason)
+		}
+		for _, w := range []int{1, 2, 4, 8} {
+			reportsEqual(t, tgt.Name(), ExploreParallel(tgt, 0, b, w), serial)
+		}
+	}
+}
+
+// TestParallelMatchesSerialOnMutations: for every seeded mutation the
+// parallel explorer finds the same first failure — same minimized
+// schedule, same reason, after the same number of schedules — as the
+// serial explorer, at workers 2, 4, and 8.
+func TestParallelMatchesSerialOnMutations(t *testing.T) {
+	for _, m := range Catalog() {
+		m := m
+		t.Run(m.ID.String(), func(t *testing.T) {
+			serial := Explore(m.Target, mutate.Of(m.ID), m.Budget)
+			if serial.Failure == nil {
+				t.Fatalf("mutation survived %d schedules", serial.Schedules)
+			}
+			for _, w := range []int{2, 4, 8} {
+				reportsEqual(t, m.ID.String(), ExploreParallel(m.Target, mutate.Of(m.ID), m.Budget, w), serial)
+			}
+		})
+	}
+}
+
+// TestCheckpointResumeMatchesUninterrupted: stopping a sweep at an
+// arbitrary budget boundary, round-tripping the checkpoint through its
+// binary encoding, and resuming — even at a different worker count — must
+// reproduce the uninterrupted run's report and final checkpoint exactly.
+func TestCheckpointResumeMatchesUninterrupted(t *testing.T) {
+	tgt := SweepTargets()[0]
+	full := Budget{MaxSchedules: 1_500, Depth: 12}
+
+	whole, wholeCP, err := ExploreFrom(tgt, 0, full, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if whole.Failure != nil {
+		t.Fatalf("unmutated target failed: %s", whole.Failure.Reason)
+	}
+	if wholeCP == nil {
+		t.Fatal("clean stop returned no checkpoint")
+	}
+
+	for _, cut := range []int{1, 137, 1_000} {
+		part, cp, err := ExploreFrom(tgt, 0, Budget{MaxSchedules: cut, Depth: full.Depth}, 4, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if part.Schedules != cut || cp == nil {
+			t.Fatalf("cut=%d: partial run counted %d schedules, checkpoint=%v", cut, part.Schedules, cp != nil)
+		}
+		decoded, err := DecodeCheckpoint(cp.Encode())
+		if err != nil {
+			t.Fatalf("cut=%d: checkpoint does not round-trip: %v", cut, err)
+		}
+		resumed, resumedCP, err := ExploreFrom(tgt, 0, full, 1, decoded)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reportsEqual(t, "resumed", resumed, whole)
+		if resumedCP == nil {
+			t.Fatalf("cut=%d: resumed clean stop returned no checkpoint", cut)
+		}
+		if !bytes.Equal(resumedCP.Encode(), wholeCP.Encode()) {
+			t.Errorf("cut=%d: resumed checkpoint bytes diverge from uninterrupted run's", cut)
+		}
+	}
+}
+
+// TestCheckpointResumeFindsSameFailure: a failure that lies beyond a
+// checkpoint boundary is found by the resumed sweep with the same
+// minimized schedule the uninterrupted explorer reports.
+func TestCheckpointResumeFindsSameFailure(t *testing.T) {
+	var m Mutation
+	var whole *Report
+	for _, cand := range Catalog() {
+		rep := Explore(cand.Target, mutate.Of(cand.ID), cand.Budget)
+		if rep.Failure == nil {
+			t.Fatalf("mutation %s survived %d schedules", cand.ID, rep.Schedules)
+		}
+		if rep.Schedules >= 2 {
+			m, whole = cand, rep
+			break
+		}
+	}
+	if whole == nil {
+		t.Skip("every catalog kill lands on the first schedule; no room for a cut")
+	}
+	cut := whole.Schedules / 2
+	_, cp, err := ExploreFrom(m.Target, mutate.Of(m.ID), Budget{MaxSchedules: cut, Depth: m.Budget.Depth}, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp == nil {
+		t.Fatal("partial run hit the failure before the cut; expected a clean stop")
+	}
+	resumed, failCP, err := ExploreFrom(m.Target, mutate.Of(m.ID), m.Budget, 4, cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reportsEqual(t, "resumed", resumed, whole)
+	if failCP != nil {
+		t.Error("failing stop returned a checkpoint; failures are not resumable")
+	}
+}
+
+// TestCheckpointRejectsMismatch: resuming against the wrong target or a
+// different depth is an error, not a silently wrong sweep.
+func TestCheckpointRejectsMismatch(t *testing.T) {
+	targets := SweepTargets()
+	_, cp, err := ExploreFrom(targets[0], 0, Budget{MaxSchedules: 50, Depth: 10}, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ExploreFrom(targets[1], 0, Budget{MaxSchedules: 100, Depth: 10}, 1, cp); err == nil {
+		t.Error("resume accepted a checkpoint from a different target")
+	}
+	if _, _, err := ExploreFrom(targets[0], 0, Budget{MaxSchedules: 100, Depth: 12}, 1, cp); err == nil {
+		t.Error("resume accepted a checkpoint taken at a different depth")
+	}
+}
+
+// TestCheckpointCodecRejectsCorruption: the decoder fails loudly on bad
+// magic, bit flips, truncation, and trailing garbage.
+func TestCheckpointCodecRejectsCorruption(t *testing.T) {
+	cp := &Checkpoint{
+		Target: "tm-sweep", Depth: 12, Schedules: 321,
+		Fingerprints: []uint64{1, 99, 1 << 60},
+		Seen:         []uint64{fnvOffset, 7},
+		Frontier:     [][]int{{1}, {0, 2}, {1, 1, 3}},
+	}
+	enc := cp.Encode()
+	if _, err := DecodeCheckpoint(enc); err != nil {
+		t.Fatalf("round trip failed: %v", err)
+	}
+	if _, err := DecodeCheckpoint(enc[:len(enc)-3]); err == nil {
+		t.Error("decoder accepted a truncated checkpoint")
+	}
+	for _, pos := range []int{0, len(checkpointMagic) + 1, len(enc) - 1} {
+		bad := slices.Clone(enc)
+		bad[pos] ^= 0x40
+		if _, err := DecodeCheckpoint(bad); err == nil {
+			t.Errorf("decoder accepted a bit flip at offset %d", pos)
+		}
+	}
+	if _, err := DecodeCheckpoint(append(slices.Clone(enc), 0)); err == nil {
+		t.Error("decoder accepted trailing garbage")
+	}
+}
+
+// TestWalkReportsDuplicates: with a low deviation probability most random
+// draws repeat the default schedule; Walk must report them as Duplicates
+// rather than inflating Schedules, and still bound total draws by the
+// budget.
+func TestWalkReportsDuplicates(t *testing.T) {
+	tgt := SweepTargets()[0]
+	rep := Walk(tgt, 0, Budget{MaxSchedules: 200, Depth: 8}, 42, 0.02)
+	if rep.Failure != nil {
+		t.Fatalf("unmutated walk failed: %s", rep.Failure.Reason)
+	}
+	if rep.Schedules+rep.Duplicates != 200 {
+		t.Errorf("draws = %d schedules + %d duplicates, want 200 total", rep.Schedules, rep.Duplicates)
+	}
+	if rep.Duplicates == 0 {
+		t.Error("expected duplicate draws at deviate=0.02, got none")
+	}
+	if rep.Schedules == 0 || rep.Distinct == 0 {
+		t.Errorf("walk explored %d schedules, %d distinct outcomes; want both > 0", rep.Schedules, rep.Distinct)
+	}
+}
+
+// TestFrontierShortlexOrder: the frontier drains in canonical shortlex
+// order no matter the insert order, and budget-clipped tails re-enter at
+// the front of that order.
+func TestFrontierShortlexOrder(t *testing.T) {
+	prefixes := [][]int{{2, 1}, {1}, {1, 1, 1}, {2}, {1, 2}, {3}, {1, 1}}
+	fr := newFrontier(4)
+	for _, p := range prefixes {
+		fr.add(p)
+	}
+	want := [][]int{{1}, {2}, {3}, {1, 1}, {1, 2}, {2, 1}, {1, 1, 1}}
+	var got [][]int
+	for !fr.empty() {
+		l, rows, n := fr.takeMin()
+		for k := 0; k < n; k++ {
+			got = append(got, slices.Clone(decodeRow(rows, l, k, nil)))
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("drained %d prefixes, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !slices.Equal(got[i], want[i]) {
+			t.Errorf("position %d: %v, want %v", i, got[i], want[i])
+		}
+	}
+
+	// Clip a wave and put the tail back: it must drain next, still sorted.
+	fr = newFrontier(4)
+	for _, p := range want[3:6] { // the three length-2 prefixes
+		fr.add(p)
+	}
+	l, rows, n := fr.takeMin()
+	fr.putBack(rows, l, 1, n)
+	fr.add([]int{1, 2, 1}) // longer prefix must not jump the queue
+	l2, rows2, n2 := fr.takeMin()
+	if l2 != 2 || n2 != 2 {
+		t.Fatalf("after putBack, takeMin returned %d rows of length %d, want 2 of length 2", n2, l2)
+	}
+	if got := decodeRow(rows2, l2, 0, nil); !slices.Equal(got, []int{1, 2}) {
+		t.Errorf("first resumed prefix %v, want [1 2]", got)
+	}
+}
+
+// TestHashScheduleMatchesSteps: the rolling per-step recurrence the
+// expander uses agrees with the one-shot schedule hash.
+func TestHashScheduleMatchesSteps(t *testing.T) {
+	s := []int{3, 0, 1, 2, 0, 0, 5}
+	h := uint64(fnvOffset)
+	for i, c := range s {
+		if want := hashSchedule(s[:i]); h != want {
+			t.Fatalf("rolling hash diverges at step %d", i)
+		}
+		h = hashStep(h, c)
+	}
+	if h != hashSchedule(s) {
+		t.Fatal("rolling hash diverges at the full schedule")
+	}
+	if hashSchedule(nil) != fnvOffset {
+		t.Fatal("empty schedule must hash to the FNV offset basis")
+	}
+}

@@ -38,8 +38,8 @@ func (st Step) String() string {
 // onto the runtimes' decision points. Decision i takes prefix[i] when
 // i < len(prefix) and the default choice 0 otherwise, so the empty schedule
 // replays the default execution exactly. The first depth decisions are
-// recorded in Trace with their arities, which is what the DFS explorer
-// extends.
+// recorded in Trace with their arities, which is what the systematic
+// explorer extends.
 //
 // The canonical choice order is stable across runs:
 //

@@ -243,7 +243,7 @@ func stalledTarget() Target {
 // --- Sweep targets (unmutated exhaustive exploration) ---
 
 // SweepTargets returns one small contended workload per protocol, sized so
-// a depth-bounded DFS reaches tens of thousands of distinct schedules.
+// a depth-bounded sweep reaches tens of thousands of distinct schedules.
 func SweepTargets() []Target {
 	return []Target{
 		tmTarget("tm-sweep", tmWorkload("sweep",

@@ -1,0 +1,126 @@
+package flatmap
+
+import (
+	"math/bits"
+	"slices"
+	"sync"
+)
+
+// shardMult is the multiplicative constant that picks a shard from a key
+// (the odd 64-bit mixer from splitmix64). It is deliberately different
+// from fibMult: a shard is chosen by the top bits of k*shardMult, and the
+// Set inside the shard slots by the top bits of k*fibMult, so the two
+// partitions are decorrelated — keys that share a shard do not also share
+// intra-shard probe clusters.
+const shardMult = 0xBF58476D1CE4E5B9
+
+// shard is one lock-striped partition of a Sharded set. The pad keeps
+// neighboring shards' mutexes and table headers off one cache line, so
+// concurrent inserts into different shards do not false-share.
+type shard struct {
+	mu  sync.Mutex
+	set Set
+	_   [24]byte
+}
+
+// Sharded is a concurrent set of uint64 keys, hash-partitioned across a
+// power-of-two number of shards, each an ordinary flatmap.Set behind its
+// own mutex. It is the dedup structure behind the parallel schedule
+// explorer: many workers race to claim prefix hashes and outcome
+// fingerprints, and the only cross-worker contract they need is that
+// exactly one AddIfAbsent call per distinct key reports the insert.
+//
+// Membership after any set of concurrent AddIfAbsent calls is a pure
+// function of the key set — which call wins the insert race is scheduling-
+// dependent, but the resulting contents are not, which is what lets the
+// explorer's reports stay byte-identical across worker counts.
+//
+// Len, AppendAll and Reset are quiescent-only: they take every shard lock
+// in order, so they are safe to call concurrently, but their results are
+// meaningful only between parallel phases (the explorer calls them at wave
+// barriers and checkpoint time).
+type Sharded struct {
+	shards []shard
+	shift  uint8 // 64 - log2(len(shards)); maps k*shardMult to a shard
+}
+
+// NewSharded builds a set striped across the given number of shards,
+// rounded up to a power of two (minimum 1).
+func NewSharded(nshards int) *Sharded {
+	n := 1
+	for n < nshards {
+		n <<= 1
+	}
+	return &Sharded{
+		shards: make([]shard, n),
+		shift:  uint8(bits.LeadingZeros64(uint64(n)) + 1),
+	}
+}
+
+// shardOf picks the shard for a key.
+//
+//bulklint:noalloc
+func (s *Sharded) shardOf(k uint64) *shard {
+	return &s.shards[(k*shardMult)>>s.shift]
+}
+
+// AddIfAbsent inserts k and reports whether this call performed the
+// insert. Exactly one of any set of concurrent AddIfAbsent(k) calls
+// returns true.
+func (s *Sharded) AddIfAbsent(k uint64) bool {
+	sh := s.shardOf(k)
+	sh.mu.Lock()
+	if sh.set.Has(k) {
+		sh.mu.Unlock()
+		return false
+	}
+	sh.set.Add(k)
+	sh.mu.Unlock()
+	return true
+}
+
+// Has reports whether k is a member.
+func (s *Sharded) Has(k uint64) bool {
+	sh := s.shardOf(k)
+	sh.mu.Lock()
+	ok := sh.set.Has(k)
+	sh.mu.Unlock()
+	return ok
+}
+
+// Add inserts k.
+func (s *Sharded) Add(k uint64) { s.AddIfAbsent(k) }
+
+// Len returns the total number of members across all shards.
+func (s *Sharded) Len() int {
+	n := 0
+	for i := range s.shards {
+		s.shards[i].mu.Lock()
+		n += s.shards[i].set.Len()
+		s.shards[i].mu.Unlock()
+	}
+	return n
+}
+
+// AppendAll appends every member to dst in ascending key order and returns
+// the extended slice — the canonical serialization the explorer writes
+// into frontier checkpoints, independent of shard count and insert order.
+func (s *Sharded) AppendAll(dst []uint64) []uint64 {
+	start := len(dst)
+	for i := range s.shards {
+		s.shards[i].mu.Lock()
+		dst = s.shards[i].set.SortedKeys(dst)
+		s.shards[i].mu.Unlock()
+	}
+	slices.Sort(dst[start:])
+	return dst
+}
+
+// Reset empties every shard, keeping their allocated capacity.
+func (s *Sharded) Reset() {
+	for i := range s.shards {
+		s.shards[i].mu.Lock()
+		s.shards[i].set.Reset()
+		s.shards[i].mu.Unlock()
+	}
+}

@@ -1,0 +1,130 @@
+package flatmap
+
+import (
+	"slices"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestShardedMatchesSerialSet: concurrent inserts from many goroutines
+// (with heavy key overlap between them) must leave the sharded set with
+// exactly the membership a serial Set built from the same keys has, and
+// exactly one AddIfAbsent per distinct key may report the insert.
+func TestShardedMatchesSerialSet(t *testing.T) {
+	const goroutines = 8
+	const perG = 5000
+	keys := make([][]uint64, goroutines)
+	var ref Set
+	for g := range keys {
+		for i := 0; i < perG; i++ {
+			// Overlapping streams: every third key is shared by all
+			// goroutines, the rest are goroutine-private.
+			k := uint64(g*perG + i)
+			if i%3 == 0 {
+				k = uint64(i)
+			}
+			k = k*0x9E3779B97F4A7C15 + 1 // spread across shards
+			keys[g] = append(keys[g], k)
+			ref.Add(k)
+		}
+	}
+
+	for _, nshards := range []int{1, 4, 64} {
+		s := NewSharded(nshards)
+		var inserted atomic.Int64
+		var wg sync.WaitGroup
+		for g := 0; g < goroutines; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for _, k := range keys[g] {
+					if s.AddIfAbsent(k) {
+						inserted.Add(1)
+					}
+					if !s.Has(k) {
+						t.Errorf("nshards=%d: key %#x missing immediately after insert", nshards, k)
+						return
+					}
+				}
+			}(g)
+		}
+		wg.Wait()
+
+		if got, want := s.Len(), ref.Len(); got != want {
+			t.Errorf("nshards=%d: Len = %d, want %d", nshards, got, want)
+		}
+		if got := int(inserted.Load()); got != ref.Len() {
+			t.Errorf("nshards=%d: %d AddIfAbsent calls reported the insert, want %d (one per distinct key)", nshards, got, ref.Len())
+		}
+		got := s.AppendAll(nil)
+		want := ref.SortedKeys(nil)
+		if !slices.Equal(got, want) {
+			t.Errorf("nshards=%d: AppendAll diverges from serial set (%d vs %d keys)", nshards, len(got), len(want))
+		}
+		for _, k := range want {
+			if !s.Has(k) {
+				t.Errorf("nshards=%d: Has(%#x) = false after quiescence", nshards, k)
+			}
+		}
+	}
+}
+
+// TestShardedAppendAllSorted: serialization is ascending and independent
+// of shard count, so checkpoint bytes do not depend on how the set was
+// built.
+func TestShardedAppendAllSorted(t *testing.T) {
+	ks := []uint64{42, 7, 0xFFFFFFFFFFFFFFFF, 1, 0, 99, 7} // dup 7
+	var want []uint64
+	var ref Set
+	for _, k := range ks {
+		ref.Add(k)
+	}
+	want = ref.SortedKeys(nil)
+	for _, nshards := range []int{1, 2, 16} {
+		s := NewSharded(nshards)
+		for _, k := range ks {
+			s.Add(k)
+		}
+		got := s.AppendAll(nil)
+		if !slices.IsSorted(got) {
+			t.Errorf("nshards=%d: AppendAll not sorted: %v", nshards, got)
+		}
+		if !slices.Equal(got, want) {
+			t.Errorf("nshards=%d: AppendAll = %v, want %v", nshards, got, want)
+		}
+	}
+}
+
+// TestShardedReset: Reset empties the set but later inserts still work.
+func TestShardedReset(t *testing.T) {
+	s := NewSharded(8)
+	for k := uint64(0); k < 100; k++ {
+		s.Add(k)
+	}
+	s.Reset()
+	if s.Len() != 0 {
+		t.Fatalf("Len after Reset = %d, want 0", s.Len())
+	}
+	if s.Has(42) {
+		t.Fatal("Has(42) true after Reset")
+	}
+	if !s.AddIfAbsent(42) {
+		t.Fatal("AddIfAbsent(42) false on an emptied set")
+	}
+}
+
+// TestShardedRoundsUp: shard counts round up to a power of two and a
+// degenerate request still yields a working single shard.
+func TestShardedRoundsUp(t *testing.T) {
+	for _, tc := range []struct{ ask, want int }{{0, 1}, {1, 1}, {3, 4}, {8, 8}, {9, 16}} {
+		s := NewSharded(tc.ask)
+		if len(s.shards) != tc.want {
+			t.Errorf("NewSharded(%d) built %d shards, want %d", tc.ask, len(s.shards), tc.want)
+		}
+		s.Add(7)
+		if !s.Has(7) {
+			t.Errorf("NewSharded(%d): basic insert failed", tc.ask)
+		}
+	}
+}

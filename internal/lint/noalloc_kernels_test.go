@@ -35,6 +35,8 @@ func TestNoallocKernelSetPinned(t *testing.T) {
 		"bulk/internal/cache.Cache.Lookup exported=true",
 		"bulk/internal/cache.Cache.MarkClean exported=true",
 		"bulk/internal/cache.Cache.MarkDirty exported=true",
+		"bulk/internal/check.hashSchedule exported=false",
+		"bulk/internal/check.hashStep exported=false",
 		"bulk/internal/ckpt.System.lineOf exported=false",
 		"bulk/internal/ckpt.System.recordRead exported=false",
 		"bulk/internal/flatmap.Map.Delete exported=true",
@@ -48,6 +50,7 @@ func TestNoallocKernelSetPinned(t *testing.T) {
 		"bulk/internal/flatmap.Set.Has exported=true",
 		"bulk/internal/flatmap.Set.Reset exported=true",
 		"bulk/internal/flatmap.Set.SortedKeys exported=true",
+		"bulk/internal/flatmap.Sharded.shardOf exported=false",
 		"bulk/internal/mem.Memory.Read exported=true",
 		"bulk/internal/mem.Memory.Write exported=true",
 		"bulk/internal/mem.OverflowArea.DisambiguationScan exported=true",

@@ -1,0 +1,145 @@
+package par
+
+import (
+	"runtime"
+	"sync"
+)
+
+// stealDeque is one worker's share of a StealForEach index space: a
+// contiguous range [lo, hi) of task indices. The owner claims indices one
+// at a time from the bottom (lo); a thief with an empty deque takes the top
+// half of a victim's remaining range in one operation, so load imbalance
+// halves with every steal instead of migrating one task at a time.
+//
+// A plain mutex per deque keeps the protocol obviously correct (the model
+// checker's report determinism must not hinge on a subtle lock-free deque);
+// the tasks this pool runs are full simulator executions, microseconds
+// each, so the per-claim lock is noise. The pad keeps neighboring deques
+// off one cache line so owner claims don't false-share.
+type stealDeque struct {
+	mu sync.Mutex
+	lo int
+	hi int
+	_  [40]byte // pad to a cache line alongside the mutex and bounds
+}
+
+// pop claims the bottom index of the owner's range.
+func (d *stealDeque) pop() (int, bool) {
+	d.mu.Lock()
+	if d.lo >= d.hi {
+		d.mu.Unlock()
+		return 0, false
+	}
+	i := d.lo
+	d.lo++
+	d.mu.Unlock()
+	return i, true
+}
+
+// stealHalf takes the top half of the victim's remaining range (at least
+// one index), returning the stolen range.
+func (d *stealDeque) stealHalf() (lo, hi int, ok bool) {
+	d.mu.Lock()
+	n := d.hi - d.lo
+	if n <= 0 {
+		d.mu.Unlock()
+		return 0, 0, false
+	}
+	k := (n + 1) / 2
+	lo, hi = d.hi-k, d.hi
+	d.hi -= k
+	d.mu.Unlock()
+	return lo, hi, true
+}
+
+// install replaces the deque's range with a stolen one. Only the owner
+// installs, and only when its range is empty, so no claimable index is
+// ever overwritten.
+func (d *stealDeque) install(lo, hi int) {
+	d.mu.Lock()
+	d.lo, d.hi = lo, hi
+	d.mu.Unlock()
+}
+
+// StealWorkers returns the worker count StealForEach resolves w to: w when
+// positive, GOMAXPROCS when w <= 0, and never more than n or less than 1.
+func StealWorkers(w, n int) int {
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// StealForEach runs fn(worker, i) for every i in [0, n) across w workers
+// (w <= 0 means GOMAXPROCS) using per-worker deques with steal-half
+// balancing, and blocks until every call has returned. The index space is
+// block-partitioned across the deques up front, each worker drains its own
+// block from the bottom, and a worker that runs dry probes the other
+// deques round-robin and takes the top half of the first one still holding
+// work. fn receives the claiming worker's id so callers can keep
+// per-worker scratch state; every index is claimed exactly once, so fn may
+// write index-i results without synchronization — under that contract (the
+// same one ForEach imposes) the caller's reduction over the results is
+// identical to a serial loop regardless of w or the steal schedule.
+//
+// A worker retires when its own deque and every steal probe come up empty.
+// That early exit is safe: an index lives in exactly one deque at a time
+// (ranges move only under the deque locks), a stolen range lands only in
+// the thief's own deque, and no owner retires while its deque still holds
+// work — so every index is claimed by some live worker and the WaitGroup
+// holds StealForEach open until the last claimed call returns.
+//
+// With w == 1 the pool is bypassed entirely: fn runs inline on the calling
+// goroutine, so a single-worker caller pays no synchronization at all.
+func StealForEach(n, w int, fn func(worker, i int)) {
+	if n <= 0 {
+		return
+	}
+	w = StealWorkers(w, n)
+	if w == 1 {
+		for i := 0; i < n; i++ {
+			fn(0, i)
+		}
+		return
+	}
+	deques := make([]stealDeque, w)
+	// Block partition: worker k owns [k*n/w, (k+1)*n/w), so every worker
+	// starts with a contiguous run and steals only on imbalance.
+	for k := 0; k < w; k++ {
+		deques[k].lo = k * n / w
+		deques[k].hi = (k + 1) * n / w
+	}
+	var wg sync.WaitGroup
+	for k := 0; k < w; k++ {
+		wg.Add(1)
+		go func(self int) {
+			defer wg.Done()
+			d := &deques[self]
+			for {
+				if i, ok := d.pop(); ok {
+					fn(self, i)
+					continue
+				}
+				stolen := false
+				for off := 1; off < w; off++ {
+					v := (self + off) % w
+					if lo, hi, ok := deques[v].stealHalf(); ok {
+						d.install(lo, hi)
+						stolen = true
+						break
+					}
+				}
+				if !stolen {
+					return
+				}
+			}
+		}(k)
+	}
+	wg.Wait()
+}

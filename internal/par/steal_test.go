@@ -1,0 +1,96 @@
+package par
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+// TestStealForEachCoversEveryIndex: every index in [0, n) is claimed
+// exactly once, across worker counts above, at, and below n.
+func TestStealForEachCoversEveryIndex(t *testing.T) {
+	for _, tc := range []struct{ n, w int }{
+		{0, 4}, {1, 4}, {7, 1}, {7, 3}, {64, 4}, {1000, 8}, {5, 16},
+	} {
+		claims := make([]atomic.Int32, tc.n)
+		StealForEach(tc.n, tc.w, func(_, i int) {
+			claims[i].Add(1)
+		})
+		for i := range claims {
+			if got := claims[i].Load(); got != 1 {
+				t.Errorf("n=%d w=%d: index %d claimed %d times, want 1", tc.n, tc.w, i, got)
+			}
+		}
+	}
+}
+
+// TestStealForEachWorkerIDs: the worker id passed to fn is always a valid
+// deque index, so per-worker scratch arrays indexed by it are safe.
+func TestStealForEachWorkerIDs(t *testing.T) {
+	const n, w = 500, 6
+	var bad atomic.Int32
+	StealForEach(n, w, func(worker, _ int) {
+		if worker < 0 || worker >= w {
+			bad.Add(1)
+		}
+	})
+	if bad.Load() != 0 {
+		t.Fatalf("%d calls saw an out-of-range worker id", bad.Load())
+	}
+}
+
+// TestStealForEachBalancesSkew: a worker stalled inside fn must not strand
+// the rest of its block. Index 0 blocks until every other index has run;
+// without stealing, whatever remained in the stalled worker's deque could
+// never be claimed and the pool would hang — completion of this test is
+// the stealing property.
+func TestStealForEachBalancesSkew(t *testing.T) {
+	const n, w = 256, 4
+	var done atomic.Int32
+	rest := make(chan struct{})
+	StealForEach(n, w, func(_, i int) {
+		if i == 0 {
+			<-rest // stall until the other n-1 indices are all claimed
+			return
+		}
+		if done.Add(1) == n-1 {
+			close(rest)
+		}
+	})
+	if done.Load() != n-1 {
+		t.Fatalf("pool returned with %d of %d non-stalled indices run", done.Load(), n-1)
+	}
+}
+
+// TestStealHalfSemantics: a thief takes the ceiling half of the victim's
+// remaining range, from the top, leaving the bottom with the owner.
+func TestStealHalfSemantics(t *testing.T) {
+	d := stealDeque{lo: 2, hi: 10} // 8 remaining
+	lo, hi, ok := d.stealHalf()
+	if !ok || lo != 6 || hi != 10 {
+		t.Fatalf("stealHalf of [2,10) = [%d,%d) ok=%v, want [6,10) true", lo, hi, ok)
+	}
+	if d.lo != 2 || d.hi != 6 {
+		t.Fatalf("victim left with [%d,%d), want [2,6)", d.lo, d.hi)
+	}
+	d = stealDeque{lo: 4, hi: 5} // single item: steal-at-least-one
+	lo, hi, ok = d.stealHalf()
+	if !ok || lo != 4 || hi != 5 {
+		t.Fatalf("stealHalf of [4,5) = [%d,%d) ok=%v, want [4,5) true", lo, hi, ok)
+	}
+	if _, _, ok := d.stealHalf(); ok {
+		t.Fatal("stealHalf succeeded on an empty deque")
+	}
+}
+
+func TestStealWorkers(t *testing.T) {
+	if got := StealWorkers(0, 100); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("StealWorkers(0, 100) = %d, want GOMAXPROCS", got)
+	}
+	if got := StealWorkers(8, 3); got != 3 {
+		t.Errorf("StealWorkers(8, 3) = %d, want 3", got)
+	}
+	if got := StealWorkers(-1, 0); got != 1 {
+		t.Errorf("StealWorkers(-1, 0) = %d, want 1", got)
+	}
+}

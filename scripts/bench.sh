@@ -54,6 +54,14 @@ emit_json "$tmp/core.txt" bench/baseline/core.txt \
   BENCH_core.json
 
 echo
+echo "== schedule-exploration throughput (serial vs work-stealing workers) =="
+go test . -run '^$' -bench 'CheckExplore' \
+  -benchtime "$BENCHTIME" -benchmem -count "$COUNT" | tee "$tmp/check.txt"
+emit_json "$tmp/check.txt" bench/baseline/check.txt \
+  "medium-budget exploration per sweep target at 1/2/4/8 workers; baseline = serial string-keyed DFS before the work-stealing best-first explorer" \
+  BENCH_check.json
+
+echo
 echo "== static-analysis suite benchmarks (internal/lint) =="
 go test ./internal/lint/ -run '^$' -bench 'LintModule|InferEffects' \
   -benchmem -count "$COUNT" | tee "$tmp/lint.txt"
@@ -62,4 +70,4 @@ emit_json "$tmp/lint.txt" bench/baseline/lint.txt \
   BENCH_lint.json
 
 echo
-echo "bench.sh: wrote BENCH_sig.json, BENCH_exhibits.json, BENCH_core.json and BENCH_lint.json"
+echo "bench.sh: wrote BENCH_sig.json, BENCH_exhibits.json, BENCH_core.json, BENCH_check.json and BENCH_lint.json"

@@ -40,6 +40,9 @@ go test . -run '^$' -bench 'TMRun|TLSRun|CkptRun' -benchtime 1x
 # The lint-suite benchmarks scripts/bench.sh records against
 # bench/baseline/lint.txt must keep running too.
 go test ./internal/lint/ -run '^$' -bench 'LintModule|InferEffects' -benchtime 1x
+# One serial and one parallel iteration of the explorer-throughput
+# benchmark scripts/bench.sh records into BENCH_check.json.
+go test . -run '^$' -bench 'CheckExplore/tm-sweep/(w1|w4)$' -benchtime 1x
 
 echo "== coverage gate =="
 # Per-package statement-coverage floors for the runtimes and the model
@@ -66,10 +69,44 @@ check_cover ckpt 90
 check_cover check 84
 
 echo "== bulkcheck smoke =="
-# A small exhaustive sweep of every protocol must stay oracle-clean, and
-# every seeded protocol mutation must still be killed by the explorer.
-go run ./cmd/bulkcheck -budget small -v
-go run ./cmd/bulkcheck -mutations all
+# A small exhaustive sweep of every protocol must stay oracle-clean — and
+# produce the identical report on a work-stealing worker pool — and every
+# seeded protocol mutation must still be killed, serially and in parallel.
+bc_tmp="$(mktemp -d)"
+trap 'rm -rf "$bc_tmp"' EXIT
+go build -o "$bc_tmp/bulkcheck" ./cmd/bulkcheck
+"$bc_tmp/bulkcheck" -budget small -v | tee "$bc_tmp/serial.out"
+"$bc_tmp/bulkcheck" -budget small -workers 4 -v > "$bc_tmp/parallel.out"
+if ! cmp -s "$bc_tmp/serial.out" "$bc_tmp/parallel.out"; then
+  echo "bulkcheck: parallel sweep report differs from serial" >&2
+  diff "$bc_tmp/serial.out" "$bc_tmp/parallel.out" >&2 || true
+  exit 1
+fi
+"$bc_tmp/bulkcheck" -mutations all -workers 4
+
+echo "== bulkcheck checkpoint/resume round-trip =="
+# An interrupted-and-resumed sweep (across different worker counts) must
+# report exactly what one uninterrupted sweep reports, and leave an
+# identical final checkpoint.
+"$bc_tmp/bulkcheck" -target tm-sweep -budget small -schedules 400 \
+  -checkpoint "$bc_tmp/cp.bin" > /dev/null
+# The checkpoint: trailer names the output file, so compare only the
+# report lines.
+"$bc_tmp/bulkcheck" -resume "$bc_tmp/cp.bin" -budget small -schedules 1000 \
+  -workers 8 -checkpoint "$bc_tmp/cp_resumed.bin" -v \
+  | tee /dev/stderr | grep -v '^checkpoint:' > "$bc_tmp/resumed.out"
+"$bc_tmp/bulkcheck" -target tm-sweep -budget small -schedules 1000 \
+  -checkpoint "$bc_tmp/cp_whole.bin" -v \
+  | grep -v '^checkpoint:' > "$bc_tmp/whole.out"
+if ! cmp -s "$bc_tmp/resumed.out" "$bc_tmp/whole.out"; then
+  echo "bulkcheck: resumed sweep report differs from uninterrupted sweep" >&2
+  diff "$bc_tmp/resumed.out" "$bc_tmp/whole.out" >&2 || true
+  exit 1
+fi
+if ! cmp -s "$bc_tmp/cp_resumed.bin" "$bc_tmp/cp_whole.bin"; then
+  echo "bulkcheck: resumed checkpoint bytes differ from uninterrupted sweep's" >&2
+  exit 1
+fi
 
 echo "== native fuzz smoke (5s per runtime) =="
 for target in internal/tm:FuzzTMSchemes internal/tls:FuzzTLSSchemes internal/ckpt:FuzzCkptModes; do
