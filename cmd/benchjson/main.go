@@ -37,6 +37,7 @@ type report struct {
 	GOOS       string `json:"goos"`
 	GOARCH     string `json:"goarch"`
 	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"numcpu"`
 	Note       string `json:"note,omitempty"`
 	Baseline   []row  `json:"baseline,omitempty"`
 	Current    []row  `json:"current"`
@@ -99,6 +100,7 @@ func run() error {
 		GOOS:       runtime.GOOS,
 		GOARCH:     runtime.GOARCH,
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
 		Note:       *note,
 	}
 	if *baseline != "" {

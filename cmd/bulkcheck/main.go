@@ -43,6 +43,7 @@ func main() {
 		schedules = flag.Int("schedules", 0, "override max schedules per target (0 = budget default)")
 		depth     = flag.Int("depth", 0, "override decision depth (0 = budget default)")
 		workers   = flag.Int("workers", 0, "explorer worker goroutines (0 = GOMAXPROCS); the report is identical at every count")
+		snapmem   = flag.Int("snapmem", -1, "fork-point snapshot cache budget in MiB (0 = full replay from the root, -1 = budget default); the report is identical at every budget")
 		seed      = flag.Uint64("seed", 2006, "random-walk seed")
 		deviate   = flag.Float64("deviate", 0.3, "random-walk per-decision deviation probability")
 		mutations = flag.String("mutations", "", "mutation audit: 'all' or comma-separated names (empty = sweep the unmutated tree)")
@@ -64,6 +65,9 @@ func main() {
 	if *depth > 0 {
 		b.Depth = *depth
 	}
+	if *snapmem >= 0 {
+		b.SnapMem = int64(*snapmem) << 20
+	}
 
 	if *replay != "" {
 		var muts mutate.Set
@@ -84,7 +88,7 @@ func main() {
 		return
 	}
 	if *mutations != "" {
-		runMutations(*mutations, *workers, *verbose)
+		runMutations(*mutations, *workers, *snapmem, *verbose)
 		return
 	}
 	runSweep(*protocol, *mode, b, *workers, *seed, *deviate, *target, *verbose)
@@ -198,7 +202,7 @@ func runSweep(protocol, mode string, b check.Budget, workers int, seed uint64, d
 // runMutations proves the checker's teeth: every requested seeded mutation
 // must be killed — the explorer must find an oracle-rejected schedule —
 // within its catalog budget.
-func runMutations(names string, workers int, verbose bool) {
+func runMutations(names string, workers, snapmem int, verbose bool) {
 	catalog := check.Catalog()
 	if names != "all" {
 		want := map[mutate.ID]bool{}
@@ -219,7 +223,11 @@ func runMutations(names string, workers int, verbose bool) {
 	}
 	survived := 0
 	for _, m := range catalog {
-		rep := check.ExploreParallel(m.Target, mutate.Of(m.ID), m.Budget, workers)
+		mb := m.Budget
+		if snapmem >= 0 {
+			mb.SnapMem = int64(snapmem) << 20
+		}
+		rep := check.ExploreParallel(m.Target, mutate.Of(m.ID), mb, workers)
 		if rep.Failure == nil {
 			survived++
 			fmt.Printf("SURVIVED %-26s %d schedules found no violation\n", m.ID, rep.Schedules)

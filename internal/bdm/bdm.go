@@ -98,6 +98,7 @@ type Module struct {
 	wordPlan *sig.WordMaskPlan
 
 	versions []*Version
+	spare    []*Version // freed version objects recycled by AllocVersion
 	run      *Version
 	preMask  sig.SetMask // OR(δ(W)) over preempted versions
 
@@ -178,19 +179,41 @@ func (m *Module) LineOf(a sig.Addr) cache.LineAddr {
 
 // AllocVersion claims a free signature pair for a new speculative thread.
 // It fails when all MaxVersions slots are busy (the runtime must then spill
-// a version to memory, Section 6.2.2).
+// a version to memory, Section 6.2.2). Version objects released by
+// FreeVersion are recycled, so the steady state of a long run allocates no
+// new signatures here.
 func (m *Module) AllocVersion(owner int) (*Version, error) {
 	if len(m.versions) >= m.cfg.MaxVersions {
 		return nil, errors.New("bdm: out of version slots")
 	}
-	v := &Version{
+	v := m.takeVersion(owner)
+	m.versions = append(m.versions, v)
+	return v, nil
+}
+
+// takeVersion pops a recycled version object (cleared back to its
+// just-allocated state) or builds a fresh one.
+func (m *Module) takeVersion(owner int) *Version {
+	if n := len(m.spare); n > 0 {
+		v := m.spare[n-1]
+		m.spare[n-1] = nil
+		m.spare = m.spare[:n-1]
+		v.Owner = owner
+		v.R.Clear()
+		v.W.Clear()
+		v.Wsh = nil
+		v.Overflow = false
+		v.mask.Clear()
+		v.running = false
+		v.freed = false
+		return v
+	}
+	return &Version{
 		Owner: owner,
 		R:     m.cfg.Sig.NewSignature(),
 		W:     m.cfg.Sig.NewSignature(),
 		mask:  sig.NewSetMask(m.cache.NumSets()),
 	}
-	m.versions = append(m.versions, v)
-	return v, nil
 }
 
 // Versions returns the live versions (running and preempted).
@@ -227,10 +250,15 @@ func (m *Module) recomputePreMask() {
 }
 
 // FreeVersion releases a version slot (after commit or squash cleanup).
+// The version object is recycled into the spare pool only when it was
+// actually removed from the table, so a redundant second free (TM sections
+// flattened onto a shared version free it once per section) cannot enter
+// the object twice.
 func (m *Module) FreeVersion(v *Version) {
 	for i, x := range m.versions {
 		if x == v {
 			m.versions = append(m.versions[:i], m.versions[i+1:]...)
+			m.spare = append(m.spare, v)
 			break
 		}
 	}

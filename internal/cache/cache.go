@@ -153,6 +153,23 @@ func (c *Cache) SetIndex(a LineAddr) int { return int(a) & (c.sets - 1) }
 // Stats returns a copy of the event counters.
 func (c *Cache) Stats() Stats { return c.stats }
 
+// SizeBytes estimates the retained size for snapshot-budget accounting.
+// Data buffers are tallied for occupied sets only (via the valid mask), so
+// the estimate stays O(occupancy) like the copy itself.
+func (c *Cache) SizeBytes() int {
+	n := 96 + 48*len(c.lines) + 2*(len(c.validCnt)+len(c.dirtyCnt)) +
+		8*(len(c.validMask)+len(c.dirtyMask))
+	for w, m := range c.validMask {
+		for ; m != 0; m &= m - 1 {
+			ws := c.set(w<<6 + bits.TrailingZeros64(m))
+			for i := range ws {
+				n += 8 * cap(ws[i].Data)
+			}
+		}
+	}
+	return n
+}
+
 // set returns the ways of set i.
 func (c *Cache) set(i int) []Line { return c.lines[i*c.ways : (i+1)*c.ways] }
 
@@ -373,6 +390,57 @@ func (c *Cache) AndDirtySets(m []uint64) {
 	for i := range c.dirtyMask {
 		m[i] &= c.dirtyMask[i]
 	}
+}
+
+// CopyFrom makes c a deep copy of src, which must share c's geometry (the
+// snapshot pool always restores a system into an identically-configured
+// clone of itself). Line Data buffers are deep-copied into c's existing
+// buffers where capacity allows, and a nil source Data stays nil — the
+// runtimes branch on Data presence, so nil-ness is part of the state.
+//
+// The copy is sparse: only sets occupied on either side are touched (the
+// union of the two valid masks), which makes snapshot capture and restore
+// O(occupancy) instead of O(cache size). That is sufficient for exact
+// behavioral equality because nothing ever reads an Invalid way's Addr,
+// lru, or Data: Lookup filters on State, victim selection prefers Invalid
+// ways without comparing their lru, and Insert overwrites the whole Line.
+// A set unoccupied in both src and dst already agrees on the only
+// observable fact — every way Invalid.
+//
+//bulklint:noalloc
+func (c *Cache) CopyFrom(src *Cache) {
+	if c == src {
+		return
+	}
+	if c.sets != src.sets || c.ways != src.ways || c.lineBytes != src.lineBytes {
+		panic("cache: CopyFrom across cache geometries") //bulklint:invariant snapshots restore into clones built from the same Options
+	}
+	for w := range c.validMask {
+		m := c.validMask[w] | src.validMask[w]
+		for ; m != 0; m &= m - 1 {
+			set := w<<6 + bits.TrailingZeros64(m)
+			for i := set * c.ways; i < (set+1)*c.ways; i++ {
+				data := c.lines[i].Data
+				c.lines[i] = src.lines[i]
+				if src.lines[i].Data == nil {
+					c.lines[i].Data = nil
+					continue
+				}
+				if cap(data) < len(src.lines[i].Data) {
+					data = make([]uint64, len(src.lines[i].Data)) //bulklint:allow noalloc first copy into a fresh snapshot; pooled restores reuse the buffer
+				}
+				data = data[:len(src.lines[i].Data)]
+				copy(data, src.lines[i].Data)
+				c.lines[i].Data = data
+			}
+		}
+	}
+	c.clock = src.clock
+	c.stats = src.stats
+	copy(c.validCnt, src.validCnt)
+	copy(c.dirtyCnt, src.dirtyCnt)
+	copy(c.validMask, src.validMask)
+	copy(c.dirtyMask, src.dirtyMask)
 }
 
 // Walk calls fn for every valid line. fn must not insert or invalidate.

@@ -15,16 +15,33 @@ import (
 type Budget struct {
 	MaxSchedules int
 	Depth        int
+	// SnapMem is the byte budget for the fork-point snapshot cache of the
+	// incremental execution engine. Positive values enable pooled runners
+	// with snapshot/resume for targets that support them (SnapTarget);
+	// zero or negative falls back to full replay via Target.Run. The
+	// explored set and report are byte-identical either way — the budget
+	// trades memory for speed only.
+	SnapMem int64
 }
 
+// defaultSnapMem comfortably holds every fork point of the deepest stock
+// sweep while still bounding a pathological blow-up.
+const defaultSnapMem = 256 << 20
+
 // SmallBudget is a smoke-test budget (sub-second per target).
-func SmallBudget() Budget { return Budget{MaxSchedules: 1_000, Depth: 10} }
+func SmallBudget() Budget {
+	return Budget{MaxSchedules: 1_000, Depth: 10, SnapMem: defaultSnapMem}
+}
 
 // MediumBudget is the default bulkcheck budget.
-func MediumBudget() Budget { return Budget{MaxSchedules: 20_000, Depth: 14} }
+func MediumBudget() Budget {
+	return Budget{MaxSchedules: 20_000, Depth: 14, SnapMem: defaultSnapMem}
+}
 
 // LargeBudget is the thorough sweep budget.
-func LargeBudget() Budget { return Budget{MaxSchedules: 120_000, Depth: 18} }
+func LargeBudget() Budget {
+	return Budget{MaxSchedules: 120_000, Depth: 18, SnapMem: defaultSnapMem}
+}
 
 // BudgetByName resolves small/medium/large.
 func BudgetByName(name string) (Budget, bool) {
@@ -88,7 +105,7 @@ const seenShards = 64
 // Explore is the serial form of ExploreParallel: the explored set, the
 // report, and the failing schedule are identical at every worker count.
 func Explore(t Target, muts mutate.Set, b Budget) *Report {
-	rep, _, _ := ExploreFrom(t, muts, b, 1, nil)
+	rep, _, _ := explore(t, muts, b, 1, nil, false)
 	return rep
 }
 
@@ -100,7 +117,7 @@ func Explore(t Target, muts mutate.Set, b Budget) *Report {
 // byte-identical to the serial explorer's no matter the worker count or
 // steal schedule.
 func ExploreParallel(t Target, muts mutate.Set, b Budget, workers int) *Report {
-	rep, _, _ := ExploreFrom(t, muts, b, workers, nil)
+	rep, _, _ := explore(t, muts, b, workers, nil, false)
 	return rep
 }
 
@@ -113,6 +130,14 @@ func ExploreParallel(t Target, muts mutate.Set, b Budget, workers int) *Report {
 // identical to an uninterrupted one, because best-first order makes the
 // executed sequence independent of where budget boundaries fall.
 func ExploreFrom(t Target, muts mutate.Set, b Budget, workers int, from *Checkpoint) (*Report, *Checkpoint, error) {
+	return explore(t, muts, b, workers, from, true)
+}
+
+// explore is the shared implementation. Materializing the resumable
+// checkpoint costs real allocation (sorted fingerprints, the dedup set,
+// the whole frontier), so the non-resumable entry points pass
+// wantCP=false and skip it.
+func explore(t Target, muts mutate.Set, b Budget, workers int, from *Checkpoint, wantCP bool) (*Report, *Checkpoint, error) {
 	rep := &Report{Target: t.Name()}
 	seen := flatmap.NewSharded(seenShards)
 	var fps flatmap.Set
@@ -142,6 +167,20 @@ func ExploreFrom(t Target, muts mutate.Set, b Budget, workers int, from *Checkpo
 		fr.add(nil)
 	}
 
+	// Incremental engine: targets that expose pooled runners execute each
+	// schedule on a long-lived per-worker System restored between runs,
+	// sharing fork-point snapshots through a bounded cache, instead of
+	// rebuilding the world per schedule. Outcomes are byte-identical to the
+	// full-replay path, so this is purely a speed switch.
+	snapT, snapOK := t.(SnapTarget)
+	useSnap := snapOK && b.SnapMem > 0
+	var cache *snapCache
+	if useSnap {
+		cache = newSnapCache(b.SnapMem)
+	}
+	var results []waveResult
+	var scratch []workerScratch
+
 	for counted < b.MaxSchedules && !fr.empty() {
 		length, rows, total := fr.takeMin()
 		n := total
@@ -151,15 +190,44 @@ func ExploreFrom(t Target, muts mutate.Set, b Budget, workers int, from *Checkpo
 		// Execute the wave. Workers claim wave indices from the stealing
 		// pool, write their outcome and encoded children into their own
 		// index's slot, and race only on the sharded dedup set — whose
-		// final membership is order-independent.
-		results := make([]waveResult, n)
-		scratch := make([]workerScratch, par.StealWorkers(workers, n))
+		// final membership is order-independent. The result and scratch
+		// pools persist across waves; worker ids index scratch, so pooled
+		// runners and schedulers never migrate mid-wave.
+		if cap(results) < n {
+			results = make([]waveResult, n)
+		} else {
+			results = results[:n]
+		}
+		// A budget-truncated wave is the exploration's last: the children
+		// its runs would deposit snapshots for can never execute, so the
+		// captures — a third of a run's cost each — are skipped outright.
+		// Resuming from earlier waves' captures still applies. Deeper
+		// waves capture only up to the depth cap: a shallow capture serves
+		// every schedule in the subtree below it, while a deep one serves
+		// only its immediate children — almost none of which run before
+		// the budget dies — at full capture cost per run.
+		capture := counted+n < b.MaxSchedules && length <= snapCaptureDepth
+		for nw := par.StealWorkers(workers, n); len(scratch) < nw; {
+			scratch = append(scratch, workerScratch{})
+		}
 		par.StealForEach(n, workers, func(w, i int) {
 			sc := &scratch[w]
 			sc.prefix = decodeRow(rows, length, i, sc.prefix)
+			if useSnap {
+				if sc.runner == nil && sc.runnerErr == nil {
+					sc.runner, sc.runnerErr = snapT.NewRunner(muts)
+					sc.sched = NewReplay(nil, 0)
+				}
+				if sc.runnerErr != nil {
+					results[i] = waveResult{out: Outcome{Err: sc.runnerErr}}
+					return
+				}
+				results[i].entry = sc.runner.RunSchedule(&results[i].out, sc.sched, sc.prefix, b.Depth, cache, capture)
+				results[i].kids = expandChildren(sc.sched.Trace(), length, seen, sc)
+				return
+			}
 			sched := NewReplay(sc.prefix, b.Depth)
-			out := t.Run(sched, muts)
-			results[i] = waveResult{out: out, kids: expandChildren(sched.Trace(), length, seen, sc)}
+			results[i] = waveResult{out: *t.Run(sched, muts), kids: expandChildren(sched.Trace(), length, seen, sc)}
 		})
 		// Reduce in canonical order. Everything order-sensitive — the
 		// schedule count, the Distinct tally, and the first failure —
@@ -175,17 +243,37 @@ func ExploreFrom(t Target, muts mutate.Set, b Budget, workers int, from *Checkpo
 			if results[i].out.Failed() {
 				rep.Schedules, rep.Distinct = counted, distinct
 				failing := decodeRow(rows, length, i, nil)
-				rep.Failure = minimize(t, muts, b, failing, results[i].out)
+				oc := results[i].out // off the pooled slice before minimize replays
+				rep.Failure = minimize(t, muts, b, failing, &oc)
 				return rep, nil, nil
 			}
 			fr.addRows(results[i].kids)
+			if results[i].entry != nil {
+				// The enqueued children are the only schedules that can
+				// resume from this row's capture — and only those longer
+				// than the capture's decision count can match it (lookup
+				// wants the longest entry strictly shorter than the
+				// prefix). Once that many lookups have hit it, the entry
+				// retires and its snapshot recycles immediately instead of
+				// waiting for LRU pressure. A stray hit or miss elsewhere
+				// only shifts work back to replay — retirement can never
+				// change an outcome.
+				e := results[i].entry
+				cache.setExpected(e, countEligibleRows(results[i].kids, e.count))
+			}
 		}
 		if n < total {
 			fr.putBack(rows, length, n, total)
 		}
 	}
 
+	if cache != nil {
+		lastSnapStats = cache.Stats()
+	}
 	rep.Schedules, rep.Distinct = counted, distinct
+	if !wantCP {
+		return rep, nil, nil
+	}
 	cp := &Checkpoint{
 		Target:       t.Name(),
 		Depth:        b.Depth,
@@ -197,19 +285,40 @@ func ExploreFrom(t Target, muts mutate.Set, b Budget, workers int, from *Checkpo
 	return rep, cp, nil
 }
 
-// waveResult is one wave execution's contribution, landed by index.
+// waveResult is one wave execution's contribution, landed by index. The
+// outcome is inline (not a pointer) so the pooled results slice recycles
+// its storage across waves without per-schedule Outcome allocations.
 type waveResult struct {
-	out  *Outcome
-	kids []byte // length-prefixed child rows for frontier.addRows
+	out   Outcome
+	kids  []byte     // length-prefixed child rows for frontier.addRows
+	entry *snapEntry // this row's fork-point capture, nil if none
 }
 
-// workerScratch is the per-worker reusable state of a wave: the decoded
-// prefix, the rolling prefix hashes, and the choice bytes of the current
-// trace. Indexed by the stealing pool's worker id, so no synchronization.
+// countEligibleRows counts the length-prefixed rows in a kids encoding
+// longer than count decisions — the ones whose snapshot lookups can reach
+// a fork-point entry captured at count.
+func countEligibleRows(kids []byte, count int) int {
+	n := 0
+	for i := 0; i < len(kids); i += 1 + int(kids[i]) {
+		if int(kids[i]) > count {
+			n++
+		}
+	}
+	return n
+}
+
+// workerScratch is the per-worker reusable state of an exploration: the
+// decoded prefix, the rolling prefix hashes, the choice bytes of the
+// current trace, and — on the incremental path — the worker's pooled
+// runner and replay scheduler. Indexed by the stealing pool's worker id,
+// so no synchronization.
 type workerScratch struct {
-	prefix  []int
-	hashes  []uint64
-	choices []byte
+	prefix    []int
+	hashes    []uint64
+	choices   []byte
+	runner    Runner
+	sched     *ReplayScheduler
+	runnerErr error
 }
 
 // expandChildren emits every undiscovered child of an executed prefix as

@@ -2,7 +2,6 @@ package check
 
 import (
 	"fmt"
-	"sort"
 
 	"bulk/internal/rng"
 	"bulk/internal/sim"
@@ -74,6 +73,31 @@ func NewRandomWalk(depth int, seed uint64, p float64) *ReplayScheduler {
 	return &ReplayScheduler{depth: depth, r: rng.New(seed), deviate: p}
 }
 
+// Reset reinitializes the scheduler for a fresh deterministic replay of
+// prefix, reusing the trace buffer's capacity. The pooled explorer path
+// calls this once per schedule instead of allocating a NewReplay.
+//
+//bulklint:noalloc
+func (s *ReplayScheduler) Reset(prefix []int, depth int) {
+	s.prefix, s.depth = prefix, depth
+	s.count = 0
+	s.trace = s.trace[:0]
+	s.r, s.deviate = nil, 0
+}
+
+// Resume is Reset positioned mid-execution: the first count decisions have
+// already been taken (their recorded steps are in steps), as when the run
+// continues from a fork-point snapshot instead of the root. The resumed
+// scheduler's Count, Trace, and Schedule are indistinguishable from a
+// replay that executed those decisions itself.
+//
+//bulklint:noalloc
+func (s *ReplayScheduler) Resume(prefix []int, depth, count int, steps []Step) {
+	s.Reset(prefix, depth)
+	s.count = count
+	s.trace = append(s.trace, steps...) //bulklint:allow noalloc first resume grows the pooled trace buffer to depth; later resumes reuse it
+}
+
 // Count returns the total number of decisions the execution made.
 func (s *ReplayScheduler) Count() int { return s.count }
 
@@ -123,9 +147,13 @@ func (s *ReplayScheduler) PickProc(candidates []int, ready []int64) int {
 	}
 	// candidates ascend by id, so a stable sort on ready yields the
 	// canonical (ready, id) order; position 0 is the engine's default.
-	sort.SliceStable(s.ord, func(a, b int) bool {
-		return ready[s.ord[a]] < ready[s.ord[b]]
-	})
+	// Insertion sort: candidate lists are a handful of processors, and
+	// unlike sort.SliceStable this allocates nothing on the hot path.
+	for a := 1; a < len(s.ord); a++ {
+		for b := a; b > 0 && ready[s.ord[b]] < ready[s.ord[b-1]]; b-- {
+			s.ord[b], s.ord[b-1] = s.ord[b-1], s.ord[b]
+		}
+	}
 	c := s.choose(len(candidates))
 	pick := candidates[s.ord[c]]
 	s.record(Step{

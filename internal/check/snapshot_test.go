@@ -1,0 +1,208 @@
+package check
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"bulk/internal/mutate"
+)
+
+// The incremental engine's contract is byte-identity: for any target,
+// mutation set, worker count, and snapshot-cache budget — including zero,
+// which disables the engine entirely — the explorer's report, fingerprint
+// set, dedup set, and frontier are exactly the full-replay explorer's.
+// These tests pin that contract across every stock target, every catalog
+// mutation, and cache budgets small enough to force eviction and misses.
+
+// snapMemSweep covers the interesting cache regimes: a budget too small to
+// hold any snapshot (every lookup misses, every insert bounces), one that
+// thrashes (constant eviction), and the default (everything fits).
+var snapMemSweep = []int64{1, 64 << 10, defaultSnapMem}
+
+// TestSnapshotMatchesReplayClean: on failure-free targets the incremental
+// engine reproduces the full-replay report at every worker count and cache
+// budget, and the final checkpoints are byte-identical — same fingerprint
+// set, same dedup set, same frontier — not merely the same counts.
+func TestSnapshotMatchesReplayClean(t *testing.T) {
+	base := Budget{MaxSchedules: 1_500, Depth: 12}
+	for _, tgt := range SweepTargets() {
+		want, wantCP, err := ExploreFrom(tgt, 0, base, 1, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want.Failure != nil {
+			t.Fatalf("%s: unmutated target failed: %s", tgt.Name(), want.Failure.Reason)
+		}
+		wantBytes := wantCP.Encode()
+		for _, sm := range snapMemSweep {
+			b := base
+			b.SnapMem = sm
+			for _, w := range []int{1, 2, 4, 8} {
+				label := fmt.Sprintf("%s/snapmem=%d/w=%d", tgt.Name(), sm, w)
+				got, gotCP, err := ExploreFrom(tgt, 0, b, w, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				reportsEqual(t, label, got, want)
+				if gotCP == nil {
+					t.Fatalf("%s: clean stop returned no checkpoint", label)
+				}
+				if !bytes.Equal(gotCP.Encode(), wantBytes) {
+					t.Errorf("%s: checkpoint bytes diverge from full-replay explorer's", label)
+				}
+			}
+		}
+	}
+}
+
+// TestSnapshotMatchesReplayOnMutations: for every seeded mutation the
+// incremental engine finds the same first failure — same minimized
+// schedule, same reason, after the same number of schedules — as the
+// full-replay explorer.
+func TestSnapshotMatchesReplayOnMutations(t *testing.T) {
+	for _, m := range Catalog() {
+		m := m
+		t.Run(m.ID.String(), func(t *testing.T) {
+			legacy := m.Budget
+			legacy.SnapMem = 0
+			want := Explore(m.Target, mutate.Of(m.ID), legacy)
+			if want.Failure == nil {
+				t.Fatalf("mutation survived %d schedules under full replay", want.Schedules)
+			}
+			for _, sm := range snapMemSweep {
+				b := m.Budget
+				b.SnapMem = sm
+				for _, w := range []int{1, 4} {
+					label := fmt.Sprintf("snapmem=%d/w=%d", sm, w)
+					reportsEqual(t, label, ExploreParallel(m.Target, mutate.Of(m.ID), b, w), want)
+				}
+			}
+		})
+	}
+}
+
+// TestSnapshotCheckpointCutIdentical: interrupting an incremental sweep at
+// an arbitrary budget boundary and resuming — even with the engine
+// disabled for the resume leg, or enabled only for it — reproduces the
+// uninterrupted run exactly. Snapshot state is per-call and never leaks
+// into the checkpoint.
+func TestSnapshotCheckpointCutIdentical(t *testing.T) {
+	tgt := SweepTargets()[0]
+	full := Budget{MaxSchedules: 1_500, Depth: 12, SnapMem: defaultSnapMem}
+	whole, wholeCP, err := ExploreFrom(tgt, 0, full, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if whole.Failure != nil {
+		t.Fatalf("unmutated target failed: %s", whole.Failure.Reason)
+	}
+	for _, cut := range []int{1, 137, 1_000} {
+		for _, resumeSnap := range []int64{0, defaultSnapMem} {
+			label := fmt.Sprintf("cut=%d/resumeSnapmem=%d", cut, resumeSnap)
+			partBudget := Budget{MaxSchedules: cut, Depth: full.Depth, SnapMem: full.SnapMem}
+			_, cp, err := ExploreFrom(tgt, 0, partBudget, 4, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cp == nil {
+				t.Fatalf("%s: partial run returned no checkpoint", label)
+			}
+			resumeBudget := full
+			resumeBudget.SnapMem = resumeSnap
+			resumed, resumedCP, err := ExploreFrom(tgt, 0, resumeBudget, 1, cp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			reportsEqual(t, label, resumed, whole)
+			if resumedCP == nil || !bytes.Equal(resumedCP.Encode(), wholeCP.Encode()) {
+				t.Errorf("%s: resumed checkpoint diverges from uninterrupted run's", label)
+			}
+		}
+	}
+}
+
+// TestRunnerMatchesTargetRun: the pooled runner, driven schedule by
+// schedule with fork-point capture enabled, judges every outcome exactly
+// as a fresh Target.Run does — fingerprint, oracle error, soundness log —
+// including when the same runner replays schedules back to back and
+// resumes siblings from its own captures.
+func TestRunnerMatchesTargetRun(t *testing.T) {
+	schedules := [][]int{
+		nil, {1}, {2}, {1, 1}, {1, 2}, {2, 1}, {1, 1, 1}, {1}, nil, {2, 1},
+	}
+	const depth = 10
+	for _, tgt := range SweepTargets() {
+		st, ok := tgt.(SnapTarget)
+		if !ok {
+			t.Fatalf("%s: stock target does not implement SnapTarget", tgt.Name())
+		}
+		r, err := st.NewRunner(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cache := newSnapCache(defaultSnapMem)
+		sched := NewReplay(nil, 0)
+		var out Outcome
+		for i, s := range schedules {
+			want := tgt.Run(NewReplay(s, depth), 0)
+			r.RunSchedule(&out, sched, s, depth, cache, true)
+			if out.Fingerprint != want.Fingerprint {
+				t.Errorf("%s: schedule %d %v: fingerprint %#x, want %#x",
+					tgt.Name(), i, s, out.Fingerprint, want.Fingerprint)
+			}
+			if (out.OracleErr == nil) != (want.OracleErr == nil) || out.Failed() != want.Failed() {
+				t.Errorf("%s: schedule %d %v: judgment (oracle=%v failed=%v), want (oracle=%v failed=%v)",
+					tgt.Name(), i, s, out.OracleErr, out.Failed(), want.OracleErr, want.Failed())
+			}
+			if len(out.Soundness) != len(want.Soundness) {
+				t.Errorf("%s: schedule %d %v: %d soundness entries, want %d",
+					tgt.Name(), i, s, len(out.Soundness), len(want.Soundness))
+			}
+		}
+		if st := cache.Stats(); st.Inserts == 0 {
+			t.Errorf("%s: fork-point cache saw no inserts; capture path never ran", tgt.Name())
+		}
+	}
+}
+
+// TestSnapCacheEvictsUnderPressure: a budget holding only a couple of
+// snapshots keeps total within bounds by evicting and recycling older
+// entries, and lookups after eviction are clean misses, not stale hits.
+func TestSnapCacheEvictsUnderPressure(t *testing.T) {
+	tgt := SweepTargets()[0].(SnapTarget)
+	r, err := tgt.NewRunner(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Learn one snapshot's size, then rebuild the cache sized for two.
+	probe := newSnapCache(defaultSnapMem)
+	sched := NewReplay(nil, 0)
+	var out Outcome
+	r.RunSchedule(&out, sched, []int{1}, 10, probe, true)
+	if probe.head == nil {
+		t.Fatal("probe run deposited no fork-point snapshot")
+	}
+	cache := newSnapCache(2*probe.head.size + probe.head.size/2)
+	for c := 1; c <= 2; c++ {
+		for i := 0; i < 4; i++ {
+			r.RunSchedule(&out, sched, []int{c, i%3 + 1}, 10, cache, true)
+			if out.Failed() {
+				t.Fatalf("schedule [%d %d] failed: %s", c, i%3+1, out.Failure())
+			}
+		}
+	}
+	st := cache.Stats()
+	if st.Inserts == 0 {
+		t.Fatal("no inserts; the budget rejected every snapshot")
+	}
+	if st.Evictions == 0 {
+		t.Errorf("no evictions under a two-snapshot budget (inserts=%d, total=%d)", st.Inserts, cache.total)
+	}
+	if cache.total > cache.budget {
+		t.Errorf("cache total %d exceeds budget %d with no pinned entries", cache.total, cache.budget)
+	}
+	if len(cache.spareSt) == 0 {
+		t.Error("evictions recycled no snapshot states into the spare pool")
+	}
+}

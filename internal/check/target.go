@@ -2,7 +2,6 @@ package check
 
 import (
 	"bulk/internal/ckpt"
-	"bulk/internal/det"
 	"bulk/internal/mem"
 	"bulk/internal/mutate"
 	"bulk/internal/sim"
@@ -17,6 +16,14 @@ import (
 type Target interface {
 	Name() string
 	Run(sched sim.Scheduler, muts mutate.Set) *Outcome
+}
+
+// SnapTarget is a Target whose runtime supports pooled snapshot/resume
+// execution. NewRunner builds a long-lived runner the explorer drives
+// through many schedules without reconstructing the system.
+type SnapTarget interface {
+	Target
+	NewRunner(muts mutate.Set) (Runner, error)
 }
 
 // TMTarget checks a TM workload.
@@ -49,13 +56,52 @@ func (t *TMTarget) Run(sched sim.Scheduler, muts mutate.Set) *Outcome {
 		out.OracleErr = t.Check(r)
 	}
 	h := newFP()
+	var addrs []uint64
 	for _, u := range r.Log {
 		h.mix(uint64(u.Thread), uint64(u.Segment), uint64(u.OpLo), uint64(u.OpHi))
 	}
-	h.mixMem(r.Memory)
+	h.mixMemInto(r.Memory, &addrs)
 	h.mix(r.Stats.Commits, r.Stats.Squashes, uint64(r.Stats.Cycles))
 	out.Fingerprint = h.sum()
 	return out
+}
+
+// NewRunner implements SnapTarget: a pooled System restored between
+// schedules instead of rebuilt, with fork-point snapshot support.
+func (t *TMTarget) NewRunner(muts mutate.Set) (Runner, error) {
+	opts := t.Options
+	opts.Mutate = muts
+	r := &runnerCore{}
+	opts.Probe = soundnessProbe(&r.viol)
+	sys, err := tm.NewSystem(t.Workload, opts)
+	if err != nil {
+		return nil, err
+	}
+	r.base = sys.Snapshot(nil)
+	r.run = sys.RunUntil
+	r.restore = func(st SnapState) { sys.Restore(st.(*tm.Snapshot)) }
+	r.snapshot = func(reuse SnapState) SnapState {
+		dst, _ := reuse.(*tm.Snapshot)
+		return sys.Snapshot(dst)
+	}
+	r.install = func(s *ReplayScheduler) { sys.SetScheduler(s) }
+	var resBuf tm.Result // reused across runs; oracles read it transiently
+	r.judge = func(out *Outcome) {
+		res := sys.FinishInto(&resBuf)
+		if err := tm.Verify(t.Workload, res); err != nil {
+			out.OracleErr = err
+		} else if t.Check != nil {
+			out.OracleErr = t.Check(res)
+		}
+		h := newFP()
+		for _, u := range res.Log {
+			h.mix(uint64(u.Thread), uint64(u.Segment), uint64(u.OpLo), uint64(u.OpHi))
+		}
+		h.mixMemInto(res.Memory, &r.addrs)
+		h.mix(res.Stats.Commits, res.Stats.Squashes, uint64(res.Stats.Cycles))
+		out.Fingerprint = h.sum()
+	}
+	return r, nil
 }
 
 // TLSTarget checks a TLS workload.
@@ -87,11 +133,47 @@ func (t *TLSTarget) Run(sched sim.Scheduler, muts mutate.Set) *Outcome {
 		out.OracleErr = t.Check(r)
 	}
 	h := newFP()
-	h.mixMem(r.Memory)
+	var addrs []uint64
+	h.mixMemInto(r.Memory, &addrs)
 	h.mix(r.Stats.Commits, r.Stats.Squashes, r.Stats.CascadeSquashes,
 		uint64(r.Stats.Cycles))
 	out.Fingerprint = h.sum()
 	return out
+}
+
+// NewRunner implements SnapTarget.
+func (t *TLSTarget) NewRunner(muts mutate.Set) (Runner, error) {
+	opts := t.Options
+	opts.Mutate = muts
+	r := &runnerCore{}
+	opts.Probe = soundnessProbe(&r.viol)
+	sys, err := tls.NewSystem(t.Workload, opts)
+	if err != nil {
+		return nil, err
+	}
+	r.base = sys.Snapshot(nil)
+	r.run = sys.RunUntil
+	r.restore = func(st SnapState) { sys.Restore(st.(*tls.Snapshot)) }
+	r.snapshot = func(reuse SnapState) SnapState {
+		dst, _ := reuse.(*tls.Snapshot)
+		return sys.Snapshot(dst)
+	}
+	r.install = func(s *ReplayScheduler) { sys.SetScheduler(s) }
+	var resBuf tls.Result // reused across runs; oracles read it transiently
+	r.judge = func(out *Outcome) {
+		res := sys.FinishInto(&resBuf)
+		if err := tls.Verify(t.Workload, res); err != nil {
+			out.OracleErr = err
+		} else if t.Check != nil {
+			out.OracleErr = t.Check(res)
+		}
+		h := newFP()
+		h.mixMemInto(res.Memory, &r.addrs)
+		h.mix(res.Stats.Commits, res.Stats.Squashes, res.Stats.CascadeSquashes,
+			uint64(res.Stats.Cycles))
+		out.Fingerprint = h.sum()
+	}
+	return r, nil
 }
 
 // CkptTarget checks a checkpointed-multiprocessor workload.
@@ -123,13 +205,51 @@ func (t *CkptTarget) Run(sched sim.Scheduler, muts mutate.Set) *Outcome {
 		out.OracleErr = t.Check(r)
 	}
 	h := newFP()
+	var addrs []uint64
 	for _, u := range r.Log {
 		h.mix(uint64(u.Proc), uint64(u.Unit), uint64(int64(u.Op)))
 	}
-	h.mixMem(r.Memory)
+	h.mixMemInto(r.Memory, &addrs)
 	h.mix(r.Stats.Episodes, r.Stats.Rollbacks, uint64(r.Stats.Cycles))
 	out.Fingerprint = h.sum()
 	return out
+}
+
+// NewRunner implements SnapTarget.
+func (t *CkptTarget) NewRunner(muts mutate.Set) (Runner, error) {
+	opts := t.Options
+	opts.Mutate = muts
+	r := &runnerCore{}
+	opts.Probe = soundnessProbe(&r.viol)
+	sys, err := ckpt.NewSystem(t.Workload, opts)
+	if err != nil {
+		return nil, err
+	}
+	r.base = sys.Snapshot(nil)
+	r.run = sys.RunUntil
+	r.restore = func(st SnapState) { sys.Restore(st.(*ckpt.Snapshot)) }
+	r.snapshot = func(reuse SnapState) SnapState {
+		dst, _ := reuse.(*ckpt.Snapshot)
+		return sys.Snapshot(dst)
+	}
+	r.install = func(s *ReplayScheduler) { sys.SetScheduler(s) }
+	var resBuf ckpt.Result // reused across runs; oracles read it transiently
+	r.judge = func(out *Outcome) {
+		res := sys.FinishInto(&resBuf)
+		if err := ckpt.Verify(t.Workload, res); err != nil {
+			out.OracleErr = err
+		} else if t.Check != nil {
+			out.OracleErr = t.Check(res)
+		}
+		h := newFP()
+		for _, u := range res.Log {
+			h.mix(uint64(u.Proc), uint64(u.Unit), uint64(int64(u.Op)))
+		}
+		h.mixMemInto(res.Memory, &r.addrs)
+		h.mix(res.Stats.Episodes, res.Stats.Rollbacks, uint64(res.Stats.Cycles))
+		out.Fingerprint = h.sum()
+	}
+	return r, nil
 }
 
 // fp is an FNV-1a outcome fingerprint accumulator.
@@ -152,10 +272,14 @@ func (f *fp) mix(vs ...uint64) {
 	*f = fp(x)
 }
 
-func (f *fp) mixMem(m *mem.Memory) {
-	snap := m.Snapshot()
-	for _, a := range det.SortedKeys(snap) {
-		f.mix(a, uint64(snap[a]))
+// mixMemInto folds the committed memory image into the fingerprint in
+// ascending address order, reusing *scratch for the sorted address list —
+// the pooled runners' replacement for the old Snapshot-map walk, mixing
+// exactly the same (addr, value) byte sequence.
+func (f *fp) mixMemInto(m *mem.Memory, scratch *[]uint64) {
+	*scratch = m.AppendSortedAddrs((*scratch)[:0])
+	for _, a := range *scratch {
+		f.mix(a, uint64(m.Read(a)))
 	}
 }
 

@@ -271,32 +271,82 @@ func Run(w *Workload, opts Options) (*Result, error) {
 }
 
 func (s *System) run() (*Result, error) {
-	for {
-		p := s.engine.Next()
-		if p < 0 {
-			return nil, errors.New("ckpt: all processors parked")
-		}
-		if s.procs[p].done {
-			alldone := true
-			for _, q := range s.procs {
-				if !q.done {
-					alldone = false
-					break
-				}
-			}
-			if alldone {
+	if _, err := s.RunUntil(nil); err != nil {
+		return nil, err
+	}
+	return s.Finish(), nil
+}
+
+// tick performs one scheduling quantum. Returns running=false when every
+// processor finished, and an error on deadlock or a protocol failure.
+func (s *System) tick() (running bool, err error) {
+	p := s.engine.Next()
+	if p < 0 {
+		return false, errors.New("ckpt: all processors parked")
+	}
+	if s.procs[p].done {
+		alldone := true
+		for _, q := range s.procs {
+			if !q.done {
+				alldone = false
 				break
 			}
-			s.engine.Park(p)
-			continue
 		}
-		if err := s.step(s.procs[p]); err != nil {
-			return nil, err
+		if alldone {
+			return false, nil
+		}
+		s.engine.Park(p)
+		return true, nil
+	}
+	if err := s.step(s.procs[p]); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// RunUntil executes scheduling quanta until the workload completes or the
+// pause hook returns true at a tick boundary (the state is then between
+// quanta — a safe point to Snapshot). done reports completion; a paused
+// run continues with another RunUntil call.
+func (s *System) RunUntil(pause func() bool) (done bool, err error) {
+	for {
+		if pause != nil && pause() {
+			return false, nil
+		}
+		running, err := s.tick()
+		if err != nil {
+			return false, err
+		}
+		if !running {
+			return true, nil
 		}
 	}
-	s.stats.Cycles = s.engine.Now()
-	return &Result{Stats: s.stats, Memory: s.mem, Log: s.log}, nil
 }
+
+// Finish assembles the result of a completed run. Call exactly once, after
+// RunUntil reported done.
+func (s *System) Finish() *Result {
+	return s.FinishInto(&Result{})
+}
+
+// FinishInto is Finish writing into a caller-owned Result, so a pooled
+// system driven through many runs finishes each without allocating.
+func (s *System) FinishInto(res *Result) *Result {
+	s.stats.Cycles = s.engine.Now()
+	*res = Result{Stats: s.stats, Memory: s.mem, Log: s.log}
+	return res
+}
+
+// SetScheduler swaps the scheduling hook — the explorer drives one pooled
+// System through many schedules, installing a fresh replay scheduler per
+// run.
+func (s *System) SetScheduler(sched sim.Scheduler) {
+	s.opts.Scheduler = sched
+	s.engine.SetScheduler(sched)
+}
+
+// SetProbe swaps the oracle probe alongside SetScheduler.
+func (s *System) SetProbe(p *sim.Probe) { s.opts.Probe = p }
 
 // GenerateWorkload builds a deterministic workload: each processor runs
 // episodes of speculative work over private lines plus occasional shared

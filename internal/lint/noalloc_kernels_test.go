@@ -29,16 +29,22 @@ func TestNoallocKernelSetPinned(t *testing.T) {
 		"bulk/internal/cache.Cache.AndDirtySets exported=true",
 		"bulk/internal/cache.Cache.AndValidSets exported=true",
 		"bulk/internal/cache.Cache.Contains exported=true",
+		"bulk/internal/cache.Cache.CopyFrom exported=true",
 		"bulk/internal/cache.Cache.DirtyInSet exported=true",
 		"bulk/internal/cache.Cache.DirtyLinesInSet exported=true",
 		"bulk/internal/cache.Cache.LinesInSet exported=true",
 		"bulk/internal/cache.Cache.Lookup exported=true",
 		"bulk/internal/cache.Cache.MarkClean exported=true",
 		"bulk/internal/cache.Cache.MarkDirty exported=true",
+		"bulk/internal/cache.copyLine exported=false",
+		"bulk/internal/check.ReplayScheduler.Reset exported=true",
+		"bulk/internal/check.ReplayScheduler.Resume exported=true",
+		"bulk/internal/check.choicesMatch exported=false",
 		"bulk/internal/check.hashSchedule exported=false",
 		"bulk/internal/check.hashStep exported=false",
 		"bulk/internal/ckpt.System.lineOf exported=false",
 		"bulk/internal/ckpt.System.recordRead exported=false",
+		"bulk/internal/flatmap.Map.CopyFrom exported=true",
 		"bulk/internal/flatmap.Map.Delete exported=true",
 		"bulk/internal/flatmap.Map.Get exported=true",
 		"bulk/internal/flatmap.Map.Has exported=true",
@@ -46,11 +52,14 @@ func TestNoallocKernelSetPinned(t *testing.T) {
 		"bulk/internal/flatmap.Map.Reset exported=true",
 		"bulk/internal/flatmap.Map.SortedKeys exported=true",
 		"bulk/internal/flatmap.Set.Add exported=true",
+		"bulk/internal/flatmap.Set.CopyFrom exported=true",
 		"bulk/internal/flatmap.Set.Delete exported=true",
 		"bulk/internal/flatmap.Set.Has exported=true",
 		"bulk/internal/flatmap.Set.Reset exported=true",
 		"bulk/internal/flatmap.Set.SortedKeys exported=true",
 		"bulk/internal/flatmap.Sharded.shardOf exported=false",
+		"bulk/internal/mem.Memory.AppendSortedAddrs exported=true",
+		"bulk/internal/mem.Memory.CopyFrom exported=true",
 		"bulk/internal/mem.Memory.Read exported=true",
 		"bulk/internal/mem.Memory.Write exported=true",
 		"bulk/internal/mem.OverflowArea.DisambiguationScan exported=true",

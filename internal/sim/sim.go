@@ -334,6 +334,38 @@ func (e *Engine) Unpark(i int, at int64) {
 // Parked reports whether processor i is parked.
 func (e *Engine) Parked(i int) bool { return e.parked[i] }
 
+// EngineState is a deep copy of an engine's mutable scheduling state, used
+// by the runtimes' fork-point snapshots. The zero value grows on first
+// SaveState and is reused by later captures.
+type EngineState struct {
+	readyAt   []int64
+	parked    []bool
+	now       int64
+	busFreeAt int64
+}
+
+// SizeBytes estimates the retained size for snapshot-cache accounting.
+func (st *EngineState) SizeBytes() int {
+	return 48 + 8*len(st.readyAt) + len(st.parked)
+}
+
+// SaveState copies the engine's scheduling state into st.
+func (e *Engine) SaveState(st *EngineState) {
+	st.readyAt = append(st.readyAt[:0], e.readyAt...)
+	st.parked = append(st.parked[:0], e.parked...)
+	st.now = e.now
+	st.busFreeAt = e.BusFreeAt
+}
+
+// LoadState restores scheduling state captured by SaveState. The installed
+// scheduler is not part of the state — callers re-attach their own.
+func (e *Engine) LoadState(st *EngineState) {
+	copy(e.readyAt, st.readyAt)
+	copy(e.parked, st.parked)
+	e.now = st.now
+	e.BusFreeAt = st.busFreeAt
+}
+
 // AcquireBus reserves the bus for cycles starting no earlier than now;
 // returns the time the bus transaction completes. Used to serialize commit
 // broadcasts.

@@ -194,22 +194,60 @@ func Run(w *workload.TLSWorkload, opts Options) (*Result, error) {
 }
 
 func (s *System) run() (*Result, error) {
-	for s.commitNext < len(s.tasks) {
-		if s.stats.LivelockDetected {
-			break
-		}
-		p := s.engine.Next()
-		if p < 0 {
-			// All processors parked. With a scheduler deferring commits,
-			// the only legitimate way here is a finished head task whose
-			// commit was deferred until nothing else could run — grant it.
-			if s.forceCommitHead() {
-				continue
-			}
-			return nil, fmt.Errorf("tls: deadlock at commitNext=%d", s.commitNext)
-		}
-		s.step(s.procs[p])
+	if _, err := s.RunUntil(nil); err != nil {
+		return nil, err
 	}
+	return s.Finish(), nil
+}
+
+// tick performs one scheduling quantum. Returns running=false when every
+// task has committed (or livelock tripped), and an error on deadlock.
+func (s *System) tick() (running bool, err error) {
+	if s.commitNext >= len(s.tasks) || s.stats.LivelockDetected {
+		return false, nil
+	}
+	p := s.engine.Next()
+	if p < 0 {
+		// All processors parked. With a scheduler deferring commits,
+		// the only legitimate way here is a finished head task whose
+		// commit was deferred until nothing else could run — grant it.
+		if s.forceCommitHead() {
+			return true, nil
+		}
+		return false, fmt.Errorf("tls: deadlock at commitNext=%d", s.commitNext)
+	}
+	s.step(s.procs[p])
+	return true, nil
+}
+
+// RunUntil executes scheduling quanta until the workload completes or the
+// pause hook returns true at a tick boundary (the state is then between
+// quanta — a safe point to Snapshot). done reports completion; a paused
+// run continues with another RunUntil call.
+func (s *System) RunUntil(pause func() bool) (done bool, err error) {
+	for {
+		if pause != nil && pause() {
+			return false, nil
+		}
+		running, err := s.tick()
+		if err != nil {
+			return false, err
+		}
+		if !running {
+			return true, nil
+		}
+	}
+}
+
+// Finish assembles the result of a completed run. Call exactly once, after
+// RunUntil reported done.
+func (s *System) Finish() *Result {
+	return s.FinishInto(&Result{})
+}
+
+// FinishInto is Finish writing into a caller-owned Result, so a pooled
+// system driven through many runs finishes each without allocating.
+func (s *System) FinishInto(res *Result) *Result {
 	s.stats.Cycles = s.engine.Now()
 	if s.opts.Scheme == Bulk {
 		for _, p := range s.procs {
@@ -217,8 +255,20 @@ func (s *System) run() (*Result, error) {
 		}
 	}
 	s.opts.Meter.Merge(&s.stats.Bandwidth)
-	return &Result{Stats: s.stats, Memory: s.mem}, nil
+	*res = Result{Stats: s.stats, Memory: s.mem}
+	return res
 }
+
+// SetScheduler swaps the scheduling hook — the explorer drives one pooled
+// System through many schedules, installing a fresh replay scheduler per
+// run.
+func (s *System) SetScheduler(sched sim.Scheduler) {
+	s.opts.Scheduler = sched
+	s.engine.SetScheduler(sched)
+}
+
+// SetProbe swaps the oracle probe alongside SetScheduler.
+func (s *System) SetProbe(p *sim.Probe) { s.opts.Probe = p }
 
 // currentTask returns the oldest runnable task on p. blocked reports that
 // the oldest pending task is gated on its parent's re-spawn — the

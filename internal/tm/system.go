@@ -191,36 +191,87 @@ func Run(w *workload.TMWorkload, opts Options) (*Result, error) {
 }
 
 func (s *System) run() (*Result, error) {
-	for {
-		if s.stats.LivelockDetected {
-			break
-		}
-		p := s.engine.Next()
-		if p < 0 {
-			// Everyone parked: done if all finished; otherwise deadlock.
-			alldone := true
-			for _, q := range s.procs {
-				if !q.done {
-					alldone = false
-				}
-			}
-			if alldone {
-				break
-			}
-			return nil, errors.New("tm: deadlock — all processors parked with work remaining")
-		}
-		if s.procs[p].done {
-			s.engine.Park(p)
-			continue
-		}
-		s.step(s.procs[p])
+	if _, err := s.RunUntil(nil); err != nil {
+		return nil, err
 	}
+	return s.Finish(), nil
+}
+
+// tick performs one scheduling quantum: pick a processor and step it.
+// Returns running=false when the workload completed (or livelock tripped),
+// and an error on deadlock.
+func (s *System) tick() (running bool, err error) {
+	if s.stats.LivelockDetected {
+		return false, nil
+	}
+	p := s.engine.Next()
+	if p < 0 {
+		// Everyone parked: done if all finished; otherwise deadlock.
+		alldone := true
+		for _, q := range s.procs {
+			if !q.done {
+				alldone = false
+			}
+		}
+		if alldone {
+			return false, nil
+		}
+		return false, errors.New("tm: deadlock — all processors parked with work remaining")
+	}
+	if s.procs[p].done {
+		s.engine.Park(p)
+		return true, nil
+	}
+	s.step(s.procs[p])
+	return true, nil
+}
+
+// RunUntil executes scheduling quanta until the workload completes or the
+// pause hook returns true at a tick boundary (the state is then between
+// quanta — a safe point to Snapshot). done reports completion; a paused
+// run continues with another RunUntil call.
+func (s *System) RunUntil(pause func() bool) (done bool, err error) {
+	for {
+		if pause != nil && pause() {
+			return false, nil
+		}
+		running, err := s.tick()
+		if err != nil {
+			return false, err
+		}
+		if !running {
+			return true, nil
+		}
+	}
+}
+
+// Finish assembles the result of a completed run. Call exactly once, after
+// RunUntil reported done.
+func (s *System) Finish() *Result {
+	return s.FinishInto(&Result{})
+}
+
+// FinishInto is Finish writing into a caller-owned Result, so a pooled
+// system driven through many runs finishes each without allocating.
+func (s *System) FinishInto(res *Result) *Result {
 	s.stats.Cycles = s.engine.Now()
 	s.collectModuleStats()
 	s.collectOverflowStats()
 	s.opts.Meter.Merge(&s.stats.Bandwidth)
-	return &Result{Stats: s.stats, Memory: s.mem, Log: s.log, RealSquashes: s.real}, nil
+	*res = Result{Stats: s.stats, Memory: s.mem, Log: s.log, RealSquashes: s.real}
+	return res
 }
+
+// SetScheduler swaps the scheduling hook — the explorer drives one pooled
+// System through many schedules, installing a fresh replay scheduler per
+// run.
+func (s *System) SetScheduler(sched sim.Scheduler) {
+	s.opts.Scheduler = sched
+	s.engine.SetScheduler(sched)
+}
+
+// SetProbe swaps the oracle probe alongside SetScheduler.
+func (s *System) SetProbe(p *sim.Probe) { s.opts.Probe = p }
 
 func (s *System) collectModuleStats() {
 	for _, p := range s.procs {

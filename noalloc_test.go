@@ -11,6 +11,7 @@ import (
 
 	"bulk/internal/bus"
 	"bulk/internal/cache"
+	"bulk/internal/check"
 	"bulk/internal/flatmap"
 	"bulk/internal/lint"
 	"bulk/internal/mem"
@@ -47,7 +48,8 @@ func kernelHarnesses(t *testing.T) map[string]func() {
 		t.Fatalf("NewWordMaskPlan: %v", err)
 	}
 
-	// Flat map and set, warmed past their final capacity.
+	// Flat map and set, warmed past their final capacity, plus CopyFrom
+	// destinations pre-grown to the source size.
 	var fm flatmap.Map[uint64]
 	var fs flatmap.Set
 	for k := uint64(0); k < 200; k++ {
@@ -55,6 +57,10 @@ func kernelHarnesses(t *testing.T) map[string]func() {
 		fs.Add(k)
 	}
 	keyBuf := fm.SortedKeys(nil)
+	var fm2 flatmap.Map[uint64]
+	var fs2 flatmap.Set
+	fm2.CopyFrom(&fm)
+	fs2.CopyFrom(&fs)
 
 	// Cache with a mix of clean and dirty resident lines.
 	c := cache.MustNew(1<<15, 4, 64)
@@ -68,12 +74,24 @@ func kernelHarnesses(t *testing.T) map[string]func() {
 	dirtyLine := c.Lookup(cache.LineAddr(0))
 	lineBuf := c.LinesInSet(0, nil)
 	setMaskBuf := make([]uint64, (c.NumSets()+63)/64)
+	c2 := cache.MustNew(1<<15, 4, 64)
+	c2.CopyFrom(c)
 
 	// Memory and overflow area.
 	m := mem.NewMemory()
 	m.Write(100, 7)
+	m2 := mem.NewMemory()
+	m2.CopyFrom(m)
+	addrBuf := m.AppendSortedAddrs(nil)
 	ov := mem.NewOverflowArea()
 	ov.Spill(5, 0xF, []mem.Word{1, 2, 3, 4})
+
+	// Replay scheduler: a warm-up Resume grows the pooled trace buffer so
+	// steady-state Reset/Resume calls only reuse it.
+	schedPrefix := []int{1, 0, 2}
+	resumeSteps := make([]check.Step, 8)
+	rs := check.NewReplay(schedPrefix, 16)
+	rs.Resume(schedPrefix, 16, len(resumeSteps), resumeSteps)
 
 	var bw bus.Bandwidth
 
@@ -118,6 +136,8 @@ func kernelHarnesses(t *testing.T) map[string]func() {
 		"bulk/internal/flatmap.Set.Delete":     func() { fs.Delete(9999) },
 		"bulk/internal/flatmap.Set.Reset":      func() { fs.Reset(); fs.Add(42) },
 		"bulk/internal/flatmap.Set.SortedKeys": func() { keyBuf = fs.SortedKeys(keyBuf[:0]) },
+		"bulk/internal/flatmap.Map.CopyFrom":   func() { fm2.CopyFrom(&fm) },
+		"bulk/internal/flatmap.Set.CopyFrom":   func() { fs2.CopyFrom(&fs) },
 
 		"bulk/internal/cache.Cache.Lookup":          func() { _ = c.Lookup(3) },
 		"bulk/internal/cache.Cache.Contains":        func() { _ = c.Contains(3) },
@@ -134,11 +154,17 @@ func kernelHarnesses(t *testing.T) map[string]func() {
 			c.AndValidSets(setMaskBuf)
 		},
 		"bulk/internal/cache.Cache.AndDirtySets": func() { c.AndDirtySets(setMaskBuf) },
+		"bulk/internal/cache.Cache.CopyFrom":     func() { c2.CopyFrom(c) },
 
-		"bulk/internal/mem.Memory.Read":                     func() { _ = m.Read(100) },
-		"bulk/internal/mem.Memory.Write":                    func() { m.Write(100, 7) },
+		"bulk/internal/mem.Memory.Read":              func() { _ = m.Read(100) },
+		"bulk/internal/mem.Memory.Write":             func() { m.Write(100, 7) },
+		"bulk/internal/mem.Memory.CopyFrom":          func() { m2.CopyFrom(m) },
+		"bulk/internal/mem.Memory.AppendSortedAddrs": func() { addrBuf = m.AppendSortedAddrs(addrBuf[:0]) },
 		"bulk/internal/mem.OverflowArea.Fetch":              func() { _, _, _ = ov.Fetch(5) },
 		"bulk/internal/mem.OverflowArea.DisambiguationScan": func() { _ = ov.DisambiguationScan(5) },
+
+		"bulk/internal/check.ReplayScheduler.Reset":  func() { rs.Reset(schedPrefix, 16) },
+		"bulk/internal/check.ReplayScheduler.Resume": func() { rs.Resume(schedPrefix, 16, len(resumeSteps), resumeSteps) },
 
 		"bulk/internal/bus.Bandwidth.Record":       func() { bw.Record(bus.Inv, 12) },
 		"bulk/internal/bus.Bandwidth.RecordN":      func() { bw.RecordN(bus.WB, 76, 3) },

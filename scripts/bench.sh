@@ -18,6 +18,21 @@ cd "$(dirname "$0")/.."
 BENCHTIME="${BENCHTIME:-1x}"
 COUNT="${COUNT:-1}"
 
+# Every BENCH_*.json records gomaxprocs/numcpu (benchjson stamps them), but
+# say it up front too: -workers sweeps measure goroutine scheduling, not
+# parallel speedup, when the host has a single core — treat the w2/w4/w8
+# rows as determinism checks there, not as scaling numbers.
+NCPU="$(nproc 2>/dev/null || echo 1)"
+echo "bench.sh: host has $NCPU CPU(s) visible; GOMAXPROCS defaults to that"
+if [ "$NCPU" -le 1 ]; then
+  echo "!!================================================================!!"
+  echo "!! bench.sh: SINGLE-CORE HOST — the CheckExplore -workers sweep   !!"
+  echo "!! (w2/w4/w8) cannot show parallel speedup here. Those rows only  !!"
+  echo "!! prove determinism and bound the coordination overhead; read    !!"
+  echo "!! scaling claims from a multi-core capture.                      !!"
+  echo "!!================================================================!!"
+fi
+
 tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
 
@@ -58,7 +73,7 @@ echo "== schedule-exploration throughput (serial vs work-stealing workers) =="
 go test . -run '^$' -bench 'CheckExplore' \
   -benchtime "$BENCHTIME" -benchmem -count "$COUNT" | tee "$tmp/check.txt"
 emit_json "$tmp/check.txt" bench/baseline/check.txt \
-  "medium-budget exploration per sweep target at 1/2/4/8 workers; baseline = serial string-keyed DFS before the work-stealing best-first explorer" \
+  "medium-budget exploration per sweep target at 1/2/4/8 workers; baseline = work-stealing explorer replaying every schedule from the root, before pooled runners and fork-point snapshot/resume" \
   BENCH_check.json
 
 echo

@@ -41,7 +41,9 @@ go test . -run '^$' -bench 'TMRun|TLSRun|CkptRun' -benchtime 1x
 # bench/baseline/lint.txt must keep running too.
 go test ./internal/lint/ -run '^$' -bench 'LintModule|InferEffects' -benchtime 1x
 # One serial and one parallel iteration of the explorer-throughput
-# benchmark scripts/bench.sh records into BENCH_check.json.
+# benchmark scripts/bench.sh records into BENCH_check.json. The medium
+# budget these run under carries the default snapshot-cache allowance, so
+# this smoke drives the fork-point snapshot/resume engine end to end.
 go test . -run '^$' -bench 'CheckExplore/tm-sweep/(w1|w4)$' -benchtime 1x
 
 echo "== coverage gate =="
@@ -63,10 +65,10 @@ check_cover() {
   fi
   echo "coverage $pkg: ${pct}% (floor ${floor}%)"
 }
-check_cover tm 88
-check_cover tls 88
-check_cover ckpt 90
-check_cover check 84
+check_cover tm 89
+check_cover tls 89
+check_cover ckpt 91
+check_cover check 88
 
 echo "== bulkcheck smoke =="
 # A small exhaustive sweep of every protocol must stay oracle-clean — and
@@ -83,6 +85,23 @@ if ! cmp -s "$bc_tmp/serial.out" "$bc_tmp/parallel.out"; then
   exit 1
 fi
 "$bc_tmp/bulkcheck" -mutations all -workers 4
+
+echo "== bulkcheck snapshot-vs-replay identity =="
+# The fork-point snapshot engine is an execution shortcut, never a report
+# change: sweeps with the cache disabled (-snapmem 0, full replay from the
+# root), with a tiny cache that must evict constantly, and with the default
+# allowance must emit byte-identical reports, and the mutation audit must
+# kill every mutation without the cache too.
+for snapmem in 0 1; do
+  "$bc_tmp/bulkcheck" -budget small -v -snapmem "$snapmem" -workers 4 \
+    > "$bc_tmp/snap$snapmem.out"
+  if ! cmp -s "$bc_tmp/serial.out" "$bc_tmp/snap$snapmem.out"; then
+    echo "bulkcheck: -snapmem $snapmem sweep report differs from the default" >&2
+    diff "$bc_tmp/serial.out" "$bc_tmp/snap$snapmem.out" >&2 || true
+    exit 1
+  fi
+done
+"$bc_tmp/bulkcheck" -mutations all -snapmem 0 -workers 2
 
 echo "== bulkcheck checkpoint/resume round-trip =="
 # An interrupted-and-resumed sweep (across different worker counts) must
