@@ -55,10 +55,12 @@ func main() {
 	)
 	flag.Parse()
 
-	b, ok := check.BudgetByName(*budget)
-	if !ok {
-		fatalf("unknown budget %q (want small, medium, or large)", *budget)
+	if err := validateFlags(*workers, *schedules, *depth, *snapmem, *deviate, *budget); err != nil {
+		fmt.Fprintf(os.Stderr, "bulkcheck: %v\n", err)
+		flag.Usage()
+		os.Exit(2)
 	}
+	b, _ := check.BudgetByName(*budget)
 	if *schedules > 0 {
 		b.MaxSchedules = *schedules
 	}
@@ -305,6 +307,31 @@ func allTargets() []check.Target {
 		ts = append(ts, m.Target)
 	}
 	return ts
+}
+
+// validateFlags rejects out-of-domain flag values before any exploration
+// starts, so a typo'd invocation dies with usage (exit 2, like the flag
+// package's own parse errors) instead of misbehaving mid-sweep.
+func validateFlags(workers, schedules, depth, snapmem int, deviate float64, budget string) error {
+	if workers < 0 {
+		return fmt.Errorf("-workers %d is negative (0 means GOMAXPROCS)", workers)
+	}
+	if schedules < 0 {
+		return fmt.Errorf("-schedules %d is negative (0 means the budget default)", schedules)
+	}
+	if depth < 0 {
+		return fmt.Errorf("-depth %d is negative (0 means the budget default)", depth)
+	}
+	if snapmem < -1 {
+		return fmt.Errorf("-snapmem %d is out of domain (-1 = budget default, 0 = full replay, >0 = MiB)", snapmem)
+	}
+	if deviate < 0 || deviate > 1 {
+		return fmt.Errorf("-deviate %v is not a probability in [0, 1]", deviate)
+	}
+	if _, ok := check.BudgetByName(budget); !ok {
+		return fmt.Errorf("unknown budget %q (want small, medium, or large)", budget)
+	}
+	return nil
 }
 
 func fatalf(format string, args ...any) {

@@ -45,6 +45,8 @@ func (s State) String() string {
 // Line is one cache way's content. Callers get pointers into the cache's
 // backing array and may read fields; state changes should go through the
 // cache methods so statistics stay consistent.
+//
+//bulklint:snapstate
 type Line struct {
 	Addr  LineAddr
 	State State
@@ -84,10 +86,15 @@ type Stats struct {
 // δ(W) with these masks and walk only the surviving sets, so a mostly-empty
 // or mostly-clean cache costs almost nothing to disambiguate against. The
 // masks share the []uint64 layout of sig.SetMask.
+//
+//bulklint:snapstate
 type Cache struct {
-	sets      int
-	ways      int
+	//bulklint:snapstate-ignore sets immutable geometry checked by the cross-geometry panic
+	sets int
+	ways int
+	//bulklint:snapstate-ignore lineBytes immutable geometry checked by the cross-geometry panic
 	lineBytes int
+	//bulklint:snapstate-ignore indexBits immutable geometry derived from sets
 	indexBits int
 	lines     []Line // sets*ways, row-major by set
 	clock     uint64
@@ -408,6 +415,7 @@ func (c *Cache) AndDirtySets(m []uint64) {
 // observable fact — every way Invalid.
 //
 //bulklint:noalloc
+//bulklint:captures copyfrom
 func (c *Cache) CopyFrom(src *Cache) {
 	if c == src {
 		return

@@ -10,6 +10,8 @@ import "math/bits"
 // Snapshot is a deep, sparse copy of a cache's mutable state. The zero value
 // is an empty snapshot; SaveState grows it on first use and reuses its
 // buffers on every later capture into the same State.
+//
+//bulklint:snapstate
 type Snapshot struct {
 	setIdx    []int32 // occupied sets, ascending
 	lines     []Line  // their ways, concatenated, ways per set
@@ -36,6 +38,9 @@ func (st *Snapshot) SizeBytes() int {
 
 // SaveState deep-copies the cache's occupied sets and occupancy summaries
 // into st, reusing st's line and Data storage across captures.
+//
+//bulklint:captures snapshot
+//bulklint:captures snapshot Snapshot
 func (c *Cache) SaveState(st *Snapshot) {
 	st.ways = c.ways
 	st.clock = c.clock
@@ -69,6 +74,9 @@ func (c *Cache) SaveState(st *Snapshot) {
 // rewritten way by way, and sets occupied now but empty in the capture are
 // invalidated. Untouched sets were empty on both sides, where every
 // observable fact (all ways Invalid) already agrees.
+//
+//bulklint:captures restore
+//bulklint:captures restore Snapshot
 func (c *Cache) LoadState(st *Snapshot) {
 	if c.ways != st.ways || len(c.validCnt) != len(st.validCnt) {
 		panic("cache: LoadState across cache geometries") //bulklint:invariant snapshots restore into clones built from the same Options
@@ -101,6 +109,7 @@ func (c *Cache) LoadState(st *Snapshot) {
 // presence, so nil-ness is part of the state.
 //
 //bulklint:noalloc
+//bulklint:captures copyfrom Line
 func copyLine(dst, src *Line) {
 	data := dst.Data
 	*dst = *src

@@ -23,6 +23,8 @@ type Runner interface {
 
 // runnerCore is the target-independent harness: the target-specific
 // NewRunner constructors fill the closures over a pooled System.
+//
+//bulklint:snapstate
 type runnerCore struct {
 	// run executes scheduling quanta until completion or pause
 	// (System.RunUntil).
@@ -36,12 +38,15 @@ type runnerCore struct {
 	// judge finishes a completed run: oracles plus fingerprint into out.
 	judge func(out *Outcome)
 
-	base  SnapState // the system's state before any quantum
-	viol  []string  // soundness-probe sink, reset per schedule
-	addrs []uint64  // fingerprint scratch for mixMemInto
+	base SnapState // the system's state before any quantum
+	viol []string  // soundness-probe sink, reset per schedule
+	//bulklint:snapstate-ignore addrs fingerprint scratch touched only inside the judge closures
+	addrs []uint64 // fingerprint scratch for mixMemInto
 }
 
 // RunSchedule implements Runner.
+//
+//bulklint:captures reset
 func (r *runnerCore) RunSchedule(out *Outcome, sched *ReplayScheduler, prefix []int, depth int, cache *snapCache, capture bool) *snapEntry {
 	out.reset()
 	r.viol = r.viol[:0]
@@ -89,6 +94,8 @@ func (r *runnerCore) RunSchedule(out *Outcome, sched *ReplayScheduler, prefix []
 
 // reset clears an Outcome for reuse, dropping retained slices so pooled
 // outcomes never alias a previous schedule's soundness log.
+//
+//bulklint:captures reset
 func (o *Outcome) reset() {
 	*o = Outcome{}
 }

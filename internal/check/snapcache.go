@@ -29,6 +29,8 @@ type SnapState interface{ SizeBytes() int }
 // snapEntry is one cached fork point: the first count executed choices
 // (the capture's identity), the recorded scheduler steps to reseed a
 // resumed ReplayScheduler, and the captured machine state.
+//
+//bulklint:snapstate
 type snapEntry struct {
 	key     uint64
 	count   int
@@ -168,6 +170,8 @@ func (c *snapCache) takeSpare() SnapState {
 // recycled into the spare pool instead when the key is already present or
 // the state alone exceeds the budget. Returns the inserted entry (nil on a
 // bounce) so the explorer can later tell it how many children to expect.
+//
+//bulklint:captures copyfrom snapEntry
 func (c *snapCache) insert(prefix []int, count int, steps []Step, st SnapState) *snapEntry {
 	size := int64(st.SizeBytes()) + int64(len(steps))*48 + int64(count) + 128
 	c.mu.Lock()

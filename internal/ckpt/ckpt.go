@@ -160,7 +160,9 @@ type Result struct {
 	Log    []CommitUnit
 }
 
+//bulklint:snapstate
 type proc struct {
+	//bulklint:snapstate-ignore id immutable processor identity fixed at construction
 	id     int
 	cache  *cache.Cache
 	module *bdm.Module
@@ -186,22 +188,31 @@ type proc struct {
 }
 
 // System is a checkpointed-multiprocessor run in progress.
+//
+//bulklint:snapstate
 type System struct {
-	opts   Options
+	//bulklint:snapstate-ignore opts immutable run configuration
+	opts Options
+	//bulklint:snapstate-ignore w immutable workload shared across schedules
 	w      *Workload
 	mem    *mem.Memory
 	engine *sim.Engine
 	procs  []*proc
 	stats  Stats
 	log    []CommitUnit
-	wpl    int // words per line
+	//bulklint:snapstate-ignore wpl immutable line geometry
+	wpl int // words per line
 
 	// keyScratch is the reusable sorted-key buffer for write-buffer
 	// iteration on the commit paths; lineScratch/lineKeys build the
 	// committed write-line set without per-commit map allocation.
-	keyScratch  []uint64
+	//
+	//bulklint:snapstate-ignore keyScratch commit-path scratch dead between quanta
+	keyScratch []uint64
+	//bulklint:snapstate-ignore lineScratch commit-path scratch dead between quanta
 	lineScratch flatmap.Set
-	lineKeys    []uint64
+	//bulklint:snapstate-ignore lineKeys commit-path scratch dead between quanta
+	lineKeys []uint64
 }
 
 // NewSystem prepares a run.

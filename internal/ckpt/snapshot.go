@@ -17,6 +17,8 @@ import (
 // procSnap is the deep-copied state of one processor. The BDM version is
 // recorded as a module-table index (-1 when nil) so Restore can re-resolve
 // it after LoadState.
+//
+//bulklint:snapstate
 type procSnap struct {
 	cache      cache.Snapshot
 	module     bdm.ModuleState
@@ -40,13 +42,16 @@ type procSnap struct {
 // Snapshot is a deep copy of a System's mutable run state. The zero value
 // grows on first capture; re-capturing into the same Snapshot reuses its
 // storage.
+//
+//bulklint:snapstate
 type Snapshot struct {
 	mem    mem.Memory
 	engine sim.EngineState
 	stats  Stats
 	log    []CommitUnit
 	procs  []procSnap
-	size   int
+	//bulklint:snapstate-ignore size cache-budget estimate recomputed at every capture, never restored
+	size int
 }
 
 // SizeBytes estimates the retained size of the snapshot for the explorer's
@@ -55,6 +60,9 @@ func (sn *Snapshot) SizeBytes() int { return sn.size }
 
 // Snapshot captures the system's state into dst (allocating one if nil)
 // and returns it. Must be called at a RunUntil pause point.
+//
+//bulklint:captures snapshot
+//bulklint:captures snapshot Snapshot procSnap proc
 func (s *System) Snapshot(dst *Snapshot) *Snapshot {
 	if dst == nil {
 		dst = &Snapshot{}
@@ -99,6 +107,9 @@ func (s *System) Snapshot(dst *Snapshot) *Snapshot {
 // Restore rewinds the system to a previously captured state. The scheduler
 // and probe are not part of the state — reinstall them with SetScheduler /
 // SetProbe before resuming.
+//
+//bulklint:captures restore
+//bulklint:captures restore Snapshot procSnap proc
 func (s *System) Restore(src *Snapshot) {
 	s.mem.CopyFrom(&src.mem)
 	s.engine.LoadState(&src.engine)

@@ -28,6 +28,8 @@ const minCap = 16
 
 // Map is an open-addressed uint64→V hash table. The zero value is an empty
 // map ready for use. Not safe for concurrent use.
+//
+//bulklint:snapstate
 type Map[V any] struct {
 	keys  []uint64
 	vals  []V
@@ -192,6 +194,7 @@ func (m *Map[V]) Reset() {
 // state with src and need a caller-side fixup pass (see RangeMut).
 //
 //bulklint:noalloc
+//bulklint:captures copyfrom
 func (m *Map[V]) CopyFrom(src *Map[V]) {
 	if m == src {
 		return
@@ -267,6 +270,8 @@ func (m *Map[V]) SortedKeys(dst []uint64) []uint64 {
 // capacity-reuse properties as Map. The zero value is an empty set. It
 // replaces the simulator's former map[uint64]bool exact-tracking sets,
 // whose per-restart reallocation dominated the allocation profile.
+//
+//bulklint:snapstate
 type Set struct {
 	m Map[struct{}]
 }
@@ -301,6 +306,7 @@ func (s *Set) Reset() { s.m.Reset() }
 // capacity-reusing contract as Map.CopyFrom.
 //
 //bulklint:noalloc
+//bulklint:captures copyfrom
 func (s *Set) CopyFrom(src *Set) { s.m.CopyFrom(&src.m) }
 
 // Range calls fn for every member in storage order, stopping early if fn

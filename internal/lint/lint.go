@@ -64,6 +64,19 @@
 //   - layerdep:   the package-layer DAG declared in
 //     internal/lint/layers.txt is enforced against actual imports; an
 //     intra-module import must target a strictly lower layer.
+//   - snapstate:  field-coverage proof for snapshot machinery. A struct
+//     annotated `//bulklint:snapstate` must have every non-ignored field
+//     referenced — directly or via static callees — in each method
+//     annotated `//bulklint:captures snapshot|restore|copyfrom|reset`;
+//     pointer/slice/map-holding fields assigned there additionally need a
+//     deep-copy witness (append/copy/CopyFrom/clone/fresh literal), so a
+//     shallow `dst.buf = src.buf` alias is a finding. Waive one field with
+//     `//bulklint:snapstate-ignore <field> <why>`.
+//   - capturesafe: a variable captured by a worker closure (par.ForEach /
+//     par.Map / par.StealForEach bodies, `go` statements) and written
+//     there must land in a slice/array index slot, under a held lock, or
+//     through shard/atomic calls; anything else is a statically detected
+//     data race. Waive with `//bulklint:allow capturesafe <why>`.
 //   - stalewaiver: every //bulklint: directive must earn its keep — a
 //     waiver that suppresses no live finding of its rule, an annotation
 //     attached to nothing, or a directive naming an unknown rule is
@@ -117,6 +130,8 @@ func Analyzers() []*Analyzer {
 		analyzerPureHook(),
 		analyzerAtomicMix(),
 		analyzerLayerDep(),
+		analyzerSnapState(),
+		analyzerCaptureSafe(),
 		analyzerStaleWaiver(),
 	}
 }

@@ -387,7 +387,7 @@ func B(m map[int]int) []int {
 }
 
 func TestAnalyzerNames(t *testing.T) {
-	want := []string{"maprange", "randsrc", "sigpurity", "guardedby", "droppederr", "nakedpanic", "noalloc", "purehook", "atomicmix", "layerdep", "stalewaiver"}
+	want := []string{"maprange", "randsrc", "sigpurity", "guardedby", "droppederr", "nakedpanic", "noalloc", "purehook", "atomicmix", "layerdep", "snapstate", "capturesafe", "stalewaiver"}
 	got := AnalyzerNames()
 	if len(got) != len(want) {
 		t.Fatalf("AnalyzerNames() = %v, want %v", got, want)

@@ -1,0 +1,715 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// This file implements the snapstate rule: a static field-coverage proof
+// for the Snapshot/Restore/CopyFrom machinery the fork-point snapshot
+// engine rests on. A struct annotated `//bulklint:snapstate` declares
+// "every field of this struct is part of the captured machine state"; the
+// struct's capture methods are declared with `//bulklint:captures
+// <kind> [TypeName ...]` (kind one of snapshot, restore, copyfrom, reset;
+// with no type names the annotation covers the method's receiver type).
+// The rule then checks, per (struct, capture method):
+//
+//   - every non-ignored field is referenced — read or written, directly or
+//     inside a statically-resolved callee reachable through the module
+//     call graph — somewhere in the method. Adding a field to tm.System
+//     without touching Snapshot/Restore becomes a build-gate failure, not
+//     a latent divergence a differential test may or may not hit.
+//   - a field whose type transitively holds a pointer, slice or map, and
+//     which the method assigns whole, must additionally carry a deep-copy
+//     witness: the field appearing in an append/copy/make/CopyFrom/clone
+//     call, or being assigned a fresh composite literal or nil. A plain
+//     `dst.buf = src.buf` aliases the snapshot against the live system —
+//     exactly the bug class that silently breaks snapshot-vs-replay
+//     byte-identity — and is a finding. reset-kind methods are exempt
+//     (rewinding to a zero value cannot introduce sharing); interface,
+//     func and chan fields are exempt (they are rebound, never deep-copied).
+//
+// `//bulklint:snapstate-ignore <field> <reason>` inside the struct
+// declaration waives one field; the waiver flows through the stalewaiver
+// audit, so an ignore whose field is in fact fully covered is itself a
+// finding.
+
+// captureKinds are the recognized //bulklint:captures kinds.
+var captureKinds = map[string]bool{
+	"snapshot": true,
+	"restore":  true,
+	"copyfrom": true,
+	"reset":    true,
+}
+
+// deepCopyVocab names the calls accepted as deep-copy witnesses. Matching
+// is syntactic (the called name's last component): the witness is a
+// heuristic hint that fresh storage is involved, kept deliberately wide so
+// delegation (mem.CopyFrom -> flatmap.CopyFrom) and in-package helpers
+// (cache.copyLine) all count.
+var deepCopyVocab = map[string]bool{
+	"append":    true,
+	"copy":      true,
+	"make":      true,
+	"CopyFrom":  true,
+	"SaveState": true,
+	"LoadState": true,
+	"Snapshot":  true,
+	"Restore":   true,
+	"Clone":     true,
+	"clone":     true,
+	"copyLine":  true,
+}
+
+// snapField is one field of an annotated struct.
+type snapField struct {
+	name      string
+	needsDeep bool       // type transitively holds pointer/slice/map
+	ignore    *directive // //bulklint:snapstate-ignore, nil if none
+}
+
+// capMethod is one //bulklint:captures entry attached to a struct.
+type capMethod struct {
+	kind string
+	fn   *types.Func
+	decl *ast.FuncDecl
+	pkg  *Package
+}
+
+// snapRecord is one //bulklint:snapstate struct with its capture methods.
+type snapRecord struct {
+	pkg     *Package
+	obj     *types.TypeName
+	pos     token.Pos
+	fields  []*snapField
+	byName  map[string]*snapField
+	methods []*capMethod
+}
+
+// fieldUse accumulates what a capture method's reachable bodies do with
+// one field.
+type fieldUse struct {
+	referenced bool
+	written    bool // assigned whole (not through an index)
+	witnessed  bool
+	firstWrite token.Pos
+}
+
+// bodyScan is one function body's field-use facts, per annotated struct.
+type bodyScan map[*types.TypeName]map[string]*fieldUse
+
+func analyzerSnapState() *Analyzer {
+	return &Analyzer{
+		Name: "snapstate",
+		Doc:  "snapstate struct field unreferenced in a captures method, or aliased without a deep-copy witness",
+		Run: func(pkgs []*Package, r *Reporter) {
+			records, index := collectSnapStructs(pkgs, r)
+			if len(records) == 0 {
+				return
+			}
+			collectCaptureMethods(pkgs, index, r)
+			cg := r.callGraph(pkgs)
+			scans := map[*types.Func]bodyScan{}
+			for _, rec := range records {
+				if len(rec.methods) == 0 {
+					r.Report(rec.pkg, rec.pos, "snapstate",
+						"struct %s is annotated //bulklint:snapstate but no method carries a //bulklint:captures annotation covering it",
+						rec.obj.Name())
+					continue
+				}
+				for _, m := range rec.methods {
+					checkCoverage(rec, m, cg, index, scans, r)
+				}
+			}
+		},
+	}
+}
+
+// collectSnapStructs finds every annotated struct and its per-field ignore
+// directives.
+func collectSnapStructs(pkgs []*Package, r *Reporter) ([]*snapRecord, map[*types.TypeName]*snapRecord) {
+	var records []*snapRecord
+	index := map[*types.TypeName]*snapRecord{}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok || gd.Tok != token.TYPE {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					st, ok := ts.Type.(*ast.StructType)
+					if !ok {
+						continue
+					}
+					if rec := buildSnapRecord(pkg, gd, ts, st, r); rec != nil {
+						records = append(records, rec)
+						index[rec.obj] = rec
+					}
+				}
+			}
+		}
+	}
+	return records, index
+}
+
+// buildSnapRecord returns the record for one struct declaration, or nil
+// when it carries no snapstate annotation.
+func buildSnapRecord(pkg *Package, gd *ast.GenDecl, ts *ast.TypeSpec, st *ast.StructType, r *Reporter) *snapRecord {
+	file := sharedFset.Position(ts.Name.Pos()).Filename
+	start := sharedFset.Position(gd.Pos()).Line
+	if gd.Doc != nil {
+		start = sharedFset.Position(gd.Doc.Pos()).Line
+	}
+	if ts.Doc != nil {
+		if l := sharedFset.Position(ts.Doc.Pos()).Line; l < start {
+			start = l
+		}
+	}
+	nameLine := sharedFset.Position(ts.Name.Pos()).Line
+	ann := directiveInRange(pkg, file, start, nameLine, "snapstate")
+	if ann == nil {
+		return nil
+	}
+	ann.used = true
+	tn, ok := pkg.Info.Defs[ts.Name].(*types.TypeName)
+	if !ok {
+		return nil
+	}
+	rec := &snapRecord{pkg: pkg, obj: tn, pos: ts.Name.Pos(), byName: map[string]*snapField{}}
+	for _, field := range st.Fields.List {
+		for _, name := range field.Names {
+			obj, ok := pkg.Info.Defs[name].(*types.Var)
+			if !ok {
+				continue
+			}
+			sf := &snapField{name: name.Name, needsDeep: typeNeedsDeepCopy(obj.Type(), nil)}
+			rec.fields = append(rec.fields, sf)
+			rec.byName[sf.name] = sf
+		}
+	}
+	endLine := sharedFset.Position(st.End()).Line
+	for line := start; line <= endLine; line++ {
+		for _, d := range pkg.directives[file][line] {
+			if d.name != "snapstate-ignore" {
+				continue
+			}
+			fld, reason, _ := strings.Cut(d.arg, " ")
+			if fld == "" || strings.TrimSpace(reason) == "" {
+				d.used = true
+				r.reportAt(file, d.line, d.col, "snapstate",
+					"malformed //bulklint:snapstate-ignore: want <field> <reason>")
+				continue
+			}
+			sf := rec.byName[fld]
+			if sf == nil {
+				d.used = true
+				r.reportAt(file, d.line, d.col, "snapstate",
+					"//bulklint:snapstate-ignore names %q, which is not a field of %s", fld, tn.Name())
+				continue
+			}
+			if sf.ignore != nil {
+				d.used = true
+				r.reportAt(file, d.line, d.col, "snapstate",
+					"duplicate //bulklint:snapstate-ignore for field %s.%s", tn.Name(), fld)
+				continue
+			}
+			sf.ignore = d
+		}
+	}
+	return rec
+}
+
+// collectCaptureMethods attaches every //bulklint:captures annotation to
+// the records it names.
+func collectCaptureMethods(pkgs []*Package, index map[*types.TypeName]*snapRecord, r *Reporter) {
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				for _, d := range pkg.funcAnnotationsAll(sharedFset, fd, "captures") {
+					attachCapture(pkg, fd, d, index, r)
+				}
+			}
+		}
+	}
+}
+
+func attachCapture(pkg *Package, fd *ast.FuncDecl, d *directive, index map[*types.TypeName]*snapRecord, r *Reporter) {
+	d.used = true
+	file := sharedFset.Position(fd.Pos()).Filename
+	parts := strings.Fields(d.arg)
+	if len(parts) == 0 {
+		r.reportAt(file, d.line, d.col, "snapstate",
+			"malformed //bulklint:captures: want <kind> [TypeName ...]")
+		return
+	}
+	kind := parts[0]
+	if !captureKinds[kind] {
+		r.reportAt(file, d.line, d.col, "snapstate",
+			"unknown //bulklint:captures kind %q (want snapshot, restore, copyfrom or reset)", kind)
+		return
+	}
+	fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return
+	}
+	fn = fn.Origin()
+	if len(parts) == 1 {
+		tn := receiverTypeName(fn)
+		if tn == nil {
+			r.reportAt(file, d.line, d.col, "snapstate",
+				"//bulklint:captures with no type names requires a method with a named receiver type")
+			return
+		}
+		rec := index[tn]
+		if rec == nil {
+			r.reportAt(file, d.line, d.col, "snapstate",
+				"receiver type %s of %s is not annotated //bulklint:snapstate", tn.Name(), funcDisplayName(fd))
+			return
+		}
+		rec.methods = append(rec.methods, &capMethod{kind: kind, fn: fn, decl: fd, pkg: pkg})
+		return
+	}
+	for _, name := range parts[1:] {
+		obj, ok := pkg.Types.Scope().Lookup(name).(*types.TypeName)
+		var rec *snapRecord
+		if ok {
+			rec = index[obj]
+		}
+		if rec == nil {
+			r.reportAt(file, d.line, d.col, "snapstate",
+				"//bulklint:captures names %q, which is not a //bulklint:snapstate struct in package %s", name, pkg.Path)
+			continue
+		}
+		rec.methods = append(rec.methods, &capMethod{kind: kind, fn: fn, decl: fd, pkg: pkg})
+	}
+}
+
+// receiverTypeName resolves a method's receiver to its named type's origin.
+func receiverTypeName(fn *types.Func) *types.TypeName {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	t := sig.Recv().Type()
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	return named.Origin().Obj()
+}
+
+// checkCoverage verifies one (struct, capture method) pair: every
+// non-ignored field referenced in the method's reachable bodies, every
+// written pointer-holding field witnessed.
+func checkCoverage(rec *snapRecord, m *capMethod, cg *callGraph, index map[*types.TypeName]*snapRecord, scans map[*types.Func]bodyScan, r *Reporter) {
+	agg := map[string]*fieldUse{}
+	for _, node := range reachableNodes(cg, m.fn) {
+		bs := scans[node.fn]
+		if bs == nil {
+			bs = scanFuncBody(node, index)
+			scans[node.fn] = bs
+		}
+		uses := bs[rec.obj]
+		for _, f := range rec.fields {
+			u := uses[f.name]
+			if u == nil {
+				continue
+			}
+			a := agg[f.name]
+			if a == nil {
+				a = &fieldUse{}
+				agg[f.name] = a
+			}
+			a.referenced = a.referenced || u.referenced
+			a.witnessed = a.witnessed || u.witnessed
+			if u.written {
+				a.written = true
+				if a.firstWrite == token.NoPos || u.firstWrite < a.firstWrite {
+					a.firstWrite = u.firstWrite
+				}
+			}
+		}
+	}
+	for _, f := range rec.fields {
+		u := agg[f.name]
+		missingRef := u == nil || !u.referenced
+		missingWit := m.kind != "reset" && f.needsDeep && u != nil && u.written && !u.witnessed
+		if f.ignore != nil {
+			if missingRef || missingWit {
+				f.ignore.used = true
+			}
+			continue
+		}
+		if missingRef {
+			r.Report(m.pkg, m.decl.Name.Pos(), "snapstate",
+				"field %s.%s is not referenced in captures-%s method %s (directly or via static callees); capture it or waive with //bulklint:snapstate-ignore %s <why>",
+				rec.obj.Name(), f.name, m.kind, funcDisplayName(m.decl), f.name)
+			continue
+		}
+		if missingWit {
+			r.Report(rec.pkg, u.firstWrite, "snapstate",
+				"field %s.%s holds pointer/slice/map state but captures-%s method %s assigns it with no deep-copy witness (append/copy/CopyFrom/clone/fresh literal); a plain assignment aliases snapshot and live state",
+				rec.obj.Name(), f.name, m.kind, funcDisplayName(m.decl))
+		}
+	}
+}
+
+// reachableNodes returns the method's static call-graph closure in
+// deterministic BFS order (call sites in source order).
+func reachableNodes(cg *callGraph, fn *types.Func) []*funcNode {
+	start := cg.nodes[fn]
+	if start == nil {
+		return nil
+	}
+	visited := map[*types.Func]bool{fn: true}
+	queue := []*funcNode{start}
+	for i := 0; i < len(queue); i++ {
+		for _, cs := range queue[i].calls {
+			if visited[cs.callee] {
+				continue
+			}
+			visited[cs.callee] = true
+			if node := cg.nodes[cs.callee]; node != nil {
+				queue = append(queue, node)
+			}
+		}
+	}
+	return queue
+}
+
+// scanFuncBody computes one body's field-use facts for every annotated
+// struct.
+func scanFuncBody(node *funcNode, index map[*types.TypeName]*snapRecord) bodyScan {
+	s := &bodyScanner{pkg: node.pkg, index: index, out: bodyScan{}}
+	ast.Inspect(node.decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			if tn, fname := s.resolveField(n); tn != nil {
+				s.use(tn, fname, token.NoPos).referenced = true
+			}
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				var rhs ast.Expr
+				if len(n.Rhs) == len(n.Lhs) {
+					rhs = n.Rhs[i]
+				}
+				s.markAssign(lhs, rhs)
+			}
+		case *ast.IncDecStmt:
+			s.markAssign(n.X, nil)
+		case *ast.CallExpr:
+			s.markCallWitness(n)
+		case *ast.CompositeLit:
+			s.markComposite(n)
+		}
+		return true
+	})
+	return s.out
+}
+
+type bodyScanner struct {
+	pkg   *Package
+	index map[*types.TypeName]*snapRecord
+	out   bodyScan
+}
+
+// use returns the accumulator for one (struct, field), creating it on
+// first touch; a valid writePos records the earliest write position.
+func (s *bodyScanner) use(tn *types.TypeName, fname string, writePos token.Pos) *fieldUse {
+	m := s.out[tn]
+	if m == nil {
+		m = map[string]*fieldUse{}
+		s.out[tn] = m
+	}
+	u := m[fname]
+	if u == nil {
+		u = &fieldUse{}
+		m[fname] = u
+	}
+	if writePos != token.NoPos {
+		u.written = true
+		if u.firstWrite == token.NoPos || writePos < u.firstWrite {
+			u.firstWrite = writePos
+		}
+	}
+	return u
+}
+
+// resolveField maps a selector to (annotated struct, field name), or nil.
+func (s *bodyScanner) resolveField(sel *ast.SelectorExpr) (*types.TypeName, string) {
+	selection, ok := s.pkg.Info.Selections[sel]
+	if !ok || selection.Kind() != types.FieldVal {
+		return nil, ""
+	}
+	tn := namedOriginObj(selection.Recv())
+	if tn == nil {
+		return nil, ""
+	}
+	rec := s.index[tn]
+	if rec == nil || rec.byName[sel.Sel.Name] == nil {
+		return nil, ""
+	}
+	return tn, sel.Sel.Name
+}
+
+// recordType maps an expression's type to an annotated struct, or nil.
+func (s *bodyScanner) recordType(e ast.Expr) *types.TypeName {
+	tv, ok := s.pkg.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return nil
+	}
+	t := tv.Type
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	tn := namedOriginObj(t)
+	if tn == nil || s.index[tn] == nil {
+		return nil
+	}
+	return tn
+}
+
+// markAssign records a whole-field write (and its witness, when the RHS is
+// a fresh value) or a whole-struct write covering every field. Writes
+// through an index (s.lines[i] = ...) are element mutations, not field
+// rebinds, and count only as references.
+func (s *bodyScanner) markAssign(lhs, rhs ast.Expr) {
+	l := unparen(lhs)
+	if sel, ok := l.(*ast.SelectorExpr); ok {
+		if tn, fname := s.resolveField(sel); tn != nil {
+			u := s.use(tn, fname, sel.Sel.Pos())
+			u.referenced = true
+			if rhs != nil && s.witnessRHS(rhs) {
+				u.witnessed = true
+			}
+			return
+		}
+	}
+	// Whole-struct write: *dst = *src, or a value-typed variable/field of
+	// an annotated struct type assigned whole. Every field is written; a
+	// fresh-composite RHS witnesses them all.
+	var core ast.Expr
+	switch x := l.(type) {
+	case *ast.StarExpr:
+		core = l
+	case *ast.Ident:
+		core = x
+	default:
+		return
+	}
+	tn := s.wholeStructTarget(core)
+	if tn == nil {
+		return
+	}
+	rec := s.index[tn]
+	wit := rhs != nil && s.witnessRHS(rhs)
+	for _, f := range rec.fields {
+		u := s.use(tn, f.name, l.Pos())
+		u.referenced = true
+		if wit {
+			u.witnessed = true
+		}
+	}
+}
+
+// wholeStructTarget resolves an assignment LHS to an annotated struct type
+// when the LHS denotes a whole struct value (never a pointer binding: a
+// pointer reassignment moves a reference, it does not write fields).
+func (s *bodyScanner) wholeStructTarget(e ast.Expr) *types.TypeName {
+	tv, ok := s.pkg.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return nil
+	}
+	if _, isPtr := tv.Type.Underlying().(*types.Pointer); isPtr {
+		return nil
+	}
+	tn := namedOriginObj(tv.Type)
+	if tn == nil || s.index[tn] == nil {
+		return nil
+	}
+	return tn
+}
+
+// markCallWitness marks every annotated field appearing in a deep-copy
+// vocabulary call — as an argument or in the method receiver — witnessed.
+func (s *bodyScanner) markCallWitness(call *ast.CallExpr) {
+	name := calleeName(call)
+	if !deepCopyVocab[name] {
+		return
+	}
+	exprs := make([]ast.Expr, 0, len(call.Args)+1)
+	if sel, ok := unparen(call.Fun).(*ast.SelectorExpr); ok {
+		exprs = append(exprs, sel.X)
+	}
+	exprs = append(exprs, call.Args...)
+	for _, e := range exprs {
+		ast.Inspect(e, func(n ast.Node) bool {
+			if sel, ok := n.(*ast.SelectorExpr); ok {
+				if tn, fname := s.resolveField(sel); tn != nil {
+					u := s.use(tn, fname, token.NoPos)
+					u.referenced = true
+					u.witnessed = true
+				}
+			}
+			return true
+		})
+	}
+}
+
+// markComposite treats an annotated-struct composite literal as writing
+// its listed fields (all of them when unkeyed), each element's freshness
+// judged like an assignment RHS.
+func (s *bodyScanner) markComposite(cl *ast.CompositeLit) {
+	tn := s.recordType(cl)
+	if tn == nil {
+		return
+	}
+	rec := s.index[tn]
+	if len(cl.Elts) == 0 {
+		// S{}: every field is deliberately zeroed — covered, and the zero
+		// value (nil slices/maps/pointers) cannot alias anything.
+		for _, f := range rec.fields {
+			u := s.use(tn, f.name, cl.Pos())
+			u.referenced = true
+			u.witnessed = true
+		}
+		return
+	}
+	keyed := false
+	for _, elt := range cl.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		keyed = true
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok || rec.byName[key.Name] == nil {
+			continue
+		}
+		u := s.use(tn, key.Name, key.Pos())
+		u.referenced = true
+		if s.witnessRHS(kv.Value) {
+			u.witnessed = true
+		}
+	}
+	if !keyed {
+		for i, f := range rec.fields {
+			u := s.use(tn, f.name, cl.Pos())
+			u.referenced = true
+			if i < len(cl.Elts) && s.witnessRHS(cl.Elts[i]) {
+				u.witnessed = true
+			}
+		}
+	}
+}
+
+// witnessRHS reports whether an assigned value is visibly fresh: a
+// composite literal (plain or addressed), nil, or a deep-copy vocabulary
+// call.
+func (s *bodyScanner) witnessRHS(e ast.Expr) bool {
+	switch x := unparen(e).(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.UnaryExpr:
+		if x.Op == token.AND {
+			_, ok := unparen(x.X).(*ast.CompositeLit)
+			return ok
+		}
+	case *ast.Ident:
+		return x.Name == "nil"
+	case *ast.CallExpr:
+		return deepCopyVocab[calleeName(x)]
+	}
+	return false
+}
+
+// calleeName extracts the syntactic last component of a call's function
+// name ("" when anonymous or computed).
+func calleeName(call *ast.CallExpr) string {
+	fun := unparen(call.Fun)
+	for {
+		switch f := fun.(type) {
+		case *ast.Ident:
+			return f.Name
+		case *ast.SelectorExpr:
+			return f.Sel.Name
+		case *ast.IndexExpr:
+			fun = f.X
+		case *ast.IndexListExpr:
+			fun = f.X
+		default:
+			return ""
+		}
+	}
+}
+
+// namedOriginObj unwraps a type to its named origin's TypeName, or nil.
+func namedOriginObj(t types.Type) *types.TypeName {
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	return named.Origin().Obj()
+}
+
+// typeNeedsDeepCopy reports whether a type transitively holds a pointer,
+// slice or map — the shapes where a whole-value assignment shares backing
+// storage. Interfaces, funcs and chans are exempt: capture methods rebind
+// them, they never deep-copy through them. Strings are immutable and safe
+// to share.
+func typeNeedsDeepCopy(t types.Type, seen map[types.Type]bool) bool {
+	if seen[t] {
+		return false
+	}
+	if seen == nil {
+		seen = map[types.Type]bool{}
+	}
+	seen[t] = true
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Slice, *types.Map:
+		return true
+	case *types.Array:
+		return typeNeedsDeepCopy(u.Elem(), seen)
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if typeNeedsDeepCopy(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// directiveInRange returns the first directive with the given name whose
+// line falls in [start, end] of file, or nil.
+func directiveInRange(pkg *Package, file string, start, end int, name string) *directive {
+	byLine := pkg.directives[file]
+	if byLine == nil {
+		return nil
+	}
+	for line := start; line <= end; line++ {
+		for _, d := range byLine[line] {
+			if d.name == name {
+				return d
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,242 @@
+package lint
+
+import "testing"
+
+// TestSnapStateDroppedField is the PR's negative mutation fixture #1: a
+// field deliberately dropped from Restore must yield exactly one finding
+// naming the capture method (the witness line is the method declaration).
+func TestSnapStateDroppedField(t *testing.T) {
+	findings := lintFixture(t, map[string]string{
+		"internal/scratch/s.go": `package scratch
+
+//bulklint:snapstate
+type Sys struct {
+	clock int
+	buf   []int
+}
+
+type Snap struct {
+	clock int
+	buf   []int
+}
+
+//bulklint:captures snapshot
+func (s *Sys) Snapshot() *Snap {
+	return &Snap{clock: s.clock, buf: append([]int(nil), s.buf...)}
+}
+
+//bulklint:captures restore
+func (s *Sys) Restore(sn *Snap) {
+	s.buf = append(s.buf[:0], sn.buf...)
+}
+`,
+	})
+	wantFinding(t, findings, "snapstate", "internal/scratch/s.go", 20)
+}
+
+// TestSnapStateShallowAlias is negative mutation fixture #2: a slice field
+// restored by plain assignment — aliasing live state against the snapshot
+// — must yield exactly one finding at the assignment line.
+func TestSnapStateShallowAlias(t *testing.T) {
+	findings := lintFixture(t, map[string]string{
+		"internal/scratch/s.go": `package scratch
+
+//bulklint:snapstate
+type Sys struct {
+	clock int
+	buf   []int
+}
+
+type Snap struct {
+	clock int
+	buf   []int
+}
+
+//bulklint:captures restore
+func (s *Sys) Restore(sn *Snap) {
+	s.clock = sn.clock
+	s.buf = sn.buf
+}
+`,
+	})
+	wantFinding(t, findings, "snapstate", "internal/scratch/s.go", 17)
+}
+
+func TestSnapStateCleanDeepCopy(t *testing.T) {
+	// Full coverage with append/copy witnesses: no findings, no stale
+	// directives.
+	findings := lintFixture(t, map[string]string{
+		"internal/scratch/s.go": `package scratch
+
+//bulklint:snapstate
+type Sys struct {
+	clock int
+	buf   []int
+	m     map[int]int
+}
+
+//bulklint:captures snapshot Sys
+//bulklint:captures restore Sys
+func Roundtrip(dst, src *Sys) {
+	dst.clock = src.clock
+	dst.buf = append(dst.buf[:0], src.buf...)
+	if dst.m == nil {
+		dst.m = make(map[int]int, len(src.m))
+	}
+	for k, v := range src.m {
+		dst.m[k] = v
+	}
+}
+`,
+	})
+	wantNoFinding(t, findings, "snapstate")
+	wantNoFinding(t, findings, "stalewaiver")
+}
+
+func TestSnapStateHelperCoverage(t *testing.T) {
+	// A field handled inside a statically-resolved helper counts: coverage
+	// flows through the module call graph.
+	findings := lintFixture(t, map[string]string{
+		"internal/scratch/s.go": `package scratch
+
+//bulklint:snapstate
+type Sys struct {
+	clock int
+	buf   []int
+}
+
+func copyBuf(dst, src *Sys) {
+	dst.buf = append(dst.buf[:0], src.buf...)
+}
+
+//bulklint:captures copyfrom
+func (s *Sys) CopyFrom(o *Sys) {
+	s.clock = o.clock
+	copyBuf(s, o)
+}
+`,
+	})
+	wantNoFinding(t, findings, "snapstate")
+	wantNoFinding(t, findings, "stalewaiver")
+}
+
+func TestSnapStateIgnoreWaiver(t *testing.T) {
+	// An ignored field that would otherwise fail is waived, and the waiver
+	// is live (not a stalewaiver finding).
+	findings := lintFixture(t, map[string]string{
+		"internal/scratch/s.go": `package scratch
+
+//bulklint:snapstate
+type Sys struct {
+	clock int
+	//bulklint:snapstate-ignore scratch rebuilt lazily on first use
+	scratch []int
+}
+
+//bulklint:captures restore
+func (s *Sys) Restore(clock int) {
+	s.clock = clock
+}
+`,
+	})
+	wantNoFinding(t, findings, "snapstate")
+	wantNoFinding(t, findings, "stalewaiver")
+}
+
+func TestSnapStateStaleIgnore(t *testing.T) {
+	// An ignore whose field is in fact fully covered is a stalewaiver
+	// finding — the audit extends to snapstate-ignore.
+	findings := lintFixture(t, map[string]string{
+		"internal/scratch/s.go": `package scratch
+
+//bulklint:snapstate
+type Sys struct {
+	//bulklint:snapstate-ignore clock not captured (stale: it is)
+	clock int
+}
+
+//bulklint:captures restore
+func (s *Sys) Restore(clock int) {
+	s.clock = clock
+}
+`,
+	})
+	wantNoFinding(t, findings, "snapstate")
+	wantFinding(t, findings, "stalewaiver", "internal/scratch/s.go", 5)
+}
+
+func TestSnapStateResetKindNeedsNoWitness(t *testing.T) {
+	// A reset method rewinds to a zero value: whole-struct assignment
+	// covers every field and pointer fields demand no deep-copy witness.
+	findings := lintFixture(t, map[string]string{
+		"internal/scratch/s.go": `package scratch
+
+//bulklint:snapstate
+type Out struct {
+	err  error
+	log  []string
+	code int
+}
+
+//bulklint:captures reset
+func (o *Out) Reset() {
+	*o = Out{}
+}
+`,
+	})
+	wantNoFinding(t, findings, "snapstate")
+	wantNoFinding(t, findings, "stalewaiver")
+}
+
+func TestSnapStateNoCapturesMethod(t *testing.T) {
+	findings := lintFixture(t, map[string]string{
+		"internal/scratch/s.go": `package scratch
+
+//bulklint:snapstate
+type Sys struct {
+	clock int
+}
+`,
+	})
+	wantFinding(t, findings, "snapstate", "internal/scratch/s.go", 4)
+}
+
+func TestSnapStateUnknownKindAndField(t *testing.T) {
+	findings := lintFixture(t, map[string]string{
+		"internal/scratch/s.go": `package scratch
+
+//bulklint:snapstate
+type Sys struct {
+	//bulklint:snapstate-ignore nosuch never existed
+	clock int
+}
+
+//bulklint:captures deepfreeze
+//bulklint:captures restore
+func (s *Sys) Restore(clock int) {
+	s.clock = clock
+}
+`,
+	})
+	var got []Finding
+	for _, f := range findings {
+		if f.Rule == "snapstate" {
+			got = append(got, f)
+		}
+	}
+	if len(got) != 2 {
+		t.Fatalf("want 2 snapstate findings (unknown kind + unknown field), got %d: %v", len(got), got)
+	}
+	wantNoFinding(t, findings, "stalewaiver")
+}
+
+func TestSnapStateUnattachedAnnotation(t *testing.T) {
+	findings := lintFixture(t, map[string]string{
+		"internal/scratch/s.go": `package scratch
+
+//bulklint:snapstate
+var notAStruct int
+`,
+	})
+	wantFinding(t, findings, "stalewaiver", "internal/scratch/s.go", 3)
+}

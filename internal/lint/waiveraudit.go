@@ -25,13 +25,16 @@ import (
 // Rule-waivers map to the rule whose findings they suppress; annotations
 // map to "".
 var directiveKind = map[string]string{
-	"ordered":   "maprange",
-	"invariant": "nakedpanic",
-	"locked":    "guardedby",
-	"allow":     "", // rule named in the argument
-	"guardedby": "",
-	"noalloc":   "",
-	"purehook":  "",
+	"ordered":          "maprange",
+	"invariant":        "nakedpanic",
+	"locked":           "guardedby",
+	"allow":            "", // rule named in the argument
+	"guardedby":        "",
+	"noalloc":          "",
+	"purehook":         "",
+	"snapstate":        "",
+	"captures":         "",
+	"snapstate-ignore": "",
 }
 
 func analyzerStaleWaiver() *Analyzer {
@@ -61,7 +64,7 @@ func auditDirective(file string, d *directive, known map[string]bool, r *Reporte
 	kind, ok := directiveKind[d.name]
 	if !ok {
 		r.reportAt(file, d.line, d.col, "stalewaiver",
-			"unknown //bulklint:%s directive (known: allow, guardedby, invariant, locked, noalloc, ordered, purehook)", d.name)
+			"unknown //bulklint:%s directive (known: allow, captures, guardedby, invariant, locked, noalloc, ordered, purehook, snapstate, snapstate-ignore)", d.name)
 		return
 	}
 	rule := kind
@@ -92,6 +95,21 @@ func auditDirective(file string, d *directive, known map[string]bool, r *Reporte
 		if r.ran["purehook"] {
 			r.reportAt(file, d.line, d.col, "stalewaiver",
 				"//bulklint:purehook annotation is not attached to a function declaration")
+		}
+	case "snapstate":
+		if r.ran["snapstate"] {
+			r.reportAt(file, d.line, d.col, "stalewaiver",
+				"//bulklint:snapstate annotation is not attached to a struct type declaration")
+		}
+	case "captures":
+		if r.ran["snapstate"] {
+			r.reportAt(file, d.line, d.col, "stalewaiver",
+				"//bulklint:captures annotation is not attached to a function declaration")
+		}
+	case "snapstate-ignore":
+		if r.ran["snapstate"] {
+			r.reportAt(file, d.line, d.col, "stalewaiver",
+				"stale //bulklint:snapstate-ignore waiver: the field is fully covered in every captures method (or the ignore attaches to no snapstate struct); delete it")
 		}
 	default:
 		if !r.ran[rule] {

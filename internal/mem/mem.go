@@ -27,6 +27,8 @@ import "bulk/internal/flatmap"
 type Word uint64
 
 // Memory is a sparse word-addressed committed memory image.
+//
+//bulklint:snapstate
 type Memory struct {
 	words flatmap.Map[Word]
 }
@@ -78,6 +80,7 @@ func (m *Memory) Snapshot() map[uint64]Word {
 // sequence.
 //
 //bulklint:noalloc
+//bulklint:captures copyfrom
 func (m *Memory) CopyFrom(src *Memory) {
 	m.words.CopyFrom(&src.words)
 }
@@ -156,6 +159,8 @@ type ovLine struct {
 
 // OverflowArea holds the speculative dirty lines a thread evicted from its
 // cache: line addresses plus the per-word values at eviction time.
+//
+//bulklint:snapstate
 type OverflowArea struct {
 	lines flatmap.Map[ovLine]
 	stats OverflowStats
@@ -247,6 +252,8 @@ func (o *OverflowArea) Lines() []uint64 {
 // later spills into either area cannot alias the other. Check workloads
 // rarely overflow, so the per-line buffer copies are off the snapshot hot
 // path.
+//
+//bulklint:captures copyfrom
 func (o *OverflowArea) CopyFrom(src *OverflowArea) {
 	if o == src {
 		return

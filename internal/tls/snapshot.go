@@ -19,6 +19,8 @@ import (
 // taskSnap is the deep-copied state of one speculative task. The BDM
 // version is recorded as an index into the owning processor's module
 // table (-1 when nil) so Restore can re-resolve it after LoadState.
+//
+//bulklint:snapstate
 type taskSnap struct {
 	state      taskState
 	proc       int
@@ -38,6 +40,8 @@ type taskSnap struct {
 }
 
 // procSnap is the deep-copied state of one processor.
+//
+//bulklint:snapstate
 type procSnap struct {
 	cache     cache.Snapshot
 	module    bdm.ModuleState
@@ -49,6 +53,8 @@ type procSnap struct {
 // Snapshot is a deep copy of a System's mutable run state. The zero value
 // grows on first capture; re-capturing into the same Snapshot reuses its
 // storage.
+//
+//bulklint:snapstate
 type Snapshot struct {
 	mem        mem.Memory
 	engine     sim.EngineState
@@ -56,7 +62,8 @@ type Snapshot struct {
 	commitNext int
 	procs      []procSnap
 	tasks      []taskSnap
-	size       int
+	//bulklint:snapstate-ignore size cache-budget estimate recomputed at every capture, never restored
+	size int
 }
 
 // SizeBytes estimates the retained size of the snapshot for the explorer's
@@ -65,6 +72,9 @@ func (sn *Snapshot) SizeBytes() int { return sn.size }
 
 // Snapshot captures the system's state into dst (allocating one if nil)
 // and returns it. Must be called at a RunUntil pause point.
+//
+//bulklint:captures snapshot
+//bulklint:captures snapshot Snapshot procSnap taskSnap proc task
 func (s *System) Snapshot(dst *Snapshot) *Snapshot {
 	if dst == nil {
 		dst = &Snapshot{}
@@ -122,6 +132,9 @@ func (s *System) Snapshot(dst *Snapshot) *Snapshot {
 // and probe are not part of the state — reinstall them with SetScheduler /
 // SetProbe before resuming. Modules are reloaded before task versions are
 // re-resolved, so version pointers always land in the reloaded tables.
+//
+//bulklint:captures restore
+//bulklint:captures restore Snapshot procSnap taskSnap proc task
 func (s *System) Restore(src *Snapshot) {
 	s.mem.CopyFrom(&src.mem)
 	s.engine.LoadState(&src.engine)

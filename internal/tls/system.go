@@ -32,7 +32,9 @@ const (
 	tsCommitted
 )
 
+//bulklint:snapstate
 type task struct {
+	//bulklint:snapstate-ignore idx immutable task identity fixed at construction
 	idx      int
 	state    taskState
 	proc     int // -1 when unassigned
@@ -77,7 +79,9 @@ func (t *task) resetSpec() {
 	t.exec.Reset()
 }
 
+//bulklint:snapstate
 type proc struct {
+	//bulklint:snapstate-ignore id immutable processor identity fixed at construction
 	id       int
 	cache    *cache.Cache
 	module   *bdm.Module // Bulk only
@@ -86,23 +90,32 @@ type proc struct {
 }
 
 // System is a TLS run in progress.
+//
+//bulklint:snapstate
 type System struct {
-	opts   Options
+	//bulklint:snapstate-ignore opts immutable run configuration
+	opts Options
+	//bulklint:snapstate-ignore w immutable workload shared across schedules
 	w      *workload.TLSWorkload
 	mem    *mem.Memory
 	engine *sim.Engine
 	procs  []*proc
 	tasks  []*task
+	//bulklint:snapstate-ignore sigCfg immutable signature configuration
 	sigCfg *sig.Config
 
-	commitNext   int
-	stats        Stats
+	commitNext int
+	stats      Stats
+	//bulklint:snapstate-ignore wordsPerLine immutable line geometry
 	wordsPerLine int
 
 	// keyScratch is the reusable sorted-key buffer for write-buffer
 	// iteration on the commit path; supScratch is the fill path's
 	// line-supplier list.
+	//
+	//bulklint:snapstate-ignore keyScratch commit-path scratch dead between quanta
 	keyScratch []uint64
+	//bulklint:snapstate-ignore supScratch fill-path scratch dead between quanta
 	supScratch []*task
 }
 

@@ -26,6 +26,8 @@ import (
 // version is recorded by module table index, not pointer, so Restore can
 // re-resolve it after ModuleState reload; flattened sections (nesting
 // overflow) share an index exactly as they shared a version.
+//
+//bulklint:snapstate
 type secState struct {
 	startOp    int
 	wbuf       flatmap.Map[uint64]
@@ -38,12 +40,16 @@ type secState struct {
 
 // spillState holds one spilled section's signatures (preemption with
 // SpillOnPreempt only — rare, so these clone rather than pool).
+//
+//bulklint:snapstate
 type spillState struct {
 	r, w   *sig.Signature
 	secIdx int
 }
 
 // preemptSnap captures preemptState by value.
+//
+//bulklint:snapstate
 type preemptSnap struct {
 	valid    bool
 	resumeAt int64
@@ -52,6 +58,8 @@ type preemptSnap struct {
 }
 
 // procState is the deep-copied state of one processor.
+//
+//bulklint:snapstate
 type procState struct {
 	cache         cache.Snapshot
 	module        bdm.ModuleState
@@ -77,6 +85,8 @@ type procState struct {
 // Snapshot is a deep copy of a System's mutable run state. The zero value
 // grows on first capture; re-capturing into the same Snapshot reuses its
 // storage, so the steady state of a snapshot pool is pure memcopy.
+//
+//bulklint:snapstate
 type Snapshot struct {
 	mem    mem.Memory
 	engine sim.EngineState
@@ -84,7 +94,8 @@ type Snapshot struct {
 	log    []CommitUnit
 	real   uint64
 	procs  []procState
-	size   int
+	//bulklint:snapstate-ignore size cache-budget estimate recomputed at every capture, never restored
+	size int
 }
 
 // SizeBytes estimates the retained size of the snapshot, recomputed at
@@ -94,6 +105,9 @@ func (sn *Snapshot) SizeBytes() int { return sn.size }
 // Snapshot captures the system's state into dst (allocating one if nil)
 // and returns it. Must be called at a RunUntil pause point — between
 // scheduling quanta — where all scratch state is dead.
+//
+//bulklint:captures snapshot
+//bulklint:captures snapshot Snapshot procState secState spillState preemptSnap proc section
 func (s *System) Snapshot(dst *Snapshot) *Snapshot {
 	if dst == nil {
 		dst = &Snapshot{}
@@ -181,6 +195,9 @@ func (s *System) Snapshot(dst *Snapshot) *Snapshot {
 // Restore rewinds the system to a previously captured state. The scheduler
 // and probe are not part of the state — reinstall them with SetScheduler /
 // SetProbe before resuming.
+//
+//bulklint:captures restore
+//bulklint:captures restore Snapshot procState secState spillState preemptSnap proc section
 func (s *System) Restore(src *Snapshot) {
 	s.mem.CopyFrom(&src.mem)
 	s.engine.LoadState(&src.engine)

@@ -17,6 +17,8 @@ import (
 // section is one closed-nesting section of the currently running
 // transaction: its own write-buffer layer, exact sets, and (Bulk) BDM
 // version, plus the executor checkpoint taken at its start (Figure 8).
+//
+//bulklint:snapstate
 type section struct {
 	startOp  int
 	wbuf     flatmap.Map[uint64] // word addr -> speculative value
@@ -28,7 +30,10 @@ type section struct {
 }
 
 // proc is one simulated processor and the thread pinned to it.
+//
+//bulklint:snapstate
 type proc struct {
+	//bulklint:snapstate-ignore id immutable processor identity fixed at construction
 	id     int
 	cache  *cache.Cache
 	module *bdm.Module // Bulk only
@@ -57,12 +62,17 @@ type proc struct {
 }
 
 // System is a TM run in progress.
+//
+//bulklint:snapstate
 type System struct {
-	opts   Options
+	//bulklint:snapstate-ignore opts immutable run configuration
+	opts Options
+	//bulklint:snapstate-ignore w immutable workload shared across schedules
 	w      *workload.TMWorkload
 	mem    *mem.Memory
 	engine *sim.Engine
 	procs  []*proc
+	//bulklint:snapstate-ignore sigCfg immutable signature configuration
 	sigCfg *sig.Config
 
 	stats Stats
@@ -71,22 +81,34 @@ type System struct {
 
 	// commitWC is the reusable broadcast signature for multi-section Bulk
 	// commits (single-section commits broadcast the section's W directly).
+	//
+	//bulklint:snapstate-ignore commitWC commit-path scratch dead between quanta
 	commitWC *sig.Signature
 
+	//bulklint:snapstate-ignore wordsPerLine immutable line geometry
 	wordsPerLine int
 
 	// spillWords is the reusable word buffer for overflow-area spills
 	// (accesses are serialized, so one buffer serves every proc).
+	//
+	//bulklint:snapstate-ignore spillWords spill scratch dead between quanta
 	spillWords []mem.Word
 	// keyScratch is the reusable sorted-key buffer for write-buffer
 	// iteration on the commit path.
+	//
+	//bulklint:snapstate-ignore keyScratch commit-path scratch dead between quanta
 	keyScratch []uint64
 	// wlScratch/rlScratch hold the committer's write/read line unions for
 	// the duration of a commit; sqScratch and sqKeys serve squash paths,
 	// which can run while a commit's unions are still live.
+	//
+	//bulklint:snapstate-ignore wlScratch commit-path scratch dead between quanta
+	//bulklint:snapstate-ignore rlScratch commit-path scratch dead between quanta
 	wlScratch, rlScratch flatmap.Set
-	sqScratch            flatmap.Set
-	sqKeys               []uint64
+	//bulklint:snapstate-ignore sqScratch squash-path scratch dead between quanta
+	sqScratch flatmap.Set
+	//bulklint:snapstate-ignore sqKeys squash-path scratch dead between quanta
+	sqKeys []uint64
 }
 
 // NewSystem prepares a run of workload w under the given options.

@@ -11,7 +11,7 @@ echo "== go vet =="
 go vet ./...
 
 echo "== bulklint =="
-# Runs all eleven analyzers including the waiver audit: a stale
+# Runs all thirteen analyzers including the waiver audit: a stale
 # //bulklint: waiver (one that suppresses no live finding) fails the gate.
 go run ./cmd/bulklint ./...
 
@@ -19,6 +19,49 @@ echo "== bulklint effect/layer rules (filtered run) =="
 # The three effect-engine rules also pass standalone: the -rules path and
 # its filtered stalewaiver semantics stay exercised.
 go run ./cmd/bulklint -rules purehook,atomicmix,layerdep ./...
+
+echo "== bulklint snapshot-coverage rules (filtered run) =="
+# The snapstate field-coverage analyzer and the capturesafe closure-escape
+# analyzer must hold tree-wide on their own: every annotated snapshot
+# struct is fully captured with deep-copy witnesses, and every worker
+# closure lands its writes in a race-free slot.
+go run ./cmd/bulklint -rules snapstate,capturesafe ./...
+
+echo "== stale-waiver audit smoke (snapstate-ignore) =="
+# Plant a deliberately stale snapstate-ignore in a scratch file and require
+# the audit to reject the tree — proof the gate would catch a rotting
+# waiver, not just a missing field.
+smoke="internal/check/zz_stale_waiver_smoke.go"
+trap 'rm -f "$smoke"' EXIT
+cat > "$smoke" <<'EOF'
+package check
+
+//bulklint:snapstate
+type staleSmoke struct {
+	//bulklint:snapstate-ignore clock not captured (deliberately stale: reset covers it)
+	clock int
+}
+
+//bulklint:captures reset
+func (s *staleSmoke) reset() { *s = staleSmoke{} }
+EOF
+# bulklint exits 1 on the planted finding — exactly what the smoke wants —
+# so neutralize its status and assert on the reported message instead.
+if ! (go run ./cmd/bulklint -rules snapstate,stalewaiver ./internal/check || true) \
+    | grep -q 'stale //bulklint:snapstate-ignore'; then
+  echo "stale-waiver audit smoke: the audit missed a planted stale snapstate-ignore" >&2
+  exit 1
+fi
+rm -f "$smoke"
+trap - EXIT
+
+echo "== bulklint two-run byte determinism =="
+# Findings are sorted and deduplicated output: two runs of the full suite
+# over the same tree must be byte-identical, or CI diffs cannot be trusted.
+if ! cmp -s <(go run ./cmd/bulklint ./... 2>&1) <(go run ./cmd/bulklint ./... 2>&1); then
+  echo "bulklint output is not deterministic across runs" >&2
+  exit 1
+fi
 
 echo "== bulklint -effects determinism =="
 # The effect report is a published interface: two runs over the same tree
@@ -45,6 +88,23 @@ go test ./internal/lint/ -run '^$' -bench 'LintModule|InferEffects' -benchtime 1
 # budget these run under carries the default snapshot-cache allowance, so
 # this smoke drives the fork-point snapshot/resume engine end to end.
 go test . -run '^$' -bench 'CheckExplore/tm-sweep/(w1|w4)$' -benchtime 1x
+
+echo "== lint-suite wall-time ratchet =="
+# Growing the suite from eleven to thirteen analyzers must not blow up its
+# cost: the full BenchmarkLintModule run has to stay under 2x the committed
+# eleven-analyzer baseline in bench/baseline/lint.txt.
+lint_base_ns=$(awk '/^BenchmarkLintModule/ { print $3; exit }' bench/baseline/lint.txt)
+lint_now_ns=$(go test ./internal/lint/ -run '^$' -bench 'LintModule$' \
+  | awk '/^BenchmarkLintModule/ { print $3; exit }')
+if [ -z "$lint_base_ns" ] || [ -z "$lint_now_ns" ]; then
+  echo "lint ratchet: could not read a BenchmarkLintModule ns/op figure" >&2
+  exit 1
+fi
+if awk -v now="$lint_now_ns" -v base="$lint_base_ns" 'BEGIN { exit !(now > 2 * base) }'; then
+  echo "lint ratchet: LintModule at ${lint_now_ns} ns/op exceeds 2x the ${lint_base_ns} ns/op baseline" >&2
+  exit 1
+fi
+echo "lint ratchet: ${lint_now_ns} ns/op vs ${lint_base_ns} ns/op baseline (2x ceiling)"
 
 echo "== coverage gate =="
 # Per-package statement-coverage floors for the runtimes and the model
