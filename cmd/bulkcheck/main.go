@@ -33,6 +33,7 @@ import (
 
 	"bulk/internal/check"
 	"bulk/internal/mutate"
+	"bulk/internal/serve"
 )
 
 func main() {
@@ -137,15 +138,14 @@ func runCheckpointed(resumePath, ckptPath, target string, b check.Budget, depthF
 		fatalf("%v", err)
 	}
 	if rep.Failure != nil {
-		fmt.Printf("FAIL %s after %d schedules\n", t.Name(), rep.Schedules)
-		printFailure(t.Name(), rep.Failure)
+		fmt.Print(serve.CheckFail(t.Name(), rep))
 		os.Exit(1)
 	}
 	if verbose {
 		fmt.Printf("ok   %s: %d schedules, %d distinct outcomes, %d pending prefixes\n",
 			t.Name(), rep.Schedules, rep.Distinct, len(cp.Frontier))
 	} else {
-		fmt.Printf("ok   %s\n", t.Name())
+		fmt.Print(serve.CheckOK(t.Name(), rep, false))
 	}
 	if ckptPath != "" {
 		if err := os.WriteFile(ckptPath, cp.Encode(), 0o644); err != nil {
@@ -185,16 +185,10 @@ func runSweep(protocol, mode string, b check.Budget, workers int, seed uint64, d
 		}
 		if rep.Failure != nil {
 			failed = true
-			fmt.Printf("FAIL %s after %d schedules\n", t.Name(), rep.Schedules)
-			printFailure(t.Name(), rep.Failure)
+			fmt.Print(serve.CheckFail(t.Name(), rep))
 			continue
 		}
-		if verbose {
-			fmt.Printf("ok   %s: %d schedules, %d distinct outcomes\n",
-				t.Name(), rep.Schedules, rep.Distinct)
-		} else {
-			fmt.Printf("ok   %s\n", t.Name())
-		}
+		fmt.Print(serve.CheckOK(t.Name(), rep, verbose))
 	}
 	if failed {
 		os.Exit(1)
@@ -271,15 +265,6 @@ func runReplay(name, schedule string, depth int, muts mutate.Set) {
 		os.Exit(1)
 	}
 	fmt.Printf("ok   %s schedule %s\n", name, check.FormatSchedule(sched))
-}
-
-func printFailure(name string, f *check.Failure) {
-	fmt.Printf("  reason:   %s\n", f.Reason)
-	fmt.Printf("  schedule: %s\n", check.FormatSchedule(f.Schedule))
-	fmt.Printf("  replay:   bulkcheck -target %s -replay %s\n", name, check.FormatSchedule(f.Schedule))
-	for _, st := range f.Steps {
-		fmt.Printf("    %s\n", st)
-	}
 }
 
 // targetByName resolves sweep and directed targets alike, so a failing

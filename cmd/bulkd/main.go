@@ -1,0 +1,102 @@
+// Command bulkd serves the simulator over HTTP+JSON: sweep, exhibit and
+// check jobs enter a bounded FIFO queue, execute on a bounded worker
+// pool, and stream per-job progress as newline-delimited JSON. Results
+// are byte-identical to the one-shot CLIs (`bulksim -notime`,
+// `bulkcheck`): both paths render through internal/serve.
+//
+// Usage:
+//
+//	bulkd -addr :8080 -workers 4 -queue 64 -cache-mib 128
+//
+// Endpoints (see README "Serving" and DESIGN.md §17):
+//
+//	POST   /jobs              submit  {"kind":"exhibit","exhibit":"fig10","quick":true}
+//	GET    /jobs/{id}/stream  follow progress frames
+//	GET    /jobs/{id}/result  fetch the result bytes
+//	POST   /run               submit and wait in one request
+//	GET    /metrics           queue, cache, meter and latency metrics
+//
+// SIGTERM or SIGINT starts a graceful drain: new submissions get 503,
+// queued and in-flight jobs finish (up to -drain-timeout), then the
+// process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"bulk/internal/serve"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", "127.0.0.1:8080", "listen address")
+		workers      = flag.Int("workers", 2, "concurrent job executors")
+		queue        = flag.Int("queue", 32, "job queue depth (full queue returns 429 + Retry-After)")
+		cacheMiB     = flag.Int64("cache-mib", 64, "result cache budget in MiB (0 disables)")
+		jobTimeout   = flag.Duration("job-timeout", 5*time.Minute, "default per-job execution budget")
+		maxTimeout   = flag.Duration("max-job-timeout", 30*time.Minute, "cap on client-requested timeout_ms")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long a shutdown waits for in-flight jobs")
+		checkWorkers = flag.Int("check-workers", 1, "explorer workers per check cell (reports are identical at every count)")
+	)
+	flag.Parse()
+
+	cacheBytes := *cacheMiB << 20
+	if *cacheMiB == 0 {
+		cacheBytes = -1
+	}
+	s := serve.New(serve.Config{
+		Workers:       *workers,
+		QueueDepth:    *queue,
+		CacheBytes:    cacheBytes,
+		JobTimeout:    *jobTimeout,
+		MaxJobTimeout: *maxTimeout,
+		CheckWorkers:  *checkWorkers,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bulkd: %v\n", err)
+		os.Exit(1)
+	}
+	srv := &http.Server{Handler: s.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	fmt.Printf("bulkd: listening on %s (workers=%d queue=%d cache=%dMiB)\n",
+		ln.Addr(), *workers, *queue, *cacheMiB)
+
+	select {
+	case err := <-errc:
+		fmt.Fprintf(os.Stderr, "bulkd: %v\n", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: stop accepting, let in-flight work finish, then
+	// close the listener. Draining the job pool before the HTTP server
+	// keeps streams alive until their jobs reach a terminal state.
+	fmt.Println("bulkd: draining")
+	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	drainErr := s.Drain(dctx)
+	if err := srv.Shutdown(dctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintf(os.Stderr, "bulkd: shutdown: %v\n", err)
+	}
+	if drainErr != nil {
+		fmt.Fprintf(os.Stderr, "bulkd: drain: %v\n", drainErr)
+		os.Exit(1)
+	}
+	fmt.Println("bulkd: drained cleanly")
+}

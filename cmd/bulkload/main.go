@@ -1,0 +1,177 @@
+// Command bulkload drives a running bulkd daemon with a fixed, seeded
+// request mix from N concurrent clients and reports throughput plus
+// latency quantiles in `go test -bench` format, so scripts/bench.sh can
+// pipe the capture straight into benchjson (BENCH_serve.json).
+//
+// Usage:
+//
+//	bulkd -addr 127.0.0.1:8080 &
+//	bulkload -addr http://127.0.0.1:8080 -clients 4 -requests 64 -seed 1
+//
+// The mix is deterministic in -seed and weighted toward repeated
+// identical cells, so it exercises the daemon's result cache and
+// request coalescing the way real sweep traffic would. Every response
+// body is checked against the others of its kind: the daemon must serve
+// byte-identical results for identical requests, cached or not.
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"bulk/internal/rng"
+)
+
+// requestMix is the pool the seeded generator draws from: a few cheap
+// quick-mode exhibits (duplicated entries raise the repeat rate that
+// makes caching and coalescing observable) plus one small check sweep.
+var requestMix = []string{
+	`{"kind":"exhibit","exhibit":"table8","quick":true}`,
+	`{"kind":"exhibit","exhibit":"table8","quick":true}`,
+	`{"kind":"exhibit","exhibit":"ablation-rle","quick":true}`,
+	`{"kind":"exhibit","exhibit":"ablation-rle","quick":true}`,
+	`{"kind":"exhibit","exhibit":"ablation-granularity","quick":true}`,
+	`{"kind":"check","target":"tls-sweep","budget":"small"}`,
+}
+
+func main() {
+	var (
+		addr     = flag.String("addr", "http://127.0.0.1:8080", "bulkd base URL")
+		clients  = flag.Int("clients", 4, "concurrent client goroutines")
+		requests = flag.Int("requests", 48, "total requests across all clients")
+		seed     = flag.Uint64("seed", 1, "request-mix seed")
+	)
+	flag.Parse()
+	if *clients < 1 || *requests < 1 {
+		fmt.Fprintln(os.Stderr, "bulkload: -clients and -requests must be positive")
+		os.Exit(2)
+	}
+
+	// Single-core honesty: with more client goroutines than cores the
+	// daemon and the load generator contend for the same CPUs, so the
+	// latency quantiles measure scheduling pressure, not service time.
+	if *clients > runtime.NumCPU() {
+		fmt.Fprintf(os.Stderr, "!!====================================================================!!\n")
+		fmt.Fprintf(os.Stderr, "!! bulkload: %d clients on %d CPU(s) — client and daemon share cores.\n", *clients, runtime.NumCPU())
+		fmt.Fprintf(os.Stderr, "!! Latency quantiles include scheduling delay; read throughput and\n")
+		fmt.Fprintf(os.Stderr, "!! scaling claims only from a capture with clients <= cores.\n")
+		fmt.Fprintf(os.Stderr, "!!====================================================================!!\n")
+	}
+
+	// Build the whole request schedule up front, deterministically: the
+	// i-th request is the same body for a given seed no matter how many
+	// clients execute the schedule or how they interleave.
+	r := rng.New(*seed)
+	bodies := make([]string, *requests)
+	for i := range bodies {
+		bodies[i] = requestMix[int(r.Uint64()%uint64(len(requestMix)))]
+	}
+
+	lat := make([]time.Duration, *requests)
+	errs := make([]error, *requests)
+	got := make([][]byte, *requests)
+	var next int
+	var mu sync.Mutex
+	takeIndex := func() (int, bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		if next >= len(bodies) {
+			return 0, false
+		}
+		i := next
+		next++
+		return i, true
+	}
+
+	client := &http.Client{Timeout: 5 * time.Minute}
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < *clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i, ok := takeIndex()
+				if !ok {
+					return
+				}
+				t0 := time.Now()
+				body, err := post(client, *addr+"/run", bodies[i])
+				lat[i] = time.Since(t0)
+				got[i] = body
+				errs[i] = err
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	failed := 0
+	for i, err := range errs {
+		if err != nil {
+			failed++
+			fmt.Fprintf(os.Stderr, "bulkload: request %d (%s): %v\n", i, bodies[i], err)
+		}
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "bulkload: %d/%d requests failed\n", failed, len(bodies))
+		os.Exit(1)
+	}
+
+	// Identical requests must have produced identical bytes — the
+	// cache/coalesce/fresh distinction must be invisible in the payload.
+	reference := map[string][]byte{}
+	for i, b := range bodies {
+		if prev, ok := reference[b]; ok {
+			if !bytes.Equal(prev, got[i]) {
+				fmt.Fprintf(os.Stderr, "bulkload: request %d (%s) diverged from an identical earlier response\n", i, b)
+				os.Exit(1)
+			}
+		} else {
+			reference[b] = got[i]
+		}
+	}
+
+	sorted := append([]time.Duration(nil), lat...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	q := func(p float64) time.Duration {
+		i := int(p * float64(len(sorted)-1))
+		return sorted[i]
+	}
+	n := int64(len(bodies))
+	fmt.Printf("bulkload: %d requests, %d clients, %d distinct bodies, %.2f req/s\n",
+		n, *clients, len(reference), float64(n)/elapsed.Seconds())
+
+	// Benchmark-format lines for benchjson: ns/op is per-request wall
+	// time for throughput, and the quantile itself for the p-rows.
+	fmt.Printf("BenchmarkServeLoad/throughput %d %d ns/op\n", n, elapsed.Nanoseconds()/n)
+	fmt.Printf("BenchmarkServeLoad/p50 %d %d ns/op\n", n, q(0.50).Nanoseconds())
+	fmt.Printf("BenchmarkServeLoad/p95 %d %d ns/op\n", n, q(0.95).Nanoseconds())
+	fmt.Printf("BenchmarkServeLoad/p99 %d %d ns/op\n", n, q(0.99).Nanoseconds())
+}
+
+// post issues one synchronous /run request and returns the result bytes.
+func post(c *http.Client, url, body string) ([]byte, error) {
+	resp, err := c.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	defer func() { _ = resp.Body.Close() }()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("status %d: %s", resp.StatusCode, strings.TrimSpace(string(data)))
+	}
+	return data, nil
+}

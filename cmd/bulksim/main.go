@@ -23,6 +23,7 @@ import (
 
 	"bulk/internal/bus"
 	"bulk/internal/experiments"
+	"bulk/internal/serve"
 )
 
 func main() {
@@ -37,6 +38,7 @@ func main() {
 		quick    = flag.Bool("quick", false, "use the scaled-down test configuration")
 		noverify = flag.Bool("noverify", false, "skip end-to-end correctness verification")
 		parallel = flag.Bool("parallel", false, "run experiments concurrently (outputs stay ordered)")
+		notime   = flag.Bool("notime", false, "omit wall time from trailers (deterministic output, matches bulkd responses)")
 	)
 	flag.Parse()
 
@@ -95,7 +97,11 @@ func main() {
 				os.Exit(1)
 			}
 			p.Print(os.Stdout)
-			fmt.Printf("[%s: %.1fs, verified=%v]\n", r.ID, time.Since(start).Seconds(), cfg.Verify)
+			secs := time.Since(start).Seconds()
+			if *notime {
+				secs = -1
+			}
+			fmt.Print(serve.ExhibitTrailer(r.ID, secs, cfg.Verify))
 		}
 		printMeter(meter)
 		return
@@ -121,8 +127,11 @@ func main() {
 				return
 			}
 			p.Print(&outs[i].buf)
-			fmt.Fprintf(&outs[i].buf, "[%s: %.1fs, verified=%v]\n",
-				r.ID, time.Since(start).Seconds(), cfg.Verify)
+			secs := time.Since(start).Seconds()
+			if *notime {
+				secs = -1
+			}
+			outs[i].buf.WriteString(serve.ExhibitTrailer(r.ID, secs, cfg.Verify))
 		}(i, r)
 	}
 	wg.Wait()
@@ -146,9 +155,5 @@ func main() {
 // invocation ran (sums are independent of run interleaving).
 func printMeter(m *bus.Meter) {
 	total, runs := m.Snapshot()
-	if runs == 0 {
-		return
-	}
-	fmt.Printf("\n[bus traffic across %d simulations: %.1f MB total, %.1f MB in commit packets]\n",
-		runs, float64(total.Total())/(1<<20), float64(total.CommitBytes())/(1<<20))
+	fmt.Print(serve.MeterSummary(total, runs))
 }

@@ -36,3 +36,17 @@ func (m *Meter) Snapshot() (Bandwidth, int) {
 	defer m.mu.Unlock()
 	return m.total, m.runs
 }
+
+// MergeSnapshot folds another meter's snapshot — bandwidth plus run count
+// — into this one. The serving daemon uses it to roll per-job meters (kept
+// separate so each job's traffic trailer matches the one-shot CLI) into
+// the daemon-lifetime aggregate exported on /metrics.
+func (m *Meter) MergeSnapshot(b Bandwidth, runs int) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.total.Add(&b)
+	m.runs += runs
+}

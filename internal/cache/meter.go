@@ -1,0 +1,66 @@
+package cache
+
+import "sync"
+
+// Add folds another Stats into this one, counter by counter.
+func (s *Stats) Add(o Stats) {
+	s.Hits += o.Hits
+	s.Misses += o.Misses
+	s.Evictions += o.Evictions
+	s.DirtyEvicts += o.DirtyEvicts
+	s.Invals += o.Invals
+}
+
+// Meter aggregates simulated-cache Stats across concurrently executing
+// runs, mirroring bus.Meter: each simulated system is single-threaded and
+// its caches account their own events; when a run finishes, the runtime
+// merges every processor cache's final Stats into a shared Meter. The
+// serving daemon exports the totals as live observables on /metrics.
+type Meter struct {
+	mu sync.Mutex
+	//bulklint:guardedby mu
+	total Stats
+	//bulklint:guardedby mu
+	runs int
+}
+
+// Merge accumulates one cache's final event counters into the meter.
+// Nil-safe: runtimes call it unconditionally on an optional meter.
+func (m *Meter) Merge(s Stats) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.total.Add(s)
+}
+
+// AddRun counts one completed simulation against the meter.
+func (m *Meter) AddRun() {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.runs++
+}
+
+// Snapshot returns a copy of the accumulated counters and how many runs
+// merged into them.
+func (m *Meter) Snapshot() (Stats, int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.total, m.runs
+}
+
+// MergeSnapshot folds another meter's snapshot into this one (per-job
+// meters rolling up into the daemon-lifetime aggregate).
+func (m *Meter) MergeSnapshot(s Stats, runs int) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.total.Add(s)
+	m.runs += runs
+}

@@ -115,6 +115,9 @@ type Options struct {
 	CacheBytes, CacheWays, LineBytes int
 	// RetryLimit bounds episode re-executions (defensive).
 	RetryLimit int
+	// CacheMeter, when non-nil, receives every processor cache's final
+	// event counters when the run finishes. Shareable across goroutines.
+	CacheMeter *cache.Meter
 	// Scheduler, when non-nil, drives every scheduling decision. Nil keeps
 	// the default order byte-identically.
 	Scheduler sim.Scheduler
@@ -344,6 +347,12 @@ func (s *System) Finish() *Result {
 // system driven through many runs finishes each without allocating.
 func (s *System) FinishInto(res *Result) *Result {
 	s.stats.Cycles = s.engine.Now()
+	if s.opts.CacheMeter != nil {
+		for _, p := range s.procs {
+			s.opts.CacheMeter.Merge(p.cache.Stats())
+		}
+		s.opts.CacheMeter.AddRun()
+	}
 	*res = Result{Stats: s.stats, Memory: s.mem, Log: s.log}
 	return res
 }

@@ -69,6 +69,7 @@ func Checkpoint(c Config) (*CheckpointResult, error) {
 			o.SigConfig = cfg
 			runs[i].bits = cfg.TotalBits()
 		}
+		o.CacheMeter = c.CacheMeter
 		r, err := ckpt.Run(w, o)
 		if err != nil {
 			return err

@@ -13,6 +13,7 @@ import (
 	"io"
 
 	"bulk/internal/bus"
+	"bulk/internal/cache"
 	"bulk/internal/tls"
 	"bulk/internal/tm"
 	"bulk/internal/workload"
@@ -39,6 +40,10 @@ type Config struct {
 	// Meter, when non-nil, aggregates bus bandwidth across every
 	// simulation an experiment runs. Shared safely across goroutines.
 	Meter *bus.Meter
+	// CacheMeter, when non-nil, aggregates simulated-cache event counters
+	// across every simulation an experiment runs (the daemon's /metrics
+	// source). Shared safely across goroutines.
+	CacheMeter *cache.Meter
 }
 
 // Default returns the full-size configuration used by cmd/bulksim.
@@ -82,6 +87,7 @@ func (c Config) tmWorkload(p workload.TMProfile) *workload.TMWorkload {
 // runTLS executes and (optionally) verifies one TLS configuration.
 func (c Config) runTLS(w *workload.TLSWorkload, opts tls.Options) (*tls.Result, error) {
 	opts.Meter = c.Meter
+	opts.CacheMeter = c.CacheMeter
 	r, err := tls.Run(w, opts)
 	if err != nil {
 		return nil, fmt.Errorf("%s/%v: %w", w.Name, opts.Scheme, err)
@@ -97,6 +103,7 @@ func (c Config) runTLS(w *workload.TLSWorkload, opts tls.Options) (*tls.Result, 
 // runTM executes and (optionally) verifies one TM configuration.
 func (c Config) runTM(w *workload.TMWorkload, opts tm.Options) (*tm.Result, error) {
 	opts.Meter = c.Meter
+	opts.CacheMeter = c.CacheMeter
 	r, err := tm.Run(w, opts)
 	if err != nil {
 		return nil, fmt.Errorf("%s/%v: %w", w.Name, opts.Scheme, err)

@@ -1,0 +1,120 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+
+	"bulk/internal/bus"
+	"bulk/internal/cache"
+)
+
+// cellResult is the cached unit: the one-shot section bytes plus the
+// traffic the simulations generated producing them. Replaying a cached
+// cell merges the stored traffic into the job's meters, so a job served
+// entirely from cache prints a meter summary byte-identical to a fresh
+// run — the cache is an execution shortcut, never an output change.
+type cellResult struct {
+	out    []byte
+	bw     bus.Bandwidth
+	runs   int
+	cs     cache.Stats
+	csRuns int
+}
+
+// size approximates the entry's memory footprint for the byte budget.
+func (r *cellResult) size() int64 { return int64(len(r.out)) + 256 }
+
+// CacheStats is the result cache's observable state, exported on
+// /metrics.
+type CacheStats struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Puts      uint64 `json:"puts"`
+	Evictions uint64 `json:"evictions"`
+	Entries   int    `json:"entries"`
+	Bytes     int64  `json:"bytes"`
+	Capacity  int64  `json:"capacity_bytes"`
+}
+
+// lruCache is a bounded in-memory result cache keyed by canonical cell
+// key, evicting least-recently-used entries when the byte budget is
+// exceeded. A zero or negative capacity disables caching entirely.
+type lruCache struct {
+	mu sync.Mutex
+	//bulklint:guardedby mu
+	ll *list.List
+	//bulklint:guardedby mu
+	items map[string]*list.Element
+	//bulklint:guardedby mu
+	bytes int64
+	//bulklint:guardedby mu
+	stats CacheStats
+	cap   int64
+}
+
+type lruEntry struct {
+	key string
+	res cellResult
+}
+
+func newLRUCache(capBytes int64) *lruCache {
+	return &lruCache{ll: list.New(), items: map[string]*list.Element{}, cap: capBytes}
+}
+
+// get returns a copy of the cached result and records hit/miss.
+func (c *lruCache) get(key string) (cellResult, bool) {
+	if c.cap <= 0 {
+		return cellResult{}, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.stats.Misses++
+		return cellResult{}, false
+	}
+	c.stats.Hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*lruEntry).res, true
+}
+
+// put stores a result, evicting from the cold end until the budget
+// holds. Entries bigger than the whole budget are not cached.
+func (c *lruCache) put(key string, res cellResult) {
+	if c.cap <= 0 || res.size() > c.cap {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.bytes += res.size() - el.Value.(*lruEntry).res.size()
+		el.Value.(*lruEntry).res = res
+		c.ll.MoveToFront(el)
+	} else {
+		c.items[key] = c.ll.PushFront(&lruEntry{key: key, res: res})
+		c.bytes += res.size()
+		c.stats.Puts++
+	}
+	for c.bytes > c.cap {
+		oldest := c.ll.Back()
+		if oldest == nil {
+			break
+		}
+		ent := oldest.Value.(*lruEntry)
+		c.ll.Remove(oldest)
+		delete(c.items, ent.key)
+		c.bytes -= ent.res.size()
+		c.stats.Evictions++
+	}
+}
+
+// snapshot returns the current observable state.
+func (c *lruCache) snapshot() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := c.stats
+	st.Entries = c.ll.Len()
+	st.Bytes = c.bytes
+	st.Capacity = c.cap
+	return st
+}

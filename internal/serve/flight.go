@@ -1,0 +1,101 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+// canceledErr reports whether err stems from some job's cancellation
+// (rather than a real execution failure every waiter should share).
+func canceledErr(err error) bool {
+	return err != nil && (errors.Is(err, context.Canceled) ||
+		errors.Is(err, context.DeadlineExceeded) ||
+		errors.Is(err, errCanceled) || errors.Is(err, errClientGone))
+}
+
+// flightGroup coalesces identical in-flight cells: while one job is
+// executing a cell, any other job arriving at the same canonical key
+// waits for that execution instead of starting a second one — exactly one
+// execution, every waiter gets the result. (A per-key singleflight,
+// except waiters honor their own contexts: a follower whose job is
+// canceled stops waiting without disturbing the leader.)
+type flightGroup struct {
+	mu sync.Mutex
+	//bulklint:guardedby mu
+	inflight map[string]*flight
+}
+
+type flight struct {
+	done    chan struct{}
+	res     cellResult
+	err     error
+	waiters atomic.Int32
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{inflight: map[string]*flight{}}
+}
+
+// claim joins the in-flight execution for key, or registers a new one.
+// leader reports whether the caller must execute (and later release).
+func (g *flightGroup) claim(key string) (f *flight, leader bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if f, ok := g.inflight[key]; ok {
+		return f, false
+	}
+	f = &flight{done: make(chan struct{})}
+	g.inflight[key] = f
+	return f, true
+}
+
+// release retires a finished flight so the next arrival starts fresh.
+func (g *flightGroup) release(key string) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	delete(g.inflight, key)
+}
+
+// waiterCount reports how many followers are parked on key's in-flight
+// execution — observability for tests that must release a held leader
+// only after its duplicates have provably coalesced.
+func (g *flightGroup) waiterCount(key string) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if f, ok := g.inflight[key]; ok {
+		return int(f.waiters.Load())
+	}
+	return 0
+}
+
+// do executes fn for key, or waits for an identical execution already in
+// flight. coalesced reports whether this caller rode along instead of
+// executing. If the leader's job dies of its own cancellation, followers
+// retry leadership rather than inheriting the leader's context error.
+func (g *flightGroup) do(ctx context.Context, key string, fn func() (cellResult, error)) (res cellResult, coalesced bool, err error) {
+	for {
+		f, leader := g.claim(key)
+		if !leader {
+			f.waiters.Add(1)
+			select {
+			case <-f.done:
+				if canceledErr(f.err) && ctx.Err() == nil {
+					// The leader died of its own cancellation; this
+					// follower is still alive, so take a fresh turn.
+					coalesced = true
+					continue
+				}
+				return f.res, true, f.err
+			case <-ctx.Done():
+				return cellResult{}, true, context.Cause(ctx)
+			}
+		}
+
+		f.res, f.err = fn()
+		g.release(key)
+		close(f.done)
+		return f.res, coalesced, f.err
+	}
+}

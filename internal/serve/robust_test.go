@@ -1,0 +1,364 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// waitStatus polls a job until it reaches want or the deadline passes.
+func waitStatus(t *testing.T, j *Job, want Status) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st, errmsg, _, _, _, _ := j.snapshot()
+		if st == want {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in %q (err %q), want %q", j.ID, st, errmsg, want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestClientDisconnectCancelsJobAndReclaimsWorker(t *testing.T) {
+	s, ts := testServer(t, Config{Workers: 1})
+	entered := make(chan string, 4)
+	release := make(chan struct{})
+	s.testCellStart = func(key string) {
+		entered <- key
+		<-release
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/run",
+		strings.NewReader(`{"kind":"exhibit","exhibit":"table8","quick":true}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	errc := make(chan error, 1)
+	go func() {
+		resp, err := http.DefaultClient.Do(req)
+		if resp != nil {
+			_ = resp.Body.Close()
+		}
+		errc <- err
+	}()
+
+	select {
+	case <-entered:
+	case <-time.After(10 * time.Second):
+		t.Fatal("job never started executing")
+	}
+	cancel() // the client disconnects mid-job
+	if err := <-errc; err == nil {
+		t.Fatal("canceled request unexpectedly succeeded")
+	}
+
+	j := s.jobList()[0]
+	// The cell is still parked on the gate; the job's context is what
+	// must already be dead.
+	select {
+	case <-j.ctx.Done():
+	case <-time.After(10 * time.Second):
+		t.Fatal("client disconnect did not cancel the job context")
+	}
+	close(release)
+	waitStatus(t, j, StatusCanceled)
+	_, errmsg, _, _, _, _ := j.snapshot()
+	if !strings.Contains(errmsg, "client disconnected") {
+		t.Errorf("cancellation cause %q does not name the client disconnect", errmsg)
+	}
+
+	// The single pool slot must be reclaimed: a fresh job completes.
+	s.testCellStart = nil
+	code, _ := postJSON(t, ts.URL+"/run", `{"kind":"exhibit","exhibit":"table8","quick":true}`)
+	if code != http.StatusOK {
+		t.Fatalf("job after canceled job: status %d — worker slot not reclaimed", code)
+	}
+	c := s.metrics.counters.view()
+	if c.Canceled == 0 {
+		t.Errorf("canceled counter not incremented: %+v", c)
+	}
+}
+
+func TestExplicitCancelEndpoint(t *testing.T) {
+	s, ts := testServer(t, Config{Workers: 1})
+	entered := make(chan string, 1)
+	release := make(chan struct{})
+	s.testCellStart = func(key string) {
+		entered <- key
+		<-release
+	}
+	code, resp := postJSON(t, ts.URL+"/jobs", `{"kind":"exhibit","exhibit":"table8","quick":true}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: %d", code)
+	}
+	var acc struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(resp, &acc); err != nil {
+		t.Fatal(err)
+	}
+	<-entered
+
+	req, err := http.NewRequest(http.MethodDelete, ts.URL+"/jobs/"+acc.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = dresp.Body.Close()
+	if dresp.StatusCode != http.StatusOK {
+		t.Fatalf("cancel: status %d", dresp.StatusCode)
+	}
+	j, _ := s.Job(acc.ID)
+	select {
+	case <-j.ctx.Done():
+	case <-time.After(10 * time.Second):
+		t.Fatal("DELETE did not cancel the job context")
+	}
+	close(release) // the parked cell now observes the dead context
+	waitStatus(t, j, StatusCanceled)
+	if code, _ := getBody(t, ts.URL+"/jobs/"+acc.ID+"/result"); code != http.StatusGone {
+		t.Errorf("result of canceled job: status %d, want 410", code)
+	}
+}
+
+func TestQueueFullBackpressure(t *testing.T) {
+	s, ts := testServer(t, Config{Workers: 1, QueueDepth: 1})
+	entered := make(chan string, 1)
+	release := make(chan struct{})
+	s.testCellStart = func(key string) {
+		entered <- key
+		<-release
+	}
+
+	body := `{"kind":"exhibit","exhibit":"table8","quick":true}`
+	if code, _ := postJSON(t, ts.URL+"/jobs", body); code != http.StatusAccepted {
+		t.Fatal("first submit rejected")
+	}
+	<-entered // job 1 holds the only worker
+	if code, _ := postJSON(t, ts.URL+"/jobs", body); code != http.StatusAccepted {
+		t.Fatal("second submit rejected with an empty queue slot available")
+	}
+
+	// Queue full: the third submission must bounce with 429 + Retry-After.
+	resp, err := http.Post(ts.URL+"/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rejected, err := io.ReadAll(resp.Body)
+	_ = resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overflow submit: status %d (%s), want 429", resp.StatusCode, rejected)
+	}
+	ra := resp.Header.Get("Retry-After")
+	if secs, err := strconv.Atoi(ra); err != nil || secs < 1 || secs > 60 {
+		t.Errorf("Retry-After %q is not a backoff in [1, 60] seconds", ra)
+	}
+
+	close(release)
+	for _, j := range s.jobList() {
+		waitStatus(t, j, StatusDone)
+	}
+	c := s.metrics.counters.view()
+	if c.RejectedQueue != 1 || c.Accepted != 2 {
+		t.Errorf("want 2 accepted + 1 queue rejection, got %+v", c)
+	}
+}
+
+func TestDrainFinishesInFlightAndRejectsNew(t *testing.T) {
+	s, ts := testServer(t, Config{Workers: 1})
+	entered := make(chan string, 1)
+	release := make(chan struct{})
+	s.testCellStart = func(key string) {
+		entered <- key
+		<-release
+	}
+
+	body := `{"kind":"exhibit","exhibit":"table8","quick":true}`
+	if code, _ := postJSON(t, ts.URL+"/jobs", body); code != http.StatusAccepted {
+		t.Fatal("submit rejected")
+	}
+	<-entered
+
+	drained := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		drained <- s.Drain(ctx)
+	}()
+
+	// Draining must be observable before the in-flight job finishes,
+	// and new submissions must bounce with 503.
+	deadline := time.Now().Add(10 * time.Second)
+	for !s.Draining() {
+		if time.Now().After(deadline) {
+			t.Fatal("server never entered draining state")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if code, resp := postJSON(t, ts.URL+"/jobs", body); code != http.StatusServiceUnavailable {
+		t.Fatalf("submit during drain: status %d (%s), want 503", code, resp)
+	}
+
+	select {
+	case err := <-drained:
+		t.Fatalf("drain returned %v while a job was still in flight", err)
+	default:
+	}
+	close(release)
+	if err := <-drained; err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	j := s.jobList()[0]
+	if st, _, _, _, _, _ := j.snapshot(); st != StatusDone {
+		t.Errorf("in-flight job finished drain in state %q, want done", st)
+	}
+}
+
+func TestDrainDeadlineCancelsStuckJobs(t *testing.T) {
+	s, _ := testServer(t, Config{Workers: 1})
+	entered := make(chan string, 1)
+	s.testCellStart = func(key string) {
+		entered <- key
+		select {} // a genuinely stuck cell: never returns on its own
+	}
+	_, err := s.Submit(Request{Kind: "exhibit", Exhibit: "table8", Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-entered
+
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	if err := s.Drain(ctx); err == nil {
+		t.Fatal("drain of a stuck job reported success")
+	}
+	// The worker itself is parked forever in the stuck cell (select{}),
+	// but the drain path must have canceled the job's context so every
+	// well-behaved job would have stopped.
+	j := s.jobList()[0]
+	select {
+	case <-j.ctx.Done():
+	case <-time.After(10 * time.Second):
+		t.Fatal("drain deadline did not cancel the in-flight job context")
+	}
+}
+
+func TestPanicRecoveredIntoFailedStatus(t *testing.T) {
+	s, ts := testServer(t, Config{Workers: 1})
+	s.testCellStart = func(key string) {
+		panic("poisoned workload")
+	}
+	code, resp := postJSON(t, ts.URL+"/run", `{"kind":"exhibit","exhibit":"table8","quick":true}`)
+	if code != http.StatusInternalServerError {
+		t.Fatalf("panicking job: status %d (%s), want 500", code, resp)
+	}
+	if !strings.Contains(string(resp), "panic: poisoned workload") {
+		t.Errorf("failure payload %s does not carry the panic", resp)
+	}
+	j := s.jobList()[0]
+	if st, errmsg, _, _, _, _ := j.snapshot(); st != StatusFailed || !strings.Contains(errmsg, "panic") {
+		t.Errorf("job state %q err %q, want failed with panic message", st, errmsg)
+	}
+
+	// The daemon survives and the worker slot is reusable.
+	s.testCellStart = nil
+	if code, _ := postJSON(t, ts.URL+"/run", `{"kind":"exhibit","exhibit":"table8","quick":true}`); code != http.StatusOK {
+		t.Fatalf("job after panic: status %d — daemon did not recover", code)
+	}
+	c := s.metrics.counters.view()
+	if c.Panics != 1 || c.Failed != 1 {
+		t.Errorf("want 1 recovered panic + 1 failed job, got %+v", c)
+	}
+}
+
+func TestJobTimeoutCancels(t *testing.T) {
+	s, ts := testServer(t, Config{Workers: 1, JobTimeout: 50 * time.Millisecond})
+	release := make(chan struct{})
+	entered := make(chan string, 1)
+	s.testCellStart = func(key string) {
+		entered <- key
+		<-release
+	}
+	code, resp := postJSON(t, ts.URL+"/jobs", `{"kind":"exhibit","exhibit":"table8","quick":true}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: %d (%s)", code, resp)
+	}
+	<-entered
+	j := s.jobList()[0]
+	// Hold the cell well past the 50ms budget so the execution context
+	// has expired before the gate opens; the cell then observes the dead
+	// context at its boundary and the job lands in canceled.
+	time.Sleep(500 * time.Millisecond)
+	close(release)
+	waitStatus(t, j, StatusCanceled)
+	if _, errmsg, _, _, _, _ := j.snapshot(); !strings.Contains(errmsg, "timeout") {
+		t.Errorf("cancellation cause %q does not name the timeout", errmsg)
+	}
+	if _, err := s.Submit(Request{Kind: "exhibit", Exhibit: "table8", Quick: true, TimeoutMS: 120000}); err != nil {
+		t.Errorf("client timeout override under the cap rejected: %v", err)
+	}
+}
+
+func TestStreamCancelBindsDisconnectToJob(t *testing.T) {
+	s, ts := testServer(t, Config{Workers: 1})
+	entered := make(chan string, 1)
+	release := make(chan struct{})
+	s.testCellStart = func(key string) {
+		entered <- key
+		<-release
+	}
+	code, resp := postJSON(t, ts.URL+"/jobs", `{"kind":"exhibit","exhibit":"table8","quick":true}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: %d", code)
+	}
+	var acc struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(resp, &acc); err != nil {
+		t.Fatal(err)
+	}
+	<-entered
+
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		ts.URL+"/jobs/"+acc.ID+"/stream?cancel=1", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Read the replayed history, then drop the connection.
+	buf := make([]byte, 1)
+	if _, err := sresp.Body.Read(buf); err != nil {
+		t.Fatalf("stream read: %v", err)
+	}
+	cancel()
+	_ = sresp.Body.Close()
+
+	j, _ := s.Job(acc.ID)
+	select {
+	case <-j.ctx.Done():
+	case <-time.After(10 * time.Second):
+		t.Fatal("stream disconnect did not cancel the cancel-bound job")
+	}
+	// The cell observes the dead context once the gate opens.
+	close(release)
+	waitStatus(t, j, StatusCanceled)
+}

@@ -268,6 +268,12 @@ func (s *System) FinishInto(res *Result) *Result {
 		}
 	}
 	s.opts.Meter.Merge(&s.stats.Bandwidth)
+	if s.opts.CacheMeter != nil {
+		for _, p := range s.procs {
+			s.opts.CacheMeter.Merge(p.cache.Stats())
+		}
+		s.opts.CacheMeter.AddRun()
+	}
 	*res = Result{Stats: s.stats, Memory: s.mem}
 	return res
 }

@@ -22,6 +22,7 @@ package tls
 
 import (
 	"bulk/internal/bus"
+	"bulk/internal/cache"
 	"bulk/internal/mem"
 	"bulk/internal/mutate"
 	"bulk/internal/sig"
@@ -86,6 +87,9 @@ type Options struct {
 	// Meter, when non-nil, receives this run's final bus.Bandwidth.
 	// It is safe to share one Meter across runs on separate goroutines.
 	Meter *bus.Meter
+	// CacheMeter, when non-nil, receives every processor cache's final
+	// event counters when the run finishes. Shareable across goroutines.
+	CacheMeter *cache.Meter
 	// Scheduler, when non-nil, drives every scheduling decision. Nil keeps
 	// the default order byte-identically.
 	Scheduler sim.Scheduler

@@ -18,6 +18,7 @@ package tm
 
 import (
 	"bulk/internal/bus"
+	"bulk/internal/cache"
 	"bulk/internal/mem"
 	"bulk/internal/mutate"
 	"bulk/internal/sig"
@@ -92,6 +93,9 @@ type Options struct {
 	// Meter, when non-nil, receives this run's final bus.Bandwidth.
 	// It is safe to share one Meter across runs on separate goroutines.
 	Meter *bus.Meter
+	// CacheMeter, when non-nil, receives every processor cache's final
+	// event counters when the run finishes. Shareable across goroutines.
+	CacheMeter *cache.Meter
 	// Scheduler, when non-nil, drives every scheduling decision (which
 	// processor steps, commit-token grants, preemption firing). Nil keeps
 	// the default order byte-identically.

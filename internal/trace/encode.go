@@ -1,0 +1,95 @@
+package trace
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Compact binary encoding of op streams — the wire format recorded traces
+// travel in (bulkd job payloads, future bulktrace ingestion files).
+//
+// Layout: the 8-byte magic "BLKTRC1\n", a uvarint op count, then one
+// record per op: a kind byte, the zigzag-uvarint delta of the word address
+// from the previous op's address (traces have strong spatial locality, so
+// deltas stay short), and a uvarint think time. Encoding is a pure
+// function of the op slice, so encode→decode→re-encode is byte-identical
+// — the invariant FuzzTraceRoundTrip pins.
+
+// encodeMagic identifies a serialized op stream.
+const encodeMagic = "BLKTRC1\n"
+
+// AppendEncode appends the canonical encoding of ops to dst and returns
+// the extended slice.
+func AppendEncode(dst []byte, ops []Op) []byte {
+	dst = append(dst, encodeMagic...)
+	dst = binary.AppendUvarint(dst, uint64(len(ops)))
+	prev := uint64(0)
+	for _, op := range ops {
+		dst = append(dst, byte(op.Kind))
+		dst = binary.AppendUvarint(dst, zigzag(op.Addr-prev))
+		dst = binary.AppendUvarint(dst, uint64(op.Think))
+		prev = op.Addr
+	}
+	return dst
+}
+
+// EncodeOps returns the canonical encoding of ops.
+func EncodeOps(ops []Op) []byte { return AppendEncode(nil, ops) }
+
+// DecodeOps parses an encoded op stream, rejecting bad magic, op kinds
+// outside the enum, think times beyond 16 bits, truncation, and trailing
+// garbage.
+func DecodeOps(data []byte) ([]Op, error) {
+	if len(data) < len(encodeMagic) || string(data[:len(encodeMagic)]) != encodeMagic {
+		return nil, errors.New("trace: bad magic")
+	}
+	data = data[len(encodeMagic):]
+	n, k := binary.Uvarint(data)
+	if k <= 0 {
+		return nil, errors.New("trace: truncated op count")
+	}
+	data = data[k:]
+	// Each op is at least 3 bytes; bound the allocation by the input.
+	if n > uint64(len(data))/3+1 {
+		return nil, fmt.Errorf("trace: op count %d exceeds payload", n)
+	}
+	ops := make([]Op, 0, n)
+	prev := uint64(0)
+	for i := uint64(0); i < n; i++ {
+		if len(data) == 0 {
+			return nil, errors.New("trace: truncated op record")
+		}
+		kind := OpKind(data[0])
+		if kind > WriteDep {
+			return nil, fmt.Errorf("trace: unknown op kind %d", data[0])
+		}
+		data = data[1:]
+		delta, k := binary.Uvarint(data)
+		if k <= 0 {
+			return nil, errors.New("trace: truncated address delta")
+		}
+		data = data[k:]
+		think, k := binary.Uvarint(data)
+		if k <= 0 {
+			return nil, errors.New("trace: truncated think time")
+		}
+		if think > 0xffff {
+			return nil, fmt.Errorf("trace: think time %d exceeds 16 bits", think)
+		}
+		data = data[k:]
+		prev += unzigzag(delta)
+		ops = append(ops, Op{Kind: kind, Addr: prev, Think: uint16(think)})
+	}
+	if len(data) != 0 {
+		return nil, fmt.Errorf("trace: %d trailing bytes after op stream", len(data))
+	}
+	return ops, nil
+}
+
+// zigzag folds signed deltas (computed in two's complement on uint64) into
+// small unsigned varints.
+func zigzag(d uint64) uint64 { return (d << 1) ^ uint64(int64(d)>>63) }
+
+// unzigzag inverts zigzag.
+func unzigzag(z uint64) uint64 { return (z >> 1) ^ uint64(-int64(z&1)) }

@@ -1,0 +1,111 @@
+package trace
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+func sampleOps() []Op {
+	return []Op{
+		{Kind: Read, Addr: 0x1000, Think: 3},
+		{Kind: Write, Addr: 0x1001, Think: 0},
+		{Kind: WriteDep, Addr: 0x40, Think: 0xffff},
+		{Kind: Read, Addr: 1 << 62, Think: 1},
+		{Kind: Write, Addr: 0, Think: 7},
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	for _, ops := range [][]Op{nil, {}, sampleOps()} {
+		enc := EncodeOps(ops)
+		got, err := DecodeOps(enc)
+		if err != nil {
+			t.Fatalf("DecodeOps: %v", err)
+		}
+		if len(got) != len(ops) {
+			t.Fatalf("round trip length: got %d want %d", len(got), len(ops))
+		}
+		for i := range ops {
+			if got[i] != ops[i] {
+				t.Fatalf("op %d: got %+v want %+v", i, got[i], ops[i])
+			}
+		}
+		if !bytes.Equal(EncodeOps(got), enc) {
+			t.Fatalf("re-encode is not byte-identical")
+		}
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	enc := EncodeOps(sampleOps())
+	cases := map[string][]byte{
+		"empty":          {},
+		"bad magic":      []byte("NOTTRC1\nxxxx"),
+		"magic only":     enc[:8],
+		"truncated body": enc[:len(enc)-2],
+		"trailing":       append(append([]byte{}, enc...), 0),
+		"bad kind": func() []byte {
+			b := append([]byte{}, enc...)
+			b[9] = 0x7f // first op's kind byte
+			return b
+		}(),
+		"count overruns": func() []byte {
+			b := append([]byte{}, []byte(encodeMagic)...)
+			return append(b, 0xff, 0xff, 0x01) // huge count, no records
+		}(),
+	}
+	for name, data := range cases {
+		if _, err := DecodeOps(data); err == nil {
+			t.Errorf("%s: DecodeOps accepted corrupt input", name)
+		}
+	}
+}
+
+func TestDecodeRejectsWideThink(t *testing.T) {
+	// Hand-build a record whose think time needs 17 bits.
+	b := []byte(encodeMagic)
+	b = append(b, 1)             // one op
+	b = append(b, 0, 0)          // kind Read, delta 0
+	b = append(b, 0x80, 0x80, 4) // think = 0x10000
+	if _, err := DecodeOps(b); err == nil {
+		t.Fatal("DecodeOps accepted a 17-bit think time")
+	}
+}
+
+func TestZigzagInverts(t *testing.T) {
+	for _, d := range []uint64{0, 1, ^uint64(0), 1 << 63, 0xdeadbeef, ^uint64(41)} {
+		if got := unzigzag(zigzag(d)); got != d {
+			t.Fatalf("unzigzag(zigzag(%#x)) = %#x", d, got)
+		}
+	}
+}
+
+// FuzzTraceRoundTrip pins the canonical-encoding invariant: any byte
+// string the decoder accepts re-encodes to a stream the decoder accepts
+// again, with identical ops and byte-identical bytes on the second
+// encode. (The original input may be non-canonical — overlong varints —
+// so only encode→decode→re-encode identity is claimed, not input
+// identity.)
+func FuzzTraceRoundTrip(f *testing.F) {
+	f.Add(EncodeOps(nil))
+	f.Add(EncodeOps(sampleOps()))
+	f.Add([]byte(encodeMagic))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ops, err := DecodeOps(data)
+		if err != nil {
+			return
+		}
+		enc := EncodeOps(ops)
+		ops2, err := DecodeOps(enc)
+		if err != nil {
+			t.Fatalf("decode of canonical encoding failed: %v", err)
+		}
+		if !reflect.DeepEqual(ops, ops2) {
+			t.Fatalf("ops changed across round trip:\n%+v\n%+v", ops, ops2)
+		}
+		if !bytes.Equal(enc, EncodeOps(ops2)) {
+			t.Fatalf("re-encode is not byte-identical")
+		}
+	})
+}

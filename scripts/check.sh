@@ -129,6 +129,7 @@ check_cover tm 89
 check_cover tls 89
 check_cover ckpt 91
 check_cover check 88
+check_cover serve 85
 
 echo "== bulkcheck smoke =="
 # A small exhaustive sweep of every protocol must stay oracle-clean — and
@@ -187,8 +188,98 @@ if ! cmp -s "$bc_tmp/cp_resumed.bin" "$bc_tmp/cp_whole.bin"; then
   exit 1
 fi
 
-echo "== native fuzz smoke (5s per runtime) =="
-for target in internal/tm:FuzzTMSchemes internal/tls:FuzzTLSSchemes internal/ckpt:FuzzCkptModes; do
+echo "== bulkd smoke (daemon vs one-shot byte identity) =="
+# The daemon's acceptance claim end to end: a live bulkd must answer each
+# job kind with bytes identical to the one-shot CLIs, serve /metrics, and
+# shut down cleanly on SIGTERM.
+go build -o "$bc_tmp/bulkd" ./cmd/bulkd
+go build -o "$bc_tmp/bulksim" ./cmd/bulksim
+"$bc_tmp/bulkd" -addr 127.0.0.1:0 -workers 2 > "$bc_tmp/bulkd.log" 2>&1 &
+bulkd_pid=$!
+trap 'kill "$bulkd_pid" 2>/dev/null || true; rm -rf "$bc_tmp"' EXIT
+port=""
+for _ in $(seq 1 100); do
+  port=$(sed -n 's/^bulkd: listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' "$bc_tmp/bulkd.log")
+  [ -n "$port" ] && break
+  sleep 0.1
+done
+if [ -z "$port" ]; then
+  echo "bulkd smoke: daemon never reported its listen address" >&2
+  cat "$bc_tmp/bulkd.log" >&2
+  exit 1
+fi
+base="http://127.0.0.1:$port"
+curl -fsS "$base/healthz" > /dev/null
+
+# Exhibit job vs `bulksim -exp table8 -quick -notime`.
+curl -fsS -X POST "$base/run" \
+  -d '{"kind":"exhibit","exhibit":"table8","quick":true}' > "$bc_tmp/d_exhibit.out"
+"$bc_tmp/bulksim" -exp table8 -quick -notime > "$bc_tmp/c_exhibit.out"
+if ! cmp -s "$bc_tmp/d_exhibit.out" "$bc_tmp/c_exhibit.out"; then
+  echo "bulkd smoke: exhibit response differs from bulksim -notime" >&2
+  diff "$bc_tmp/d_exhibit.out" "$bc_tmp/c_exhibit.out" >&2 || true
+  exit 1
+fi
+
+# Full sweep job vs `bulksim -exp all -quick -notime` — every exhibit, the
+# blank-line section framing, and the cross-simulation meter trailer.
+curl -fsS -X POST "$base/run" \
+  -d '{"kind":"sweep","quick":true}' > "$bc_tmp/d_sweep.out"
+"$bc_tmp/bulksim" -exp all -quick -notime > "$bc_tmp/c_sweep.out"
+if ! cmp -s "$bc_tmp/d_sweep.out" "$bc_tmp/c_sweep.out"; then
+  echo "bulkd smoke: sweep response differs from bulksim -exp all -notime" >&2
+  diff "$bc_tmp/d_sweep.out" "$bc_tmp/c_sweep.out" >&2 || true
+  exit 1
+fi
+
+# Check job vs `bulkcheck -protocol tls -budget small -v`.
+curl -fsS -X POST "$base/run" \
+  -d '{"kind":"check","protocol":"tls","budget":"small","verbose":true}' > "$bc_tmp/d_check.out"
+"$bc_tmp/bulkcheck" -protocol tls -budget small -v > "$bc_tmp/c_check.out"
+if ! cmp -s "$bc_tmp/d_check.out" "$bc_tmp/c_check.out"; then
+  echo "bulkd smoke: check response differs from bulkcheck" >&2
+  diff "$bc_tmp/d_check.out" "$bc_tmp/c_check.out" >&2 || true
+  exit 1
+fi
+
+# Cached replay: the exhibit repeats inside the sweep above, so this third
+# request is served from cache — the bytes must not change, and /metrics
+# must confirm the cache actually fired.
+curl -fsS -X POST "$base/run" \
+  -d '{"kind":"exhibit","exhibit":"table8","quick":true}' > "$bc_tmp/d_cached.out"
+if ! cmp -s "$bc_tmp/d_cached.out" "$bc_tmp/c_exhibit.out"; then
+  echo "bulkd smoke: cached replay differs from the fresh response" >&2
+  exit 1
+fi
+curl -fsS "$base/metrics" > "$bc_tmp/metrics.json"
+if ! jq -e '.result_cache.hits >= 1 and .jobs.completed >= 4 and .queue.workers == 2' \
+    "$bc_tmp/metrics.json" > /dev/null; then
+  echo "bulkd smoke: /metrics is missing expected cache/job counters:" >&2
+  cat "$bc_tmp/metrics.json" >&2
+  exit 1
+fi
+
+# SIGTERM must drain and exit 0 with the clean-shutdown line.
+kill -TERM "$bulkd_pid"
+if ! wait "$bulkd_pid"; then
+  echo "bulkd smoke: daemon exited nonzero after SIGTERM" >&2
+  cat "$bc_tmp/bulkd.log" >&2
+  exit 1
+fi
+trap 'rm -rf "$bc_tmp"' EXIT
+if ! grep -q 'drained cleanly' "$bc_tmp/bulkd.log"; then
+  echo "bulkd smoke: no clean-drain confirmation in the daemon log" >&2
+  cat "$bc_tmp/bulkd.log" >&2
+  exit 1
+fi
+
+echo "== native fuzz smoke (5s per target) =="
+# The three runtimes, plus the trace codec round-trip and the workload
+# layout determinism targets the daemon's result cache leans on: cache
+# keys assume identical (seed, config) inputs regenerate identical bytes.
+for target in internal/tm:FuzzTMSchemes internal/tls:FuzzTLSSchemes \
+    internal/ckpt:FuzzCkptModes internal/trace:FuzzTraceRoundTrip \
+    internal/workload:FuzzWorkloadLayout; do
   pkg="${target%%:*}"
   fz="${target##*:}"
   go test "./$pkg/" -run '^$' -fuzz "^${fz}\$" -fuzztime 5s
